@@ -1,0 +1,176 @@
+package seec_test
+
+// One testing.B benchmark per table/figure of the paper's evaluation
+// (§4). Each iteration regenerates the experiment at a reduced scale
+// (the cmd/figures tool runs the full versions); custom metrics report
+// the headline quantity of each figure so `go test -bench . -benchmem`
+// doubles as a compact reproduction record.
+
+import (
+	"strconv"
+	"testing"
+
+	"seec"
+	"seec/internal/exp"
+)
+
+// benchScale is a trimmed Scale keeping each bench iteration bounded.
+func benchScale() exp.Scale {
+	s := exp.Quick()
+	s.SimCycles = 4000
+	s.MeshSizes = []int{4}
+	s.Rates = []float64{0.05, 0.15, 0.25}
+	s.AppTxns = 1500
+	s.Apps = []string{"canneal"}
+	s.SatCycles = 4000
+	return s
+}
+
+// BenchmarkFig7_Area regenerates the router area breakdown.
+func BenchmarkFig7_Area(b *testing.B) {
+	var norm float64
+	for i := 0; i < b.N; i++ {
+		t := exp.Fig7()
+		v, _ := strconv.ParseFloat(t.Rows[len(t.Rows)-1][len(t.Rows[0])-1], 64)
+		norm = v
+	}
+	b.ReportMetric(norm, "seec-norm-area")
+}
+
+// BenchmarkFig8_LatencyCurves regenerates the latency-vs-rate curves.
+func BenchmarkFig8_LatencyCurves(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		if tabs := exp.Fig8(s); len(tabs) == 0 {
+			b.Fatal("no tables")
+		}
+	}
+}
+
+// BenchmarkFig9_SatThroughput regenerates the saturation bars.
+func BenchmarkFig9_SatThroughput(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		if t := exp.Fig9(s); len(t.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkFig10a_FFFraction regenerates the FF-fraction curve and
+// reports the post-saturation FF share for SEEC.
+func BenchmarkFig10a_FFFraction(b *testing.B) {
+	cfg := seec.DefaultConfig()
+	cfg.Scheme = seec.SchemeSEEC
+	cfg.InjectionRate = 0.25 // past saturation
+	cfg.SimCycles = 5000
+	var frac float64
+	for i := 0; i < b.N; i++ {
+		res, err := seec.RunSynthetic(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		frac = res.FFFraction
+	}
+	b.ReportMetric(100*frac, "%FF-post-sat")
+}
+
+// BenchmarkFig10b_LatencyBreakdown regenerates the FF/regular latency
+// split and reports the bufferless portion.
+func BenchmarkFig10b_LatencyBreakdown(b *testing.B) {
+	cfg := seec.DefaultConfig()
+	cfg.Scheme = seec.SchemeSEEC
+	cfg.InjectionRate = 0.20
+	cfg.SimCycles = 5000
+	var free float64
+	for i := 0; i < b.N; i++ {
+		res, err := seec.RunSynthetic(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		free = res.FFFreeAvg
+	}
+	b.ReportMetric(free, "FF-bufferless-cycles")
+}
+
+// BenchmarkFig11_LinkEnergy regenerates the energy comparison and
+// reports SEEC's sideband overhead relative to west-first.
+func BenchmarkFig11_LinkEnergy(b *testing.B) {
+	s := benchScale()
+	var t *exp.Table
+	for i := 0; i < b.N; i++ {
+		t = exp.Fig11(s)
+	}
+	if t != nil && len(t.Rows) > 0 {
+		if v, err := strconv.ParseFloat(t.Rows[len(t.Rows)-1][1], 64); err == nil {
+			b.ReportMetric(v, "seec-avg-energy-vs-wf")
+		}
+	}
+}
+
+// BenchmarkFig12_RoutingAlgos regenerates the routing deep dive.
+func BenchmarkFig12_RoutingAlgos(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		if tabs := exp.Fig12(s); len(tabs) != 2 {
+			b.Fatal("expected two tables")
+		}
+	}
+}
+
+// BenchmarkFig13_VCScaling regenerates the VC-scaling study.
+func BenchmarkFig13_VCScaling(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		if tabs := exp.Fig13(s); len(tabs) != 2 {
+			b.Fatal("expected two tables")
+		}
+	}
+}
+
+// BenchmarkFig14_Applications regenerates the application latency and
+// runtime comparison.
+func BenchmarkFig14_Applications(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		if t := exp.Fig14(s); len(t.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkFig15_TailLatency regenerates the max-latency comparison.
+func BenchmarkFig15_TailLatency(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		if t := exp.Fig15(s); len(t.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkTable3_SeekBounds regenerates the SEEC-vs-mSEEC bound check.
+func BenchmarkTable3_SeekBounds(b *testing.B) {
+	s := benchScale()
+	for i := 0; i < b.N; i++ {
+		if t := exp.Table3(s); len(t.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkStepSEEC8x8 measures raw simulator speed (cycles/op) for
+// profiling work on the simulator itself, not a paper figure.
+func BenchmarkStepSEEC8x8(b *testing.B) {
+	cfg := seec.DefaultConfig()
+	cfg.Scheme = seec.SchemeSEEC
+	cfg.InjectionRate = 0.10
+	sim, err := seec.NewSim(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Step()
+	}
+}

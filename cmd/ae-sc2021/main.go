@@ -1,0 +1,57 @@
+// Command ae-sc2021 mirrors the artifact-evaluation workflow from the
+// paper's appendix: it regenerates the Figure 8 data ("evaluators will
+// observe average_packet_latency ... for both 8x8 Mesh and 16x16 Mesh
+// for Bit Rotation, Shuffle and Transpose traffic patterns") for the
+// SEEC repository's schemes, printing one average_packet_latency line
+// per run exactly as the gem5 flow would.
+//
+// Usage:
+//
+//	ae-sc2021              # 8x8 only (minutes)
+//	ae-sc2021 -mesh both   # 8x8 and 16x16 (slow, as was the original)
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"seec"
+)
+
+func main() {
+	mesh := flag.String("mesh", "8x8", `"8x8" or "both" (adds 16x16)`)
+	cycles := flag.Int64("sim-cycles", 10000, "measured cycles per point")
+	flag.Parse()
+
+	sizes := []int{8}
+	if *mesh == "both" {
+		sizes = append(sizes, 16)
+	}
+	schemes := []seec.Scheme{seec.SchemeWestFirst, seec.SchemeEscape,
+		seec.SchemeSPIN, seec.SchemeSWAP, seec.SchemeDRAIN,
+		seec.SchemeSEEC, seec.SchemeMSEEC}
+	patterns := []string{"bit_rotation", "shuffle", "transpose"}
+	rates := []float64{0.02, 0.05, 0.08, 0.11, 0.14, 0.17, 0.20}
+
+	for _, k := range sizes {
+		for _, pat := range patterns {
+			for _, scheme := range schemes {
+				for _, rate := range rates {
+					cfg := seec.DefaultConfig()
+					cfg.Rows, cfg.Cols = k, k
+					cfg.Scheme = scheme
+					cfg.Pattern = pat
+					cfg.InjectionRate = rate
+					cfg.SimCycles = *cycles
+					res, err := seec.RunSynthetic(cfg)
+					if err != nil {
+						fmt.Printf("# %v\n", err)
+						continue
+					}
+					fmt.Printf("mesh=%dx%d synthetic=%s scheme=%s injectionrate=%.2f average_packet_latency=%.3f reception_rate=%.4f\n",
+						k, k, pat, scheme, rate, res.AvgLatency, res.ThroughputPackets)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,13 @@
+// Command areastat prints the Fig. 7 router area/power comparison from
+// the analytic model.
+package main
+
+import (
+	"os"
+
+	"seec/internal/exp"
+)
+
+func main() {
+	exp.Fig7().Render(os.Stdout)
+}

@@ -1,0 +1,81 @@
+// Command figures regenerates the tables and figures of the paper's
+// evaluation section (§4) as aligned text (or CSV) on stdout.
+//
+// Usage:
+//
+//	figures -fig all            # everything, quick scale
+//	figures -fig 8 -scale full  # Fig. 8 at paper scale
+//	figures -fig table3 -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"seec/internal/exp"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which figure/table: table1, 7, 8, 9, 10a, 10b, 11, 12, 13, 14, 15, table3, all")
+	scale := flag.String("scale", "quick", "experiment scale: quick, medium or full")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
+	chart := flag.Bool("chart", false, "also draw latency-curve figures (8, 12, 13) as ASCII charts")
+	flag.Parse()
+
+	var sc exp.Scale
+	switch *scale {
+	case "quick":
+		sc = exp.Quick()
+	case "medium":
+		sc = exp.Medium()
+	case "full":
+		sc = exp.Full()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	gens := map[string]func() []*exp.Table{
+		"7":      func() []*exp.Table { return []*exp.Table{exp.Fig7()} },
+		"8":      func() []*exp.Table { return exp.Fig8(sc) },
+		"9":      func() []*exp.Table { return []*exp.Table{exp.Fig9(sc)} },
+		"10a":    func() []*exp.Table { return []*exp.Table{exp.Fig10a(sc)} },
+		"10b":    func() []*exp.Table { return []*exp.Table{exp.Fig10b(sc)} },
+		"11":     func() []*exp.Table { return []*exp.Table{exp.Fig11(sc)} },
+		"12":     func() []*exp.Table { return exp.Fig12(sc) },
+		"13":     func() []*exp.Table { return exp.Fig13(sc) },
+		"14":     func() []*exp.Table { return []*exp.Table{exp.Fig14(sc)} },
+		"15":     func() []*exp.Table { return []*exp.Table{exp.Fig15(sc)} },
+		"table1": func() []*exp.Table { return []*exp.Table{exp.Table1(sc)} },
+		"table3": func() []*exp.Table { return []*exp.Table{exp.Table3(sc)} },
+	}
+	order := []string{"table1", "7", "8", "9", "10a", "10b", "11", "12", "13", "14", "15", "table3"}
+
+	var picked []string
+	if *fig == "all" {
+		picked = order
+	} else if _, ok := gens[*fig]; ok {
+		picked = []string{*fig}
+	} else {
+		fmt.Fprintf(os.Stderr, "unknown figure %q (valid: %v, all)\n", *fig, order)
+		os.Exit(2)
+	}
+
+	for _, id := range picked {
+		start := time.Now()
+		tables := gens[id]()
+		for _, t := range tables {
+			if *csv {
+				t.CSV(os.Stdout)
+			} else {
+				t.Render(os.Stdout)
+				if *chart && (t.ID == "fig8" || t.ID == "fig12" || t.ID == "fig13") {
+					t.Chart(os.Stdout, 16)
+				}
+			}
+		}
+		fmt.Fprintf(os.Stderr, "[fig %s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

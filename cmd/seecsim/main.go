@@ -1,0 +1,94 @@
+// Command seecsim runs one NoC simulation and prints its statistics.
+// Flag names deliberately mirror the gem5/Garnet command lines in the
+// paper's artifact-evaluation appendix.
+//
+// Examples:
+//
+//	seecsim -topology 8x8 -scheme seec -synthetic uniform_random -injectionrate 0.10
+//	seecsim -topology 8x8 -scheme mseec -vcs-per-vnet 2 -synthetic transpose -injectionrate 0.14
+//	seecsim -scheme seec -app canneal -txns 8000
+//	seecsim -scheme none -routing-algorithm adaptive -synthetic uniform_random -injectionrate 0.4 -deadlock-check
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"seec"
+)
+
+func main() {
+	var (
+		topology  = flag.String("topology", "8x8", "mesh as RxC, e.g. 8x8 or 4x4")
+		scheme    = flag.String("scheme", "seec", "one of: none xy west-first tfc escape chipper minbd spin swap drain seec mseec")
+		routing   = flag.String("routing-algorithm", "", "override routing: xy yx west-first oblivious adaptive (default: scheme's paper default)")
+		vcs       = flag.Int("vcs-per-vnet", 4, "VCs per virtual network per input port")
+		synth     = flag.String("synthetic", "uniform_random", "traffic pattern (synthetic mode)")
+		rate      = flag.Float64("injectionrate", 0.05, "packets/node/cycle (synthetic mode)")
+		cycles    = flag.Int64("sim-cycles", 20000, "measured cycles after warmup")
+		warmup    = flag.Int64("warmup", 1000, "warmup cycles excluded from statistics")
+		seed      = flag.Uint64("seed", 1, "PRNG seed")
+		app       = flag.String("app", "", "run application traffic instead of synthetic (e.g. canneal)")
+		txns      = flag.Int64("txns", 8000, "transactions to complete (application mode)")
+		dlCheck   = flag.Bool("deadlock-check", false, "report whether the run wedged (no progress for 5000 cycles)")
+		satSearch = flag.Bool("saturation", false, "search for the saturation throughput instead of a single run")
+	)
+	flag.Parse()
+
+	var rows, cols int
+	if _, err := fmt.Sscanf(strings.ToLower(*topology), "%dx%d", &rows, &cols); err != nil {
+		fmt.Fprintf(os.Stderr, "bad -topology %q: %v\n", *topology, err)
+		os.Exit(2)
+	}
+
+	cfg := seec.DefaultConfig()
+	cfg.Rows, cfg.Cols = rows, cols
+	cfg.Scheme = seec.Scheme(*scheme)
+	cfg.Routing = seec.Routing(*routing)
+	cfg.VCsPerVNet = *vcs
+	cfg.Pattern = *synth
+	cfg.InjectionRate = *rate
+	cfg.SimCycles = *cycles
+	cfg.Warmup = *warmup
+	cfg.Seed = *seed
+
+	switch {
+	case *app != "":
+		res, err := seec.RunApplication(cfg, *app, *txns, 50_000_000)
+		fail(err)
+		fmt.Printf("app=%s scheme=%s runtime=%d cycles\n", res.App, res.Scheme, res.Runtime)
+		fmt.Printf("average_packet_latency=%.3f\n", res.AvgLatency)
+		fmt.Printf("p99_packet_latency=%d\nmax_packet_latency=%d\n", res.P99Latency, res.MaxLatency)
+		fmt.Printf("transactions_completed=%d stalled=%v\n", res.Completed, res.Stalled)
+	case *satSearch:
+		sat, last, err := seec.SaturationThroughput(cfg)
+		fail(err)
+		fmt.Printf("saturation_throughput=%.4f packets/node/cycle (avg latency %.1f at that rate)\n", sat, last.AvgLatency)
+	default:
+		res, err := seec.RunSynthetic(cfg)
+		fail(err)
+		fmt.Printf("scheme=%s pattern=%s rate=%.3f mesh=%dx%d vcs=%d\n",
+			cfg.Scheme, cfg.Pattern, cfg.InjectionRate, rows, cols, *vcs)
+		fmt.Printf("average_packet_latency=%.3f\n", res.AvgLatency)
+		fmt.Printf("p50=%d p99=%d max=%d\n", res.P50Latency, res.P99Latency, res.MaxLatency)
+		fmt.Printf("throughput_flits=%.4f throughput_packets=%.4f received=%d\n",
+			res.ThroughputFlits, res.ThroughputPackets, res.ReceivedPackets)
+		fmt.Printf("ff_fraction=%.4f misroute_hops=%d\n", res.FFFraction, res.MisrouteHops)
+		fmt.Printf("link_energy_avg=%.3f link_energy_peak=%.3f\n", res.AvgLinkEnergy, res.PeakLinkEnergy)
+		if *dlCheck {
+			fmt.Printf("stalled=%v\n", res.Stalled)
+			if res.Stalled {
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

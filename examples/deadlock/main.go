@@ -1,0 +1,51 @@
+// Deadlock demo (the Fig. 2 narrative): fully-adaptive minimal random
+// routing with a single VC genuinely deadlocks under load — and the
+// identical network with SEEC keeps delivering, because seekers find
+// the blocked packets and Free-Flow walks them out over idle links.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"seec"
+)
+
+func run(scheme seec.Scheme) {
+	cfg := seec.DefaultConfig()
+	cfg.Rows, cfg.Cols = 4, 4
+	cfg.Scheme = scheme
+	cfg.Routing = seec.RoutingAdaptive // deadlock-prone on its own
+	cfg.VCsPerVNet = 1                 // minimum buffering: deadlocks form fast
+	cfg.Pattern = "uniform_random"
+	cfg.InjectionRate = 0.40 // far past saturation
+	cfg.SimCycles = 20000
+
+	sim, err := seec.NewSim(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wedgedAt := int64(-1)
+	for sim.Cycle() < cfg.Warmup+cfg.SimCycles {
+		sim.Step()
+		if wedgedAt < 0 && sim.Stalled(2000) {
+			wedgedAt = sim.Cycle()
+			break
+		}
+	}
+	res := sim.Snapshot()
+	fmt.Printf("%-22s", fmt.Sprintf("scheme=%s:", scheme))
+	if wedgedAt >= 0 {
+		fmt.Printf(" DEADLOCKED (no flit moved since cycle %d)\n", wedgedAt-2000)
+		return
+	}
+	fmt.Printf(" live; delivered %d packets, %.3f flits/node/cycle, %.0f%% via Free-Flow\n",
+		res.ReceivedPackets, res.ThroughputFlits, 100*res.FFFraction)
+}
+
+func main() {
+	fmt.Println("4x4 mesh, fully-adaptive random routing, 1 VC, uniform random @ 0.40:")
+	run(seec.SchemeNone)  // wedges
+	run(seec.SchemeSEEC)  // one seeker at a time keeps it live
+	run(seec.SchemeMSEEC) // k seekers drain faster
+}

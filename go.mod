@@ -1,0 +1,3 @@
+module seec
+
+go 1.22

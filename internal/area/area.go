@@ -1,0 +1,126 @@
+// Package area is the analytic router area/power model behind Fig. 7.
+// The paper synthesized OpenSMART routers on FreePDK15nm; offline we
+// model the router as its four dominant components — input buffers,
+// crossbar, VC allocator, switch allocator — plus each scheme's extra
+// logic, with constants calibrated so the buffer-dominated regime of
+// small-technology NoC routers is respected. Fig. 7 is a *relative*
+// comparison across VC counts (Escape VC 7, West-first/SPIN/SWAP 6,
+// DRAIN/SEEC 1); the model reproduces the paper's headline ratios:
+// SEEC ~73% smaller than Escape VC, ~70% smaller than SPIN/SWAP, and
+// DRAIN within a few percent of SEEC.
+package area
+
+import "fmt"
+
+// Model constants, in arbitrary consistent units (think um^2 at 15nm,
+// scaled). Buffers are per bit of storage; allocators grow
+// quadratically in their request counts.
+const (
+	ports = 5 // mesh router radix
+
+	bitArea       = 1.0  // one flit-buffer bit
+	xbarPerBit    = 0.07 // crossbar area per bit per port-pair
+	vaUnit        = 2.0  // VC allocator area per (port*vc)^2 unit
+	saUnit        = 2.0  // switch allocator area per port^2*vc unit
+	leakagePerA   = 0.1  // static power per unit area (relative)
+	nicSeekerGen  = 180.0
+	nicOriginTrk  = 60.0
+	ffBypassMux   = 45.0 // per port
+	lookaheadWire = 80.0
+	spinProbeFSM  = 250.0 // probe generation + path-capture FSM
+	spinCounters  = 3.0   // per-VC timeout counter
+	swapLogic     = 500.0 // swap FSM + per-port handshake
+	drainFSM      = 420.0 // drain coordination FSM + timeout counter
+	tfcTokenLogic = 350.0 // token tracking + lookahead links
+	sideBufBits   = 4     // MinBD side buffer depth in flits
+)
+
+// Config describes one router configuration to size.
+type Config struct {
+	Scheme   string
+	VCs      int // total VCs per input port
+	VCDepth  int // flits per VC
+	FlitBits int
+}
+
+// Breakdown is the per-component area report (Fig. 7's stacked bars).
+type Breakdown struct {
+	Config    Config
+	Buffers   float64
+	Crossbar  float64
+	VCAlloc   float64
+	SWAlloc   float64
+	Extra     float64 // scheme-specific logic (incl. SEEC's NIC additions, §3.9)
+	ExtraWhat string
+}
+
+// Total returns the summed router area.
+func (b Breakdown) Total() float64 {
+	return b.Buffers + b.Crossbar + b.VCAlloc + b.SWAlloc + b.Extra
+}
+
+// StaticPower returns the modeled leakage, proportional to area (the
+// paper's area and power figures track each other).
+func (b Breakdown) StaticPower() float64 { return b.Total() * leakagePerA }
+
+// Router sizes one router configuration.
+func Router(c Config) Breakdown {
+	b := Breakdown{Config: c}
+	b.Buffers = float64(c.VCs*c.VCDepth*c.FlitBits) * bitArea
+	b.Crossbar = float64(ports*ports*c.FlitBits) * xbarPerBit
+	b.VCAlloc = float64(ports*c.VCs*ports*c.VCs) * vaUnit / 10
+	b.SWAlloc = float64(ports*ports*c.VCs) * saUnit
+	switch c.Scheme {
+	case "seec", "mseec":
+		// mSEEC adds no router logic over SEEC — only the seeker route
+		// differs (§4.2, footnote 3).
+		b.Extra = nicSeekerGen + nicOriginTrk + float64(ports)*ffBypassMux + lookaheadWire
+		b.ExtraWhat = "seeker gen + origin tracker + FF bypass muxes + lookahead"
+	case "spin":
+		b.Extra = spinProbeFSM + float64(ports*c.VCs)*spinCounters
+		b.ExtraWhat = "probe FSM + per-VC timeout counters"
+	case "swap":
+		b.Extra = swapLogic
+		b.ExtraWhat = "swap FSM + handshake"
+	case "drain":
+		b.Extra = drainFSM
+		b.ExtraWhat = "drain FSM + timeout counter"
+	case "tfc":
+		b.Extra = tfcTokenLogic
+		b.ExtraWhat = "token tracking"
+	case "minbd", "chipper":
+		// Bufferless datapath: no VC buffers or VC allocator; MinBD has
+		// a small side buffer; both need the permutation/golden logic.
+		b.Buffers = 0
+		b.VCAlloc = 0
+		if c.Scheme == "minbd" {
+			b.Buffers = float64(sideBufBits*c.FlitBits) * bitArea
+		}
+		b.Extra = 600
+		b.ExtraWhat = "permutation deflection + golden priority"
+	}
+	return b
+}
+
+// SchemeConfig returns the paper's Fig. 7 minimum-buffer configuration
+// for a scheme: the fewest VCs each needs for correct operation with a
+// 6-message-class protocol.
+func SchemeConfig(scheme string, flitBits int) Config {
+	vcs := 0
+	switch scheme {
+	case "escape":
+		vcs = 7 // 1 escape VC per VNet + 1 shared adaptive VC
+	case "xy", "west-first", "wf", "spin", "swap", "tfc":
+		vcs = 6 // 1 VC per VNet
+	case "drain", "seec", "mseec":
+		vcs = 1 // single VC, single VNet (the headline saving)
+	case "minbd", "chipper":
+		vcs = 0
+	default:
+		panic(fmt.Sprintf("area: unknown scheme %q", scheme))
+	}
+	return Config{Scheme: scheme, VCs: vcs, VCDepth: 5, FlitBits: flitBits}
+}
+
+// Fig7Schemes lists the schemes Fig. 7 compares, in its order.
+func Fig7Schemes() []string { return []string{"escape", "spin", "swap", "drain", "seec"} }

@@ -1,0 +1,27 @@
+package area
+
+import "testing"
+
+func TestFig7Ratios(t *testing.T) {
+	areas := map[string]float64{}
+	for _, s := range Fig7Schemes() {
+		areas[s] = Router(SchemeConfig(s, 128)).Total()
+	}
+	esc := areas["escape"]
+	for s, a := range areas {
+		t.Logf("%-8s area=%8.0f  norm=%.3f", s, a, a/esc)
+	}
+	seecRed := 1 - areas["seec"]/esc
+	if seecRed < 0.68 || seecRed > 0.78 {
+		t.Errorf("SEEC reduction vs escape VC = %.1f%%, paper reports ~73%%", seecRed*100)
+	}
+	for _, s := range []string{"spin", "swap"} {
+		red := 1 - areas["seec"]/areas[s]
+		if red < 0.63 || red > 0.77 {
+			t.Errorf("SEEC reduction vs %s = %.1f%%, paper reports ~70%%", s, red*100)
+		}
+	}
+	if d := areas["drain"] / areas["seec"]; d < 0.85 || d > 1.15 {
+		t.Errorf("DRAIN/SEEC area ratio %.2f, paper says similar", d)
+	}
+}

@@ -1,0 +1,108 @@
+package coherence_test
+
+import (
+	"testing"
+
+	"seec/internal/coherence"
+	"seec/internal/express"
+	"seec/internal/noc"
+)
+
+// appConfig mirrors the paper's full-system network setup on a 4x4
+// mesh (Table 4), parameterized by VNet collapse.
+func appConfig(vnets, vcsPerVNet int) noc.Config {
+	cfg := noc.DefaultConfig()
+	cfg.Rows, cfg.Cols = 4, 4
+	cfg.Classes = coherence.NumClasses
+	cfg.VNets = vnets
+	cfg.VCsPerVNet = vcsPerVNet
+	cfg.EjectVCsPerClass = 2
+	cfg.InjQueueCap = 4
+	return cfg
+}
+
+func runApp(t *testing.T, cfg noc.Config, scheme noc.Scheme, prof coherence.Profile, target int64, maxCycles int64) (*noc.Network, *coherence.Engine) {
+	t.Helper()
+	eng := coherence.NewEngine(&cfg, prof, 42)
+	eng.TargetTxns = target
+	opts := []noc.Option{noc.WithTraffic(eng)}
+	if scheme != nil {
+		opts = append(opts, noc.WithScheme(scheme))
+	}
+	n, err := noc.New(cfg, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Bind(n)
+	for n.Cycle < maxCycles && !eng.Done() {
+		n.Step()
+	}
+	return n, eng
+}
+
+// TestSixVNetsCompleteWithXY: the conventional protocol-deadlock-free
+// configuration (6 VNets, XY routing) must run the workload to
+// completion.
+func TestSixVNetsCompleteWithXY(t *testing.T) {
+	cfg := appConfig(coherence.NumClasses, 2)
+	cfg.Routing = noc.RoutingXY
+	_, eng := runApp(t, cfg, nil, coherence.Canneal, 2000, 400000)
+	if !eng.Done() {
+		t.Fatalf("completed only %d transactions", eng.Stats.Completed)
+	}
+}
+
+// TestOneVNetProtocolDeadlocksWithoutSEEC: collapsing to a single VNet
+// without protection must wedge on protocol dependence — this is the
+// deadlock SEEC's Lemma 2 is about, and it must be real.
+func TestOneVNetProtocolDeadlocksWithoutSEEC(t *testing.T) {
+	cfg := appConfig(1, 2)
+	cfg.Routing = noc.RoutingXY // routing-deadlock-free: only protocol deadlock remains
+	n, eng := runApp(t, cfg, nil, coherence.Stress, 2000, 400000)
+	if eng.Done() {
+		t.Skip("workload completed without wedging; protocol deadlock did not form this seed")
+	}
+	if !n.Stalled(5000) && eng.Stats.Completed > 0 {
+		t.Fatalf("neither completed nor wedged after %d cycles (completed=%d)", n.Cycle, eng.Stats.Completed)
+	}
+}
+
+// TestOneVNetSEECCompletes: SEEC with a single VNet must break every
+// protocol deadlock and finish the same workload (Lemmas 1+2).
+func TestOneVNetSEECCompletes(t *testing.T) {
+	cfg := appConfig(1, 2)
+	cfg.Routing = noc.RoutingAdaptiveMin // both routing AND protocol deadlocks possible
+	_, eng := runApp(t, cfg, express.NewSEEC(express.Options{}), coherence.Canneal, 2000, 1000000)
+	if !eng.Done() {
+		t.Fatalf("SEEC failed to finish: %d/%d transactions, refusals=%d",
+			eng.Stats.Completed, 2000, eng.Stats.Refusals)
+	}
+}
+
+// TestOneVNetMSEECCompletes repeats for mSEEC.
+func TestOneVNetMSEECCompletes(t *testing.T) {
+	cfg := appConfig(1, 2)
+	cfg.Routing = noc.RoutingAdaptiveMin
+	_, eng := runApp(t, cfg, express.NewMSEEC(express.Options{}), coherence.Canneal, 2000, 1000000)
+	if !eng.Done() {
+		t.Fatalf("mSEEC failed to finish: %d transactions", eng.Stats.Completed)
+	}
+}
+
+// TestAllProfilesProduceTraffic sanity-checks every application
+// profile end to end on the conventional configuration.
+func TestAllProfilesProduceTraffic(t *testing.T) {
+	for _, prof := range coherence.All() {
+		cfg := appConfig(coherence.NumClasses, 2)
+		cfg.Routing = noc.RoutingXY
+		n, eng := runApp(t, cfg, nil, prof, 300, 300000)
+		if !eng.Done() {
+			t.Errorf("%s: only %d transactions in %d cycles", prof.Name, eng.Stats.Completed, n.Cycle)
+			continue
+		}
+		if eng.Stats.Messages[coherence.ClassResponse] == 0 {
+			t.Errorf("%s: no responses generated", prof.Name)
+		}
+		t.Logf("%s: runtime=%d lat=%.1f msgs=%v", prof.Name, n.Cycle, n.Collector.AvgLatency(), eng.Stats.Messages)
+	}
+}

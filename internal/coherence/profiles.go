@@ -1,0 +1,59 @@
+package coherence
+
+import "fmt"
+
+// Profiles are the application workload stand-ins for the paper's
+// PARSEC 3.0 and SPLASH-2 runs (Table 4). Each profile's parameters
+// are chosen to span the qualitative behaviors those suites exhibit on
+// a 16-core MOESI system: miss intensity (ThinkTime), data placement
+// locality, three-hop (dirty-owner) fraction, write/invalidation
+// sharing, writeback pressure and burstiness. Absolute numbers are
+// synthetic by construction (see DESIGN.md §1); what the experiments
+// reproduce is the scheme-vs-scheme ordering per workload.
+
+// PARSEC applications.
+var (
+	Blackscholes = Profile{Name: "blackscholes", MSHRs: 8, ThinkTime: 120, Locality: 0.5, FwdProb: 0.10, InvProb: 0.05, MaxSharers: 2, WBProb: 0.10, Burst: 0.05}
+	Bodytrack    = Profile{Name: "bodytrack", MSHRs: 12, ThinkTime: 60, Locality: 0.35, FwdProb: 0.20, InvProb: 0.15, MaxSharers: 3, WBProb: 0.15, Burst: 0.15}
+	Canneal      = Profile{Name: "canneal", MSHRs: 12, ThinkTime: 45, Locality: 0.10, FwdProb: 0.30, InvProb: 0.25, MaxSharers: 4, WBProb: 0.30, Burst: 0.12}
+	Dedup        = Profile{Name: "dedup", MSHRs: 12, ThinkTime: 40, Locality: 0.25, FwdProb: 0.25, InvProb: 0.20, MaxSharers: 3, WBProb: 0.20, Burst: 0.20}
+	Fluidanimate = Profile{Name: "fluidanimate", MSHRs: 10, ThinkTime: 70, Locality: 0.55, FwdProb: 0.15, InvProb: 0.12, MaxSharers: 2, WBProb: 0.18, Burst: 0.10}
+	Swaptions    = Profile{Name: "swaptions", MSHRs: 8, ThinkTime: 150, Locality: 0.45, FwdProb: 0.08, InvProb: 0.04, MaxSharers: 2, WBProb: 0.08, Burst: 0.05}
+)
+
+// SPLASH-2 applications.
+var (
+	Barnes   = Profile{Name: "barnes", MSHRs: 12, ThinkTime: 45, Locality: 0.30, FwdProb: 0.25, InvProb: 0.22, MaxSharers: 4, WBProb: 0.18, Burst: 0.20}
+	FFT      = Profile{Name: "fft", MSHRs: 14, ThinkTime: 35, Locality: 0.15, FwdProb: 0.18, InvProb: 0.10, MaxSharers: 2, WBProb: 0.25, Burst: 0.15}
+	LU       = Profile{Name: "lu", MSHRs: 12, ThinkTime: 55, Locality: 0.40, FwdProb: 0.15, InvProb: 0.10, MaxSharers: 2, WBProb: 0.20, Burst: 0.15}
+	Radix    = Profile{Name: "radix", MSHRs: 12, ThinkTime: 50, Locality: 0.12, FwdProb: 0.22, InvProb: 0.15, MaxSharers: 3, WBProb: 0.28, Burst: 0.12}
+	WaterNSq = Profile{Name: "water-nsq", MSHRs: 10, ThinkTime: 80, Locality: 0.45, FwdProb: 0.12, InvProb: 0.10, MaxSharers: 2, WBProb: 0.12, Burst: 0.08}
+)
+
+// Stress is not an application: it is a deliberately hostile workload
+// (deep MSHRs, no think time, heavy sharing and writeback pressure)
+// used by deadlock-freedom checks. With a single VNet it reliably
+// wedges unprotected networks within a few thousand cycles.
+var Stress = Profile{Name: "stress", MSHRs: 16, ThinkTime: 8, Locality: 0.10, FwdProb: 0.35, InvProb: 0.30, MaxSharers: 4, WBProb: 0.35, Burst: 0.40}
+
+// All returns every application profile in presentation order
+// (PARSEC first, then SPLASH-2, as in Figs. 14-15).
+func All() []Profile {
+	return []Profile{
+		Blackscholes, Bodytrack, Canneal, Dedup, Fluidanimate, Swaptions,
+		Barnes, FFT, LU, Radix, WaterNSq,
+	}
+}
+
+// ByName looks up a profile (application profiles plus "stress").
+func ByName(name string) (Profile, error) {
+	if name == Stress.Name {
+		return Stress, nil
+	}
+	for _, p := range All() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("coherence: unknown application %q", name)
+}

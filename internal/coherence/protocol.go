@@ -1,0 +1,80 @@
+// Package coherence is the application-traffic substrate: a closed-loop
+// cache-coherence traffic engine that reproduces what a Ruby MOESI
+// Hammer protocol presents to the NoC in the paper's full-system runs
+// (§4.1): six message classes with real protocol dependences
+// (request -> forward -> response -> ack chains), MSHR-limited
+// outstanding misses, directory home nodes, and bounded queues so that
+// collapsing the six virtual networks into one genuinely risks protocol
+// deadlock — the property SEEC's Lemmas 1-3 are proven against.
+//
+// PARSEC/SPLASH-2 full-system traces are not reproducible offline, so
+// each application is represented by a workload profile (intensity,
+// locality, sharing, write fraction, burstiness) chosen to span the
+// same qualitative range the paper's applications do; see DESIGN.md's
+// substitution table.
+package coherence
+
+// Message classes. The paper's Table 4 runs MOESI with VNet=6; these
+// six classes mirror that split (1-flit control, 5-flit data).
+const (
+	ClassRequest   = 0 // L1 -> directory: GetS/GetM (1 flit)
+	ClassForward   = 1 // directory -> owner/sharer: Fwd/Inv (1 flit)
+	ClassResponse  = 2 // data response (5 flits) — terminating
+	ClassAck       = 3 // invalidation ack (1 flit) — terminating
+	ClassWriteback = 4 // dirty writeback data (5 flits)
+	ClassWBAck     = 5 // writeback ack (1 flit) — terminating
+	NumClasses     = 6
+)
+
+// flitsOf returns the packet length for each class (Table 4: 1-flit
+// requests/acks, 5-flit responses).
+func flitsOf(class int) int {
+	switch class {
+	case ClassResponse, ClassWriteback:
+		return 5
+	default:
+		return 1
+	}
+}
+
+// Terminating reports whether a class ends protocol transactions and
+// therefore satisfies the consumption assumption unconditionally
+// (§3.7 Lemma 1).
+func Terminating(class int) bool {
+	return class == ClassResponse || class == ClassAck || class == ClassWBAck
+}
+
+// msgKind distinguishes protocol actions carried in packet tags.
+type msgKind int
+
+const (
+	kindGet    msgKind = iota // request to home directory
+	kindFwd                   // forward to current owner
+	kindInv                   // invalidate a sharer
+	kindData                  // data response to requestor
+	kindInvAck                // invalidation ack to requestor
+	kindWB                    // writeback to home
+	kindWBAck                 // writeback ack
+)
+
+// message is the protocol payload attached to packets via Packet.Tag.
+type message struct {
+	kind msgKind
+	txn  *txn
+}
+
+// txn is one outstanding miss transaction at a requestor.
+type txn struct {
+	node      int // requestor
+	home      int // directory node
+	needsAcks int // invalidation acks still outstanding
+	haveData  bool
+	wbIssued  bool  // victim writeback already sent (at most one)
+	wbPending bool  // writeback in flight, waiting for WBAck
+	issued    int64 // cycle the request was issued
+}
+
+// completed reports whether the transaction has fully resolved.
+func (t *txn) completed() bool {
+	return t.haveData && t.needsAcks == 0 && !t.wbPending
+}

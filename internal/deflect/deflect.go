@@ -1,0 +1,413 @@
+// Package deflect implements the bufferless deflection-routing
+// baselines: CHIPPER (Fallin et al., HPCA 2011) and MinBD (Fallin et
+// al., NOCS 2012). Flits route independently with no VCs and no
+// credits; when two flits want the same productive output, the loser is
+// deflected (misrouted) to any free port — every arriving flit leaves
+// every cycle. Livelock freedom comes from a periodically chosen golden
+// packet whose flits always win arbitration (CHIPPER's scheme); MinBD
+// additionally has a small side buffer per router that absorbs one
+// would-be-deflected flit per cycle, cutting the deflection rate.
+// Packets are reassembled from out-of-order flits at the destination
+// NIC. The deflection cost — extra link traversals — is what Fig. 11 of
+// the SEEC paper charges these schemes for, and misrouting is why
+// Table 1 marks them "No Misroute: X".
+package deflect
+
+import (
+	"fmt"
+
+	"seec/internal/energy"
+	"seec/internal/noc"
+	"seec/internal/rng"
+	"seec/internal/stats"
+)
+
+// Variant selects the router flavor.
+type Variant int
+
+const (
+	// CHIPPER is purely bufferless.
+	CHIPPER Variant = iota
+	// MinBD adds a 4-flit side buffer per router.
+	MinBD
+)
+
+// String implements fmt.Stringer.
+func (v Variant) String() string {
+	if v == MinBD {
+		return "minbd"
+	}
+	return "chipper"
+}
+
+// GoldenEpoch is the interval, in cycles, at which a new golden packet
+// is chosen (CHIPPER used epochs on the order of the worst-case
+// delivery time).
+const GoldenEpoch = 512
+
+// SideBufferDepth is MinBD's per-router side buffer capacity in flits.
+const SideBufferDepth = 4
+
+// flit is a deflection-network flit: fully self-routed.
+type flit struct {
+	pkt *noc.Packet
+	seq int
+}
+
+// router is a bufferless deflection router. Cardinal directions are
+// indexed with the noc port constants (North..West); there are no input
+// buffers, only the pipeline registers between routers.
+type router struct {
+	id, x, y int
+	arrive   [noc.NumPorts]*flit // filled from neighbors' depart at cycle start
+	depart   [noc.NumPorts]*flit // staged for next cycle
+	side     []*flit             // MinBD side buffer
+}
+
+// nic holds injection queues and reassembly state for one node.
+type nic struct {
+	queues   [][]*noc.Packet
+	cur      *noc.Packet
+	curFlit  int
+	classPtr int
+	// reassembly counts arrived flits per packet.
+	reasm map[uint64]int
+}
+
+// Network is a complete deflection-routed mesh implementing the same
+// driving surface as noc.Network (Step/Drained/Stalled/etc.) for the
+// experiment harness.
+type Network struct {
+	Cfg     noc.Config
+	Variant Variant
+	Cycle   int64
+
+	Collector *stats.Collector
+	Energy    *energy.Meter
+	Traffic   noc.TrafficSource
+	InFlight  int
+
+	routers []*router
+	nics    []*nic
+	rng     *rng.Rand
+
+	golden       uint64 // packet ID with absolute priority
+	nextPktID    uint64
+	lastProgress int64
+}
+
+// New builds a deflection network. Multi-class configs are accepted
+// (classes only matter for reassembly bookkeeping — a bufferless
+// network cannot block across classes, which is how deflection gets
+// its protocol-deadlock freedom in Table 1).
+func New(cfg noc.Config, v Variant, src noc.TrafficSource) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{
+		Cfg:       cfg,
+		Variant:   v,
+		Collector: stats.NewCollector(cfg.Warmup),
+		Energy:    energy.NewMeter(cfg.FlitBits),
+		Traffic:   src,
+		rng:       rng.New(cfg.Seed ^ 0xdef1ec7),
+	}
+	for id := 0; id < cfg.Nodes(); id++ {
+		x, y := cfg.XY(id)
+		n.routers = append(n.routers, &router{id: id, x: x, y: y})
+		n.nics = append(n.nics, &nic{
+			queues: make([][]*noc.Packet, cfg.Classes),
+			reasm:  make(map[uint64]int),
+		})
+	}
+	return n, nil
+}
+
+// Nodes returns the endpoint count.
+func (n *Network) Nodes() int { return n.Cfg.Nodes() }
+
+// Drained reports whether no packets remain in the system.
+func (n *Network) Drained() bool { return n.InFlight == 0 }
+
+// Stalled reports a liveness violation (should be impossible for
+// deflection networks: flits move every cycle).
+func (n *Network) Stalled(window int64) bool {
+	return n.InFlight > 0 && n.Cycle-n.lastProgress >= window
+}
+
+// Run advances the simulation by the given number of cycles.
+func (n *Network) Run(cycles int64) {
+	for i := int64(0); i < cycles; i++ {
+		n.Step()
+	}
+}
+
+// Step advances one cycle.
+func (n *Network) Step() {
+	n.Cycle++
+	// Phase A: pipeline registers shift — arrivals come from the
+	// neighbors' departures staged last cycle.
+	for _, r := range n.routers {
+		for d := noc.North; d <= noc.West; d++ {
+			r.arrive[d] = nil
+			nb := n.Cfg.Neighbor(r.id, d)
+			if nb < 0 {
+				continue
+			}
+			r.arrive[d] = n.routers[nb].depart[noc.Opposite(d)]
+		}
+	}
+	for _, r := range n.routers {
+		for d := range r.depart {
+			r.depart[d] = nil
+		}
+	}
+	// Traffic generation.
+	if n.Traffic != nil {
+		for node, nc := range n.nics {
+			for _, spec := range n.Traffic.Generate(n.Cycle, node) {
+				n.enqueue(node, nc, spec)
+			}
+		}
+	}
+	// Golden packet rotation (livelock freedom).
+	if n.Cycle%GoldenEpoch == 1 {
+		n.pickGolden()
+	}
+	// Router pipelines: eject, buffer-eject (MinBD), inject, permute.
+	for _, r := range n.routers {
+		n.stepRouter(r)
+	}
+	n.Energy.Tick()
+}
+
+// enqueue creates a packet at a node's injection queue.
+func (n *Network) enqueue(node int, nc *nic, spec noc.PacketSpec) {
+	n.nextPktID++
+	p := &noc.Packet{
+		ID:      n.nextPktID,
+		Src:     node,
+		Dst:     spec.Dst,
+		Class:   spec.Class,
+		Size:    spec.Size,
+		Created: n.Cycle,
+		MinHops: n.Cfg.MinHops(node, spec.Dst),
+		Tag:     spec.Tag,
+	}
+	nc.queues[spec.Class] = append(nc.queues[spec.Class], p)
+	n.InFlight++
+	n.Collector.NoteInjected(p.Created, p.Size)
+}
+
+// pickGolden promotes the oldest in-flight packet (smallest ID still
+// traveling) to golden.
+func (n *Network) pickGolden() {
+	best := uint64(0)
+	found := false
+	consider := func(f *flit) {
+		if f == nil {
+			return
+		}
+		if !found || f.pkt.ID < best {
+			best = f.pkt.ID
+			found = true
+		}
+	}
+	for _, r := range n.routers {
+		for d := noc.North; d <= noc.West; d++ {
+			consider(r.arrive[d])
+		}
+		for _, f := range r.side {
+			consider(f)
+		}
+	}
+	if found {
+		n.golden = best
+	}
+}
+
+// priority orders flits for arbitration: golden first, then older
+// packets, then lower sequence.
+func (n *Network) higher(a, b *flit) bool {
+	ag, bg := a.pkt.ID == n.golden, b.pkt.ID == n.golden
+	if ag != bg {
+		return ag
+	}
+	if a.pkt.ID != b.pkt.ID {
+		return a.pkt.ID < b.pkt.ID
+	}
+	return a.seq < b.seq
+}
+
+// stepRouter performs one router's eject/inject/permute for the cycle.
+func (n *Network) stepRouter(r *router) {
+	// Gather arrivals.
+	var flits []*flit
+	for d := noc.North; d <= noc.West; d++ {
+		if r.arrive[d] != nil {
+			flits = append(flits, r.arrive[d])
+		}
+	}
+	// Count this router's physical links (edge routers have fewer).
+	links := 0
+	var dirs []int
+	for d := noc.North; d <= noc.West; d++ {
+		if n.Cfg.Neighbor(r.id, d) >= 0 {
+			links++
+			dirs = append(dirs, d)
+		}
+	}
+	// Eject: the highest-priority flit destined here leaves the
+	// network (one ejection port, as in CHIPPER).
+	ejIdx := -1
+	for i, f := range flits {
+		if f.pkt.Dst == r.id && (ejIdx < 0 || n.higher(f, flits[ejIdx])) {
+			ejIdx = i
+		}
+	}
+	if ejIdx >= 0 {
+		n.eject(r.id, flits[ejIdx])
+		flits = append(flits[:ejIdx], flits[ejIdx+1:]...)
+	}
+	// MinBD: re-inject one side-buffered flit if a slot is free.
+	if n.Variant == MinBD && len(r.side) > 0 && len(flits) < links {
+		flits = append(flits, r.side[0])
+		copy(r.side, r.side[1:])
+		r.side = r.side[:len(r.side)-1]
+	}
+	// Inject: one flit from the local NIC if a slot remains.
+	if len(flits) < links {
+		if f := n.injectFrom(r.id); f != nil {
+			flits = append(flits, f)
+		}
+	}
+	// Permute: priority order; productive port if free, otherwise a
+	// side-buffer slot (MinBD, non-golden), otherwise deflect.
+	for i := 1; i < len(flits); i++ {
+		for j := i; j > 0 && n.higher(flits[j], flits[j-1]); j-- {
+			flits[j], flits[j-1] = flits[j-1], flits[j]
+		}
+	}
+	for _, f := range flits {
+		if !n.assign(r, f, dirs) {
+			panic("deflect: no free output for flit (conservation violated)")
+		}
+	}
+}
+
+// assign gives f an output at r: productive free port, else side
+// buffer (MinBD), else any free port (deflection).
+func (n *Network) assign(r *router, f *flit, dirs []int) bool {
+	var pd [2]int
+	prod := productive(&n.Cfg, r.id, f.pkt.Dst, pd[:0])
+	for _, d := range prod {
+		if n.Cfg.Neighbor(r.id, d) >= 0 && r.depart[d] == nil {
+			n.send(r, d, f)
+			return true
+		}
+	}
+	// Side-buffer a would-be-deflected flit (MinBD), but never one that
+	// is already at its destination — it must stay in the pipeline so
+	// the ejection stage can take it next cycle.
+	if n.Variant == MinBD && f.pkt.ID != n.golden && f.pkt.Dst != r.id && len(r.side) < SideBufferDepth {
+		r.side = append(r.side, f)
+		n.Energy.BufferWrites++
+		return true
+	}
+	for _, d := range dirs {
+		if r.depart[d] == nil {
+			n.send(r, d, f)
+			return true
+		}
+	}
+	return false
+}
+
+// send stages f on output d of r and charges the link traversal.
+func (n *Network) send(r *router, d int, f *flit) {
+	r.depart[d] = f
+	n.Energy.AddDataHop()
+	if f.seq == 0 {
+		f.pkt.Hops++
+	}
+	n.lastProgress = n.Cycle
+}
+
+// productive appends the minimal directions from router id toward dst.
+func productive(cfg *noc.Config, id, dst int, buf []int) []int {
+	x, y := cfg.XY(id)
+	dx, dy := cfg.XY(dst)
+	if dx > x {
+		buf = append(buf, noc.East)
+	} else if dx < x {
+		buf = append(buf, noc.West)
+	}
+	if dy > y {
+		buf = append(buf, noc.North)
+	} else if dy < y {
+		buf = append(buf, noc.South)
+	}
+	return buf
+}
+
+// injectFrom pulls the next flit from node's NIC, serializing packets
+// and rotating classes at packet boundaries.
+func (n *Network) injectFrom(node int) *flit {
+	nc := n.nics[node]
+	if nc.cur == nil {
+		classes := len(nc.queues)
+		for k := 0; k < classes; k++ {
+			c := (nc.classPtr + k) % classes
+			if len(nc.queues[c]) > 0 {
+				nc.cur = nc.queues[c][0]
+				copy(nc.queues[c], nc.queues[c][1:])
+				nc.queues[c] = nc.queues[c][:len(nc.queues[c])-1]
+				nc.curFlit = 0
+				nc.cur.Injected = n.Cycle
+				nc.classPtr = c + 1
+				break
+			}
+		}
+	}
+	if nc.cur == nil {
+		return nil
+	}
+	f := &flit{pkt: nc.cur, seq: nc.curFlit}
+	nc.curFlit++
+	if nc.curFlit == nc.cur.Size {
+		nc.cur = nil
+	}
+	n.lastProgress = n.Cycle
+	return f
+}
+
+// eject receives one flit at its destination and completes reassembly
+// when all flits have arrived.
+func (n *Network) eject(node int, f *flit) {
+	nc := n.nics[node]
+	nc.reasm[f.pkt.ID]++
+	n.lastProgress = n.Cycle
+	if nc.reasm[f.pkt.ID] < f.pkt.Size {
+		return
+	}
+	delete(nc.reasm, f.pkt.ID)
+	p := f.pkt
+	n.Collector.Record(stats.PacketRecord{
+		Created:  p.Created,
+		Injected: p.Injected,
+		Received: n.Cycle,
+		Hops:     p.Hops,
+		MinHops:  p.MinHops,
+		Flits:    p.Size,
+		Class:    p.Class,
+	})
+	if n.Traffic != nil {
+		n.Traffic.Deliver(n.Cycle, p)
+	}
+	n.InFlight--
+}
+
+// String describes the network.
+func (n *Network) String() string {
+	return fmt.Sprintf("%s %dx%d", n.Variant, n.Cfg.Rows, n.Cfg.Cols)
+}

@@ -1,0 +1,51 @@
+package deflect
+
+import (
+	"testing"
+
+	"seec/internal/noc"
+	"seec/internal/traffic"
+)
+
+func TestDeflectionDelivers(t *testing.T) {
+	for _, v := range []Variant{CHIPPER, MinBD} {
+		cfg := noc.DefaultConfig()
+		cfg.Rows, cfg.Cols = 4, 4
+		src := traffic.NewSynthetic(4, 4, traffic.UniformRandom, 0.05, 7)
+		n, err := New(cfg, v, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Run(5000)
+		src.Pause()
+		for i := 0; i < 20000 && !n.Drained(); i++ {
+			n.Step()
+		}
+		if !n.Drained() {
+			t.Fatalf("%v: %d packets undelivered", v, n.InFlight)
+		}
+		c := n.Collector
+		if c.ReceivedPackets < 100 {
+			t.Fatalf("%v: too few received (%d)", v, c.ReceivedPackets)
+		}
+		t.Logf("%v: recv=%d lat=%.1f misroutes=%d", v, c.ReceivedPackets, c.AvgLatency(), c.MisrouteHops)
+	}
+}
+
+func TestDeflectionHighLoadLivelockFree(t *testing.T) {
+	for _, v := range []Variant{CHIPPER, MinBD} {
+		cfg := noc.DefaultConfig()
+		cfg.Rows, cfg.Cols = 4, 4
+		src := traffic.NewSynthetic(4, 4, traffic.UniformRandom, 0.4, 9)
+		n, _ := New(cfg, v, src)
+		n.Run(20000)
+		if n.Stalled(2000) {
+			t.Fatalf("%v stalled", v)
+		}
+		mis := n.Collector.MisrouteHops
+		if mis == 0 {
+			t.Fatalf("%v: no deflections at saturating load — not a deflection network", v)
+		}
+		t.Logf("%v: recv=%d thr=%.3f mis=%d", v, n.Collector.ReceivedPackets, n.Collector.Throughput(n.Cycle, 16), mis)
+	}
+}

@@ -1,0 +1,70 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMeterDataHops(t *testing.T) {
+	m := NewMeter(128)
+	for i := 0; i < 10; i++ {
+		m.AddDataHop()
+	}
+	m.Tick()
+	if m.DataHops != 10 {
+		t.Fatalf("DataHops %d", m.DataHops)
+	}
+	if m.AvgLinkEnergy() != 10 {
+		t.Fatalf("avg %f", m.AvgLinkEnergy())
+	}
+}
+
+func TestMeterSidebandScaling(t *testing.T) {
+	// §3.6: a 16-bit seeker hop costs 16/128 of a data-flit traversal.
+	m := NewMeter(128)
+	m.AddSideband(16)
+	m.Tick()
+	if got := m.AvgLinkEnergy(); math.Abs(got-0.125) > 1e-12 {
+		t.Fatalf("16-bit sideband on 128-bit links: %f want 0.125", got)
+	}
+	if m.SidebandBits != 16 {
+		t.Fatalf("SidebandBits %d", m.SidebandBits)
+	}
+}
+
+func TestMeterProbeFullWidth(t *testing.T) {
+	m := NewMeter(128)
+	m.AddProbeHop()
+	m.Tick()
+	if m.AvgLinkEnergy() != 1 {
+		t.Fatalf("probe hop: %f want 1", m.AvgLinkEnergy())
+	}
+}
+
+func TestMeterPeakWindow(t *testing.T) {
+	m := NewMeter(128)
+	// Quiet baseline for a full window, then a burst window.
+	for i := 0; i < PeakWindow; i++ {
+		m.AddDataHop()
+		m.Tick()
+	}
+	for i := 0; i < PeakWindow; i++ {
+		for j := 0; j < 7; j++ {
+			m.AddDataHop()
+		}
+		m.Tick()
+	}
+	if peak := m.PeakLinkEnergy(); peak != 7 {
+		t.Fatalf("peak %f want 7", peak)
+	}
+	if avg := m.AvgLinkEnergy(); avg != 4 {
+		t.Fatalf("avg %f want 4", avg)
+	}
+}
+
+func TestMeterDefaultWidth(t *testing.T) {
+	m := NewMeter(0)
+	if m.FlitBits != 128 {
+		t.Fatalf("default width %d", m.FlitBits)
+	}
+}

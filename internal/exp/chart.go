@@ -1,0 +1,121 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Chart renders a latency-curve table (first column = injection rate,
+// remaining columns = per-scheme average latency) as an ASCII plot, the
+// closest a terminal gets to the paper's Fig. 8/12/13 line charts.
+// Non-numeric cells ("sat", "stall", "err") are treated as off-scale
+// and drawn at the top margin. Each series is drawn with its own glyph;
+// later series overwrite earlier ones where they collide.
+func (t *Table) Chart(w io.Writer, height int) {
+	if height < 8 {
+		height = 8
+	}
+	const width = 72
+	glyphs := "xo*+#@%&^~"
+
+	type point struct {
+		x, y float64
+		sat  bool
+	}
+	nSeries := len(t.Header) - 1
+	if nSeries < 1 || len(t.Rows) == 0 {
+		fmt.Fprintf(w, "(no data to chart)\n")
+		return
+	}
+	series := make([][]point, nSeries)
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	maxY := 0.0
+	for _, row := range t.Rows {
+		x, err := strconv.ParseFloat(row[0], 64)
+		if err != nil {
+			continue
+		}
+		minX = math.Min(minX, x)
+		maxX = math.Max(maxX, x)
+		for i := 0; i < nSeries && i+1 < len(row); i++ {
+			y, err := strconv.ParseFloat(row[i+1], 64)
+			if err != nil {
+				series[i] = append(series[i], point{x: x, sat: true})
+				continue
+			}
+			series[i] = append(series[i], point{x: x, y: y})
+			maxY = math.Max(maxY, y)
+		}
+	}
+	if maxX <= minX || maxY == 0 {
+		fmt.Fprintf(w, "(no numeric data to chart)\n")
+		return
+	}
+	// Log-scale y: latency curves span orders of magnitude.
+	minY := math.MaxFloat64
+	for _, s := range series {
+		for _, p := range s {
+			if !p.sat && p.y > 0 && p.y < minY {
+				minY = p.y
+			}
+		}
+	}
+	if minY >= maxY {
+		minY = maxY / 10
+	}
+	logLo, logHi := math.Log10(minY), math.Log10(maxY*1.05)
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	plotRow := func(y float64, sat bool) int {
+		if sat {
+			return 0
+		}
+		frac := (math.Log10(y) - logLo) / (logHi - logLo)
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
+		return int(math.Round(float64(height-1) * (1 - frac)))
+	}
+	plotCol := func(x float64) int {
+		frac := (x - minX) / (maxX - minX)
+		return int(math.Round(frac * float64(width-1)))
+	}
+	for i, s := range series {
+		g := glyphs[i%len(glyphs)]
+		for _, p := range s {
+			r := plotRow(p.y, p.sat)
+			c := plotCol(p.x)
+			grid[r][c] = g
+		}
+	}
+	fmt.Fprintf(w, "%s  (log-scale latency, '^ of chart' = saturated)\n", t.Title)
+	for r, line := range grid {
+		label := "          "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%9.0f ", maxY)
+		case height - 1:
+			label = fmt.Sprintf("%9.1f ", minY)
+		case height / 2:
+			mid := math.Pow(10, (logLo+logHi)/2)
+			label = fmt.Sprintf("%9.1f ", mid)
+		}
+		fmt.Fprintf(w, "%s|%s\n", label, string(line))
+	}
+	fmt.Fprintf(w, "%s+%s\n", strings.Repeat(" ", 10), strings.Repeat("-", width))
+	fmt.Fprintf(w, "%s%.2f%s%.2f  (injection rate)\n", strings.Repeat(" ", 11), minX,
+		strings.Repeat(" ", width-12), maxX)
+	var legend []string
+	for i := 0; i < nSeries; i++ {
+		legend = append(legend, fmt.Sprintf("%c=%s", glyphs[i%len(glyphs)], t.Header[i+1]))
+	}
+	fmt.Fprintf(w, "  %s\n\n", strings.Join(legend, "  "))
+}

@@ -1,0 +1,93 @@
+package exp
+
+import (
+	"fmt"
+
+	"seec"
+)
+
+// fig12Variant is one deadlock-free NoC from the §4.4.2 deep dive.
+type fig12Variant struct {
+	label   string
+	scheme  seec.Scheme
+	routing seec.Routing
+}
+
+// fig12Variants reproduces the eight configurations of Fig. 12, all
+// with 2 VCs: (i) XY, (ii) west-first, (iii) escape VC with oblivious
+// random, (iv) escape VC with adaptive random, (v)-(vi) SEEC with
+// oblivious/adaptive random, (vii)-(viii) mSEEC likewise.
+func fig12Variants() []fig12Variant {
+	return []fig12Variant{
+		{"xy", seec.SchemeXY, seec.RoutingXY},
+		{"west-first", seec.SchemeWestFirst, seec.RoutingWestFirst},
+		{"escVC+rand", seec.SchemeEscape, seec.RoutingOblivious},
+		{"escVC+adapt", seec.SchemeEscape, seec.RoutingAdaptive},
+		{"seec+rand", seec.SchemeSEEC, seec.RoutingOblivious},
+		{"seec+adapt", seec.SchemeSEEC, seec.RoutingAdaptive},
+		{"mseec+rand", seec.SchemeMSEEC, seec.RoutingOblivious},
+		{"mseec+adapt", seec.SchemeMSEEC, seec.RoutingAdaptive},
+	}
+}
+
+// Fig12 regenerates the routing-algorithm comparison: latency vs
+// injection rate for uniform random and transpose at 2 VCs.
+func Fig12(s Scale) []*Table {
+	var out []*Table
+	for _, pat := range []string{"uniform_random", "transpose"} {
+		t := &Table{
+			ID:    "fig12",
+			Title: fmt.Sprintf("Routing-algorithm deep dive — 8x8, %s, 2 VCs", pat),
+		}
+		t.Header = append(t.Header, "rate")
+		for _, v := range fig12Variants() {
+			t.Header = append(t.Header, v.label)
+		}
+		for _, rate := range s.Rates {
+			row := []any{fmt.Sprintf("%.2f", rate)}
+			for _, v := range fig12Variants() {
+				cfg := synthCfg(v.scheme, 8, 2, pat, s.SimCycles)
+				cfg.Routing = v.routing
+				cfg.InjectionRate = rate
+				res, err := seec.RunSynthetic(cfg)
+				row = append(row, latencyCell(res, err))
+			}
+			t.AddRow(row...)
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// Fig13 regenerates the VC-scaling study: SEEC and mSEEC fixed at
+// 2 VCs against escape VC with 2, 4, 8 and 16 VCs on an 8x8 mesh.
+// The paper's crossover: escape VC needs 8+ VCs to match SEEC/mSEEC.
+func Fig13(s Scale) []*Table {
+	var out []*Table
+	for _, pat := range []string{"uniform_random", "transpose"} {
+		t := &Table{
+			ID:    "fig13",
+			Title: fmt.Sprintf("SEEC/mSEEC @2VC vs escape VC with more VCs — 8x8, %s", pat),
+			Header: []string{"rate", "seec 2VC", "mseec 2VC",
+				"eVC 2VC", "eVC 4VC", "eVC 8VC", "eVC 16VC"},
+		}
+		for _, rate := range s.Rates {
+			row := []any{fmt.Sprintf("%.2f", rate)}
+			for _, sc := range []seec.Scheme{seec.SchemeSEEC, seec.SchemeMSEEC} {
+				cfg := synthCfg(sc, 8, 2, pat, s.SimCycles)
+				cfg.InjectionRate = rate
+				res, err := seec.RunSynthetic(cfg)
+				row = append(row, latencyCell(res, err))
+			}
+			for _, vcs := range []int{2, 4, 8, 16} {
+				cfg := synthCfg(seec.SchemeEscape, 8, vcs, pat, s.SimCycles)
+				cfg.InjectionRate = rate
+				res, err := seec.RunSynthetic(cfg)
+				row = append(row, latencyCell(res, err))
+			}
+			t.AddRow(row...)
+		}
+		out = append(out, t)
+	}
+	return out
+}

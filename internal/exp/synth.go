@@ -1,0 +1,124 @@
+package exp
+
+import (
+	"fmt"
+
+	"seec"
+)
+
+// synthCfg builds a synthetic-run config for the standard Fig. 8 setup
+// (4 VCs per input port, scheme-default routing).
+func synthCfg(scheme seec.Scheme, k, vcs int, pattern string, cycles int64) seec.Config {
+	cfg := seec.DefaultConfig()
+	cfg.Rows, cfg.Cols = k, k
+	cfg.Scheme = scheme
+	cfg.VCsPerVNet = vcs
+	cfg.Pattern = pattern
+	cfg.SimCycles = cycles
+	return cfg
+}
+
+// fig8Schemes is the Fig. 8 lineup.
+func fig8Schemes() []seec.Scheme {
+	return []seec.Scheme{seec.SchemeXY, seec.SchemeWestFirst, seec.SchemeTFC,
+		seec.SchemeEscape, seec.SchemeMinBD, seec.SchemeSPIN, seec.SchemeSWAP,
+		seec.SchemeDRAIN, seec.SchemeSEEC, seec.SchemeMSEEC}
+}
+
+// fig8Patterns is the synthetic-pattern lineup from Fig. 8 / the AE
+// appendix (bit rotation, shuffle, transpose, plus uniform random).
+func fig8Patterns() []string {
+	return []string{"uniform_random", "bit_rotation", "shuffle", "transpose"}
+}
+
+// Fig8 regenerates the latency-versus-injection-rate curves: one table
+// per (mesh size, traffic pattern), columns are schemes, cells are
+// average packet latency in cycles ("sat" once past saturation or
+// stalled). Run with 4 VCs per input port as in the paper.
+func Fig8(s Scale) []*Table {
+	var out []*Table
+	for _, k := range s.MeshSizes {
+		for _, pat := range fig8Patterns() {
+			t := &Table{
+				ID:    "fig8",
+				Title: fmt.Sprintf("Avg packet latency vs injection rate — %dx%d mesh, %s, 4 VCs", k, k, pat),
+			}
+			t.Header = append(t.Header, "rate")
+			schemes := fig8Schemes()
+			for _, sc := range schemes {
+				t.Header = append(t.Header, string(sc))
+			}
+			for _, rate := range s.Rates {
+				row := []any{fmt.Sprintf("%.2f", rate)}
+				for _, sc := range schemes {
+					cfg := synthCfg(sc, k, 4, pat, s.SimCycles)
+					cfg.InjectionRate = rate
+					res, err := seec.RunSynthetic(cfg)
+					row = append(row, latencyCell(res, err))
+				}
+				t.AddRow(row...)
+			}
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// latencyCell renders a latency measurement, marking saturation.
+func latencyCell(res seec.Result, err error) string {
+	if err != nil {
+		return "err"
+	}
+	if res.Stalled {
+		return "stall"
+	}
+	// Past saturation the latency estimate is dominated by queueing at
+	// the NIC and grows without bound with simulated time; the paper's
+	// curves simply shoot up. Flag clearly saturated points.
+	if res.AvgLatency > 2000 {
+		return "sat"
+	}
+	return fmt.Sprintf("%.1f", res.AvgLatency)
+}
+
+// Fig9 regenerates the saturation-throughput bars for bit rotation and
+// transpose on 4x4 and 8x8 meshes with 1, 2 and 4 VCs per input port.
+func Fig9(s Scale) *Table {
+	t := &Table{
+		ID:     "fig9",
+		Title:  "Saturation throughput (packets/node/cycle), latency <= 3x zero-load",
+		Header: []string{"pattern", "mesh", "VCs"},
+	}
+	schemes := []seec.Scheme{seec.SchemeXY, seec.SchemeWestFirst, seec.SchemeSPIN,
+		seec.SchemeSWAP, seec.SchemeDRAIN, seec.SchemeSEEC, seec.SchemeMSEEC}
+	for _, sc := range schemes {
+		t.Header = append(t.Header, string(sc))
+	}
+	sizes := s.MeshSizes
+	if len(sizes) > 2 {
+		sizes = sizes[:2] // Fig. 9 uses 4x4 and 8x8
+	}
+	for _, pat := range []string{"bit_rotation", "transpose"} {
+		for _, k := range sizes {
+			for _, vcs := range []int{1, 2, 4} {
+				row := []any{pat, fmt.Sprintf("%dx%d", k, k), vcs}
+				for _, sc := range schemes {
+					if sc == seec.SchemeEscape && vcs < 2 {
+						row = append(row, "n/a")
+						continue
+					}
+					cfg := synthCfg(sc, k, vcs, pat, s.SatCycles)
+					sat, _, err := seec.SaturationThroughput(cfg)
+					if err != nil {
+						row = append(row, "err")
+						continue
+					}
+					row = append(row, fmt.Sprintf("%.3f", sat))
+				}
+				t.AddRow(row...)
+			}
+		}
+	}
+	t.Notes = append(t.Notes, "SPIN/SWAP/SEEC/mSEEC use fully-adaptive random routing; XY/WF are the turn-model baselines")
+	return t
+}

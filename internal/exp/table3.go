@@ -1,0 +1,66 @@
+package exp
+
+import (
+	"fmt"
+
+	"seec"
+)
+
+// Table3 empirically checks the SEEC-vs-mSEEC bounds of Table 3: seek
+// time (1 to O(m*k^2) for SEEC's embedded ring vs 1 to O(m*k) for
+// mSEEC's per-column corridors) and worst-case deadlock resolution
+// time (O(m*k^4) vs O(m*k^3)), by saturating a k x k mesh under
+// fully-adaptive routing with a single VC (so forward progress depends
+// on the scheme), then measuring seek statistics and the time to drain
+// the wedged network once injection stops.
+func Table3(s Scale) *Table {
+	t := &Table{
+		ID:    "table3",
+		Title: "SEEC vs mSEEC: measured seek time and saturated-drain time (single VC, adaptive routing)",
+		Header: []string{"mesh", "scheme", "avg seek", "max seek",
+			"seek bound", "drain cycles", "drain bound"},
+	}
+	sizes := s.MeshSizes
+	if len(sizes) > 2 {
+		sizes = sizes[:2]
+	}
+	for _, k := range sizes {
+		for _, sc := range []seec.Scheme{seec.SchemeSEEC, seec.SchemeMSEEC} {
+			cfg := synthCfg(sc, k, 1, "uniform_random", s.SimCycles)
+			cfg.InjectionRate = 0.5 // drive deep into saturation: deadlocks form
+			sim, err := seec.NewSim(cfg)
+			if err != nil {
+				t.AddRow(fmt.Sprintf("%dx%d", k, k), string(sc), "err", err.Error(), "", "", "")
+				continue
+			}
+			sim.Run(cfg.Warmup + 3000)
+			sim.Synthetic.Pause()
+			start := sim.Cycle()
+			deadline := start + 5_000_000
+			for !sim.Drained() && sim.Cycle() < deadline {
+				sim.Step()
+			}
+			drain := sim.Cycle() - start
+			var avgSeek float64
+			var maxSeek int64
+			var seekBound, drainBound string
+			if sim.SEEC != nil {
+				avgSeek = sim.SEEC.Stats.AvgSeek()
+				maxSeek = sim.SEEC.Stats.SeekMax
+				seekBound = fmt.Sprintf("O(m*k^2)=%d", k*k)
+				drainBound = fmt.Sprintf("O(m*k^4)=%d", k*k*k*k)
+			} else {
+				avgSeek = sim.MSEEC.Stats.AvgSeek()
+				maxSeek = sim.MSEEC.Stats.SeekMax
+				seekBound = fmt.Sprintf("O(m*k)=%d", k)
+				drainBound = fmt.Sprintf("O(m*k^3)=%d", k*k*k)
+			}
+			t.AddRow(fmt.Sprintf("%dx%d", k, k), string(sc),
+				fmt.Sprintf("%.1f", avgSeek), maxSeek, seekBound, drain, drainBound)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"m=1 message class here; bounds are asymptotic shapes, not equalities",
+		"mSEEC's k parallel seekers give shorter seeks and faster drains; both gaps must widen with k")
+	return t
+}

@@ -1,0 +1,229 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		ID:     "t",
+		Title:  "demo",
+		Header: []string{"a", "longer-column", "c"},
+	}
+	tab.AddRow("x", 1.5, 42)
+	tab.AddRow("yyyy", "z", 0.25)
+	var sb strings.Builder
+	tab.Render(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "demo") || !strings.Contains(out, "longer-column") {
+		t.Fatalf("render missing content:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// Header + 2 rows + title line.
+	if len(lines) < 4 {
+		t.Fatalf("too few lines:\n%s", out)
+	}
+	// Columns align: the second column of each data row starts at the
+	// same offset as in the header.
+	hdr := lines[1]
+	col := strings.Index(hdr, "longer-column")
+	for _, l := range lines[2:4] {
+		if len(l) <= col {
+			t.Fatalf("row shorter than header alignment:\n%s", out)
+		}
+	}
+}
+
+func TestTableCSVEscaping(t *testing.T) {
+	tab := &Table{ID: "t", Header: []string{"a", "b"}}
+	tab.AddRow(`quote"inside`, "comma,inside")
+	var sb strings.Builder
+	tab.CSV(&sb)
+	out := sb.String()
+	if !strings.Contains(out, `"quote""inside"`) {
+		t.Fatalf("quote not escaped: %s", out)
+	}
+	if !strings.Contains(out, `"comma,inside"`) {
+		t.Fatalf("comma not quoted: %s", out)
+	}
+}
+
+func TestScalesAreSane(t *testing.T) {
+	for _, s := range []Scale{Quick(), Full()} {
+		if s.SimCycles < 1000 || len(s.MeshSizes) == 0 || len(s.Rates) < 3 || s.AppTxns < 100 {
+			t.Fatalf("degenerate scale: %+v", s)
+		}
+		for i := 1; i < len(s.Rates); i++ {
+			if s.Rates[i] <= s.Rates[i-1] {
+				t.Fatal("rates must be increasing")
+			}
+		}
+	}
+}
+
+// tinyScale keeps generator smoke tests fast.
+func tinyScale() Scale {
+	return Scale{
+		SimCycles:    1500,
+		MeshSizes:    []int{4},
+		Rates:        []float64{0.05, 0.20},
+		AppTxns:      300,
+		Apps:         []string{"blackscholes"},
+		SatCycles:    1500,
+		MaxAppCycles: 500_000,
+	}
+}
+
+func TestFig7Generator(t *testing.T) {
+	tab := Fig7()
+	if len(tab.Rows) != 5 {
+		t.Fatalf("Fig7 rows = %d want 5 schemes", len(tab.Rows))
+	}
+	// Escape VC is the normalization base: its normalized column is 1.000.
+	for _, row := range tab.Rows {
+		if row[0] == "escape" && row[len(row)-1] != "1.000" {
+			t.Fatalf("escape not normalized to 1: %v", row)
+		}
+	}
+}
+
+func TestFig8Generator(t *testing.T) {
+	tabs := Fig8(tinyScale())
+	if len(tabs) != 4 { // 1 mesh x 4 patterns
+		t.Fatalf("Fig8 tables = %d", len(tabs))
+	}
+	for _, tab := range tabs {
+		if len(tab.Rows) != 2 || len(tab.Header) != 11 {
+			t.Fatalf("Fig8 shape: %dx%d", len(tab.Rows), len(tab.Header))
+		}
+	}
+}
+
+func TestFig10aGenerator(t *testing.T) {
+	tab := Fig10a(tinyScale())
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows %d", len(tab.Rows))
+	}
+}
+
+func TestFig10bGenerator(t *testing.T) {
+	tab := Fig10b(tinyScale())
+	if len(tab.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+}
+
+func TestFig11Generator(t *testing.T) {
+	tab := Fig11(tinyScale())
+	if len(tab.Rows) != 8 {
+		t.Fatalf("rows %d want 8 schemes", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[0] == "west-first" && (row[1] != "1.00" || row[2] != "1.00") {
+			t.Fatalf("west-first must normalize to 1.00: %v", row)
+		}
+	}
+}
+
+func TestFig12Generator(t *testing.T) {
+	tabs := Fig12(tinyScale())
+	if len(tabs) != 2 {
+		t.Fatalf("tables %d", len(tabs))
+	}
+	if len(tabs[0].Header) != 9 { // rate + 8 variants
+		t.Fatalf("header %d", len(tabs[0].Header))
+	}
+}
+
+func TestFig13Generator(t *testing.T) {
+	tabs := Fig13(tinyScale())
+	if len(tabs) != 2 {
+		t.Fatalf("tables %d", len(tabs))
+	}
+}
+
+func TestFig14And15Generators(t *testing.T) {
+	if testing.Short() {
+		t.Skip("application sweeps are slow")
+	}
+	tab := Fig14(tinyScale())
+	if len(tab.Rows) != 2 { // one app x {avg-lat, runtime}
+		t.Fatalf("fig14 rows %d", len(tab.Rows))
+	}
+	tab = Fig15(tinyScale())
+	if len(tab.Rows) != 1 {
+		t.Fatalf("fig15 rows %d", len(tab.Rows))
+	}
+}
+
+func TestTable3Generator(t *testing.T) {
+	tab := Table3(tinyScale())
+	if len(tab.Rows) != 2 { // one mesh x {seec, mseec}
+		t.Fatalf("table3 rows %d", len(tab.Rows))
+	}
+}
+
+// TestTable1SEECAllYes: the paper's Table 1 headline — SEEC (and
+// mSEEC) are the only schemes with every property — must hold
+// empirically.
+func TestTable1SEECAllYes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	tab := Table1(tinyScale())
+	for _, row := range tab.Rows {
+		allYes := true
+		for _, cell := range row[2:] {
+			if cell == "N" {
+				allYes = false
+			}
+		}
+		switch row[0] {
+		case "seec", "mseec":
+			if !allYes {
+				t.Errorf("%s row not all-Y: %v", row[0], row)
+			}
+		case "xy", "west-first", "minbd", "spin":
+			if allYes {
+				t.Errorf("%s row unexpectedly all-Y: %v", row[0], row)
+			}
+		}
+	}
+}
+
+func TestChartRendering(t *testing.T) {
+	tab := &Table{
+		ID:     "fig8",
+		Title:  "demo curve",
+		Header: []string{"rate", "xy", "seec"},
+	}
+	tab.AddRow("0.02", "8.0", "7.5")
+	tab.AddRow("0.10", "120.0", "15.0")
+	tab.AddRow("0.20", "sat", "900.0")
+	var sb strings.Builder
+	tab.Chart(&sb, 10)
+	out := sb.String()
+	if !strings.Contains(out, "x=xy") || !strings.Contains(out, "o=seec") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "x") || !strings.Contains(out, "o") {
+		t.Fatalf("points missing:\n%s", out)
+	}
+	// The top margin row holds the off-scale/maximum points (the
+	// saturated xy sample and seec's 900 share the rightmost cell;
+	// later series overwrite earlier ones there).
+	lines := strings.Split(out, "\n")
+	if !strings.ContainsAny(lines[1], "xo") {
+		t.Fatalf("top row empty:\n%s", out)
+	}
+}
+
+func TestChartDegenerateInput(t *testing.T) {
+	tab := &Table{ID: "fig8", Header: []string{"rate"}}
+	var sb strings.Builder
+	tab.Chart(&sb, 10)
+	if !strings.Contains(sb.String(), "no data") {
+		t.Fatal("degenerate table not handled")
+	}
+}

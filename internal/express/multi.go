@@ -1,0 +1,233 @@
+package express
+
+import (
+	"fmt"
+
+	"seec/internal/noc"
+)
+
+// MSEEC is the multi-seeker extension (§3.8): the mesh's columns are
+// the partitions and its rows the groups. In phase p, step s, the NIC
+// in row p of column c seeks within column (c+s) mod k, so up to k
+// seekers (and k FF packets) are active simultaneously. Vertical FF
+// segments live in distinct columns and can never collide; horizontal
+// segments share the group row, so each FF traversal claims its
+// directed links and a conflicting launch waits for the earlier worm
+// to finish. (The paper's 3x3 example schedule is collision-free as
+// drawn; for k >= 4 the cyclic shift makes some row segments overlap,
+// and this implementation serializes exactly those, preserving the
+// non-intersecting-paths guarantee that Free-Flow requires.)
+type MSEEC struct {
+	engine
+
+	phase int // active group (row)
+	shift int // step: column c's NIC searches column (c+shift) mod Cols
+
+	units []*unit
+
+	// claims maps a directed data link {from,to} to the unit whose FF
+	// worm is using it.
+	claims map[[2]int]*unit
+}
+
+// unit is one column's mini-controller during the active step.
+type unit struct {
+	col    int
+	nicID  int
+	target int // column being searched
+	class  int
+	done   bool
+
+	seeker  *seeker
+	worm    *worm
+	pending *pendingFF
+
+	claimed [][2]int // directed links claimed by the active worm
+}
+
+// pendingFF is a matched (and frozen) packet waiting for its FF
+// corridor links to free.
+type pendingFF struct {
+	sk   *seeker
+	m    match
+	path []int
+}
+
+// NewMSEEC returns the multi-seeker scheme.
+func NewMSEEC(opts Options) *MSEEC {
+	return &MSEEC{engine: engine{opts: opts.withDefaults()}}
+}
+
+// Name implements noc.Scheme.
+func (s *MSEEC) Name() string { return "mseec" }
+
+// Attach implements noc.Scheme.
+func (s *MSEEC) Attach(n *noc.Network) error {
+	s.attach(n)
+	s.claims = make(map[[2]int]*unit)
+	s.units = make([]*unit, n.Cfg.Cols)
+	for c := range s.units {
+		s.units[c] = &unit{col: c}
+	}
+	s.startStep()
+	return nil
+}
+
+// startStep (re)arms every unit for the current (phase, shift).
+func (s *MSEEC) startStep() {
+	for _, u := range s.units {
+		u.nicID = s.n.Cfg.NodeAt(u.col, s.phase)
+		u.target = (u.col + s.shift) % s.n.Cfg.Cols
+		u.class = 0
+		u.done = false
+		u.seeker = nil
+		u.worm = nil
+		u.pending = nil
+	}
+}
+
+// PreRouter implements noc.Scheme.
+func (s *MSEEC) PreRouter(n *noc.Network) {
+	s.proactiveReserve()
+	allDone := true
+	for _, u := range s.units {
+		s.stepUnit(u)
+		if !u.done {
+			allDone = false
+		}
+	}
+	if allDone {
+		s.shift++
+		if s.shift == s.n.Cfg.Cols {
+			s.shift = 0
+			s.phase = (s.phase + 1) % s.n.Cfg.Rows
+		}
+		s.startStep()
+	}
+}
+
+// PostRouter implements noc.Scheme.
+func (s *MSEEC) PostRouter(*noc.Network) {}
+
+// stepUnit advances one column's mini-controller by a cycle.
+func (s *MSEEC) stepUnit(u *unit) {
+	switch {
+	case u.done:
+	case u.worm != nil:
+		if u.worm.step(s.n) {
+			s.releaseClaims(u)
+			u.worm = nil
+			s.nextClass(u)
+		}
+	case u.pending != nil:
+		if s.tryClaim(u, u.pending.path) {
+			u.worm = s.launchWorm(u.pending.sk, u.pending.m, u.pending.path)
+			u.pending = nil
+		}
+	case u.seeker != nil:
+		s.stepSeeker(u)
+	default:
+		s.tryLaunch(u)
+	}
+}
+
+// tryLaunch starts the seeker for the unit's current class, or skips
+// the class when no ejection VC is free.
+func (s *MSEEC) tryLaunch(u *unit) {
+	ej, ok := s.acquireEj(u.nicID, u.class)
+	if !ok {
+		s.nextClass(u)
+		return
+	}
+	walk, searchAt := corridorWalk(&s.n.Cfg, u.col, s.phase, u.target)
+	u.seeker = s.makeSeeker(u.nicID, u.class, ej, walk, searchAt)
+	s.stepSeeker(u)
+}
+
+// stepSeeker advances the unit's seeker one hop.
+func (s *MSEEC) stepSeeker(u *unit) {
+	sk := u.seeker
+	if m, ok := sk.advance(s.n, s.prevOrigin[sk.nic]); ok {
+		u.seeker = nil
+		s.Stats.noteSeekEnd(s.n.Cycle - sk.launch)
+		s.freeze(m)
+		cx, cy := s.n.Cfg.XY(u.nicID)
+		path := ffCorridorPath(&s.n.Cfg, m.router, cx, cy)
+		if s.tryClaim(u, path) {
+			u.worm = s.launchWorm(sk, m, path)
+		} else {
+			u.pending = &pendingFF{sk: sk, m: m, path: path}
+		}
+		return
+	}
+	if sk.done() {
+		s.Stats.noteSeekEnd(s.n.Cycle - sk.launch)
+		u.seeker = nil
+		if m, ok := sk.takeBest(s.n); ok {
+			s.freeze(m)
+			cx, cy := s.n.Cfg.XY(u.nicID)
+			path := ffCorridorPath(&s.n.Cfg, m.router, cx, cy)
+			if s.tryClaim(u, path) {
+				u.worm = s.launchWorm(sk, m, path)
+			} else {
+				u.pending = &pendingFF{sk: sk, m: m, path: path}
+			}
+			return
+		}
+		s.Stats.SeekersReturned++
+		s.unreserveEj(sk.nic, sk.ejIdx)
+		s.nextClass(u)
+	}
+}
+
+// nextClass advances the unit's class rotation; after the last class
+// the unit is done for this step.
+func (s *MSEEC) nextClass(u *unit) {
+	u.class++
+	if u.class >= s.n.Cfg.Classes {
+		u.done = true
+	}
+}
+
+// tryClaim atomically claims every directed link on path for u. It
+// fails without side effects if any link is held by another unit.
+func (s *MSEEC) tryClaim(u *unit, path []int) bool {
+	for i := 0; i+1 < len(path); i++ {
+		l := [2]int{path[i], path[i+1]}
+		if owner, held := s.claims[l]; held && owner != u {
+			return false
+		}
+	}
+	for i := 0; i+1 < len(path); i++ {
+		l := [2]int{path[i], path[i+1]}
+		s.claims[l] = u
+		u.claimed = append(u.claimed, l)
+	}
+	return true
+}
+
+// releaseClaims frees the unit's directed-link claims when its worm
+// completes.
+func (s *MSEEC) releaseClaims(u *unit) {
+	for _, l := range u.claimed {
+		delete(s.claims, l)
+	}
+	u.claimed = u.claimed[:0]
+}
+
+// ActiveWorms returns the number of concurrently traversing FF packets
+// (for tests and the Fig. 10 analysis).
+func (s *MSEEC) ActiveWorms() int {
+	n := 0
+	for _, u := range s.units {
+		if u.worm != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// String summarizes controller state for debugging.
+func (s *MSEEC) String() string {
+	return fmt.Sprintf("mSEEC{phase=%d shift=%d worms=%d}", s.phase, s.shift, s.ActiveWorms())
+}

@@ -1,0 +1,163 @@
+package express
+
+import (
+	"testing"
+
+	"seec/internal/noc"
+	"seec/internal/traffic"
+)
+
+func multiNet(t *testing.T, rows, cols int, rate float64, seed uint64) (*noc.Network, *MSEEC, *traffic.Synthetic) {
+	t.Helper()
+	cfg := noc.DefaultConfig()
+	cfg.Rows, cfg.Cols = rows, cols
+	cfg.Routing = noc.RoutingAdaptiveMin
+	cfg.VCsPerVNet = 1
+	src := traffic.NewSynthetic(rows, cols, traffic.UniformRandom, rate, seed)
+	s := NewMSEEC(Options{})
+	n, err := noc.New(cfg, noc.WithTraffic(src), noc.WithScheme(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, s, src
+}
+
+// TestMSEECPhaseRotation: phases (rows) and steps (shifts) must cycle
+// through the whole topology (§3.8's schedule).
+func TestMSEECPhaseRotation(t *testing.T) {
+	n, s, _ := multiNet(t, 4, 4, 0.0, 101)
+	seenPhase := map[int]bool{}
+	seenShift := map[int]bool{}
+	for i := 0; i < 4000; i++ {
+		n.Step()
+		seenPhase[s.phase] = true
+		seenShift[s.shift] = true
+	}
+	if len(seenPhase) != 4 || len(seenShift) != 4 {
+		t.Fatalf("schedule stuck: %d phases, %d shifts seen", len(seenPhase), len(seenShift))
+	}
+}
+
+// TestMSEECUnitsMatchGroupRow: during any step, every unit's NIC lies
+// in the active group row and its target column differs per unit.
+func TestMSEECUnitsMatchGroupRow(t *testing.T) {
+	n, s, _ := multiNet(t, 4, 4, 0.2, 103)
+	for i := 0; i < 2000; i++ {
+		n.Step()
+		targets := map[int]bool{}
+		for _, u := range s.units {
+			_, y := n.Cfg.XY(u.nicID)
+			if y != s.phase {
+				t.Fatalf("unit NIC %d not in group row %d", u.nicID, s.phase)
+			}
+			if targets[u.target] {
+				t.Fatalf("two units share target column %d", u.target)
+			}
+			targets[u.target] = true
+			if u.target != (u.col+s.shift)%n.Cfg.Cols {
+				t.Fatalf("unit %d target %d does not match shift %d", u.col, u.target, s.shift)
+			}
+		}
+	}
+}
+
+// TestMSEECClaimsAreExclusive: at every cycle, the directed-link claim
+// map must contain each link at most once per owner, and every active
+// worm's remaining links must be claimed by its unit.
+func TestMSEECClaimsAreExclusive(t *testing.T) {
+	n, s, _ := multiNet(t, 4, 4, 0.4, 105)
+	for i := 0; i < 6000; i++ {
+		n.Step()
+		for _, u := range s.units {
+			if u.worm == nil {
+				continue
+			}
+			var buf [][2]int
+			for _, l := range u.worm.Links(buf) {
+				if owner, held := s.claims[l]; !held || owner != u {
+					t.Fatalf("worm link %v not claimed by its unit", l)
+				}
+			}
+		}
+	}
+}
+
+// TestMSEECClaimsReleased: after traffic drains, no claims linger.
+func TestMSEECClaimsReleased(t *testing.T) {
+	n, s, src := multiNet(t, 4, 4, 0.3, 107)
+	n.Run(4000)
+	src.Pause()
+	for i := 0; i < 500000 && !n.Drained(); i++ {
+		n.Step()
+	}
+	if !n.Drained() {
+		t.Fatalf("failed to drain: %d", n.InFlight)
+	}
+	// Let any final worms finish their bookkeeping.
+	n.Run(50)
+	if len(s.claims) != 0 {
+		t.Fatalf("%d directed-link claims leaked", len(s.claims))
+	}
+}
+
+// TestMSEECScalesWithMeshWidth: the post-saturation drain advantage of
+// mSEEC over SEEC must grow with k (Table 3: k simultaneous seekers;
+// §4.3: relative gain grows with topology size).
+func TestMSEECScalesWithMeshWidth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	gain := func(k int) float64 {
+		run := func(multi bool) float64 {
+			cfg := noc.DefaultConfig()
+			cfg.Rows, cfg.Cols = k, k
+			cfg.Routing = noc.RoutingAdaptiveMin
+			cfg.VCsPerVNet = 1
+			src := traffic.NewSynthetic(k, k, traffic.UniformRandom, 0.30, 109)
+			var sch noc.Scheme
+			if multi {
+				sch = NewMSEEC(Options{})
+			} else {
+				sch = NewSEEC(Options{})
+			}
+			n, err := noc.New(cfg, noc.WithTraffic(src), noc.WithScheme(sch))
+			if err != nil {
+				t.Fatal(err)
+			}
+			n.Run(8000)
+			return n.Collector.Throughput(n.Cycle, k*k)
+		}
+		return run(true) / run(false)
+	}
+	g4 := gain(4)
+	g8 := gain(8)
+	if g8 <= 1.0 {
+		t.Fatalf("mSEEC gain at 8x8 is %.2f; must exceed SEEC", g8)
+	}
+	if g8 <= g4*0.8 {
+		t.Fatalf("mSEEC advantage shrank with size: %.2f (4x4) -> %.2f (8x8)", g4, g8)
+	}
+	t.Logf("mSEEC/SEEC post-saturation throughput: 4x4 %.2fx, 8x8 %.2fx", g4, g8)
+}
+
+// TestMSEECNonSquare: partitions/groups work on rectangular meshes.
+func TestMSEECNonSquare(t *testing.T) {
+	cfg := noc.DefaultConfig()
+	cfg.Rows, cfg.Cols = 2, 6
+	cfg.Routing = noc.RoutingAdaptiveMin
+	cfg.VCsPerVNet = 1
+	src := traffic.NewSynthetic(2, 6, traffic.UniformRandom, 0.3, 111)
+	n, err := noc.New(cfg, noc.WithTraffic(src), noc.WithScheme(NewMSEEC(Options{})))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 15000; i++ {
+		n.Step()
+		if n.Stalled(4000) {
+			t.Fatal("non-square mSEEC wedged")
+		}
+	}
+	if n.Collector.ReceivedPackets == 0 {
+		t.Fatal("nothing delivered")
+	}
+}

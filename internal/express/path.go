@@ -1,0 +1,154 @@
+package express
+
+import "seec/internal/noc"
+
+// EmbedRing returns a closed walk over the mesh visiting every router
+// at least once: a serpentine sweep through the rows followed by the
+// shortest walk back to the start. This is the pre-defined seeker path
+// of §3.3 ("a ring through all routers in the NoC"); the walk may
+// revisit routers on the way home, which is harmless because each
+// seeker searches a router only once per circulation.
+func EmbedRing(cfg *noc.Config) []int {
+	var walk []int
+	for y := 0; y < cfg.Rows; y++ {
+		if y%2 == 0 {
+			for x := 0; x < cfg.Cols; x++ {
+				walk = append(walk, cfg.NodeAt(x, y))
+			}
+		} else {
+			for x := cfg.Cols - 1; x >= 0; x-- {
+				walk = append(walk, cfg.NodeAt(x, y))
+			}
+		}
+	}
+	// Return home along a minimal XY walk, excluding the start itself
+	// (the walk is cyclic: the next entry after the last is walk[0]).
+	last := walk[len(walk)-1]
+	home := cfg.MinimalXYPath(last, walk[0])
+	if len(home) > 0 {
+		walk = append(walk, home[:len(home)-1]...)
+	}
+	return walk
+}
+
+// buildRingWalk expands the cyclic ring into the explicit route one
+// seeker follows: launch at the initiator, walk the ring, enable
+// searching once startRouter is reached, keep walking until every
+// router has been searched once, then continue around until back at
+// the initiator. Worst case just under two circulations — the QoS
+// rotation of §3.6 trades a longer walk for fairness.
+func buildRingWalk(ring []int, ringIdx map[int][]int, initiator, startRouter, nodes int) (walk []int, searchAt []bool) {
+	l := len(ring)
+	start := ringIdx[initiator][0]
+	searching := false
+	visited := make(map[int]bool, nodes)
+	for j := 0; ; j++ {
+		r := ring[(start+j)%l]
+		search := false
+		if !searching && r == startRouter {
+			searching = true
+		}
+		if searching && !visited[r] {
+			visited[r] = true
+			search = true
+		}
+		walk = append(walk, r)
+		searchAt = append(searchAt, search)
+		if len(visited) == nodes && r == initiator && j > 0 {
+			return walk, searchAt
+		}
+		if j > 3*l+2 {
+			panic("express: ring walk failed to close (ring does not cover the mesh)")
+		}
+	}
+}
+
+// ringIndex maps router id -> positions in the ring walk.
+func ringIndex(ring []int) map[int][]int {
+	idx := make(map[int][]int, len(ring))
+	for i, r := range ring {
+		idx[r] = append(idx[r], i)
+	}
+	return idx
+}
+
+// ffPath returns the router sequence (origin first, destination last)
+// an FF packet follows. Single-SEEC worms use the XY-minimal path; the
+// one-at-a-time invariant makes collisions impossible (§3.1).
+func ffPath(cfg *noc.Config, from, to int) []int {
+	path := append([]int{from}, cfg.MinimalXYPath(from, to)...)
+	return path
+}
+
+// corridorWalk builds the mSEEC seeker route for a NIC at (cx, cy)
+// assigned to search column tx: along row cy to (tx, cy), then down the
+// column to row 0, then up to the top row, then back the same way.
+// Search is enabled on the first visit to each router of the corridor.
+func corridorWalk(cfg *noc.Config, cx, cy, tx int) (walk []int, searchAt []bool) {
+	var out []int
+	x := cx
+	for x != tx {
+		if tx > x {
+			x++
+		} else {
+			x--
+		}
+		out = append(out, cfg.NodeAt(x, cy))
+	}
+	y := cy
+	for y > 0 {
+		y--
+		out = append(out, cfg.NodeAt(tx, y))
+	}
+	for y < cfg.Rows-1 {
+		y++
+		out = append(out, cfg.NodeAt(tx, y))
+	}
+	// Outbound from the launch router, then retrace home.
+	walk = append(walk, cfg.NodeAt(cx, cy))
+	walk = append(walk, out...)
+	for i := len(out) - 2; i >= 0; i-- {
+		walk = append(walk, out[i])
+	}
+	walk = append(walk, cfg.NodeAt(cx, cy))
+
+	visited := make(map[int]bool, len(walk))
+	searchAt = make([]bool, len(walk))
+	for i, r := range walk {
+		// Only corridor routers (own row segment + target column) are
+		// this seeker's partition; they all lie on the outbound leg.
+		if i <= len(out) && !visited[r] {
+			visited[r] = true
+			searchAt[i] = true
+		}
+	}
+	return walk, searchAt
+}
+
+// ffCorridorPath returns the mSEEC FF path from the match router back
+// to the NIC at (cx, cy): vertically within the searched column tx to
+// row cy, then horizontally along row cy — the reverse of the seeker's
+// corridor, always minimal (Table 3).
+func ffCorridorPath(cfg *noc.Config, matchRouter, cx, cy int) []int {
+	mx, my := cfg.XY(matchRouter)
+	path := []int{matchRouter}
+	y := my
+	for y != cy {
+		if cy > y {
+			y++
+		} else {
+			y--
+		}
+		path = append(path, cfg.NodeAt(mx, y))
+	}
+	x := mx
+	for x != cx {
+		if cx > x {
+			x++
+		} else {
+			x--
+		}
+		path = append(path, cfg.NodeAt(x, cy))
+	}
+	return path
+}

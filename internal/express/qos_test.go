@@ -1,0 +1,103 @@
+package express
+
+import (
+	"testing"
+
+	"seec/internal/noc"
+	"seec/internal/traffic"
+)
+
+// TestOldestFirstResolves: the QoS policy must preserve liveness under
+// the standard deadlock stress.
+func TestOldestFirstResolves(t *testing.T) {
+	for _, mk := range []func() noc.Scheme{
+		func() noc.Scheme { return NewSEEC(Options{OldestFirst: true}) },
+		func() noc.Scheme { return NewMSEEC(Options{OldestFirst: true}) },
+	} {
+		cfg := noc.DefaultConfig()
+		cfg.Rows, cfg.Cols = 4, 4
+		cfg.VCsPerVNet = 1
+		cfg.Routing = noc.RoutingAdaptiveMin
+		src := traffic.NewSynthetic(4, 4, traffic.UniformRandom, 0.4, 201)
+		n, err := noc.New(cfg, noc.WithTraffic(src), noc.WithScheme(mk()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 15000; i++ {
+			n.Step()
+			if n.Stalled(4000) {
+				t.Fatal("oldest-first wedged")
+			}
+		}
+		if n.Collector.FFPackets == 0 {
+			t.Fatal("no FF deliveries under oldest-first")
+		}
+	}
+}
+
+// TestOldestFirstPicksSenior: with two eligible candidates, the seeker
+// must upgrade the older one even though the younger is encountered
+// first on the ring. Both candidates are made immovable by frozen
+// blockers occupying every VC they could advance into.
+func TestOldestFirstPicksSenior(t *testing.T) {
+	cfg := noc.DefaultConfig()
+	cfg.Rows, cfg.Cols = 4, 4
+	cfg.VCsPerVNet = 1
+	cfg.Warmup = 0
+	s := NewSEEC(Options{OldestFirst: true})
+	n, err := noc.New(cfg, noc.WithScheme(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	freeze := func(r, p int, dst int) {
+		n.SeedPacket(r, p, 0, noc.PacketSpec{Dst: dst, Class: 0, Size: 1})
+		n.Routers[r].In[p].VCs[0].FFMode = true // immovable, invisible to seekers
+	}
+	// Candidate A (young) at router 1 heading to node 0: needs West,
+	// i.e. router 0's East VC — blocked.
+	freeze(0, noc.East, 5)
+	young := n.SeedPacket(1, noc.East, 0, noc.PacketSpec{Dst: 0, Class: 0, Size: 1})
+	// Candidate B (old) at router 10 (2,2) heading to node 0: needs
+	// West (router 9's East VC) or South (router 6's North VC) — both
+	// blocked.
+	freeze(9, noc.East, 5)
+	freeze(6, noc.North, 5)
+	old := n.SeedPacket(10, noc.East, 0, noc.PacketSpec{Dst: 0, Class: 0, Size: 1})
+	old.Created = -100 // strictly senior
+	for i := 0; i < 3000; i++ {
+		n.Step()
+		if young.FF || old.FF {
+			break
+		}
+	}
+	if young.FF {
+		t.Fatal("oldest-first upgraded the junior candidate")
+	}
+	if !old.FF {
+		t.Fatal("senior candidate never upgraded")
+	}
+}
+
+// TestOldestFirstTailLatency: at saturation, oldest-first must not
+// worsen the p99 tail versus first-match (the point of the policy).
+func TestOldestFirstTailLatency(t *testing.T) {
+	run := func(oldest bool) int64 {
+		cfg := noc.DefaultConfig()
+		cfg.Rows, cfg.Cols = 4, 4
+		cfg.VCsPerVNet = 2
+		cfg.Routing = noc.RoutingAdaptiveMin
+		src := traffic.NewSynthetic(4, 4, traffic.UniformRandom, 0.30, 203)
+		n, err := noc.New(cfg, noc.WithTraffic(src), noc.WithScheme(NewSEEC(Options{OldestFirst: oldest})))
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.Run(12000)
+		return n.Collector.Latency.Percentile(99)
+	}
+	first := run(false)
+	oldest := run(true)
+	t.Logf("p99: first-match=%d oldest-first=%d", first, oldest)
+	if oldest > first*2 {
+		t.Fatalf("oldest-first doubled the tail: %d vs %d", oldest, first)
+	}
+}

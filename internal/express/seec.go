@@ -1,0 +1,192 @@
+package express
+
+import (
+	"fmt"
+
+	"seec/internal/noc"
+)
+
+// Stats counts SEEC activity for one run (Fig. 10 uses Upgrades).
+type Stats struct {
+	SeekersSent     int64
+	SeekersReturned int64
+	Upgrades        int64 // packets promoted to Free-Flow from router VCs
+	QueueUpgrades   int64 // packets promoted straight from NIC injection queues
+	TurnsSkipped    int64 // (nic, class) turns skipped for lack of a free ejection VC
+
+	// Seek-time accounting for Table 3: cycles from seeker insertion to
+	// match or return.
+	SeekCycles int64
+	SeekMax    int64
+	seekEnds   int64
+}
+
+// AvgSeek returns the mean seek time in cycles.
+func (s *Stats) AvgSeek() float64 {
+	if s.seekEnds == 0 {
+		return 0
+	}
+	return float64(s.SeekCycles) / float64(s.seekEnds)
+}
+
+// noteSeekEnd records one finished seek (match or empty return).
+func (s *Stats) noteSeekEnd(d int64) {
+	s.SeekCycles += d
+	s.seekEnds++
+	if d > s.SeekMax {
+		s.SeekMax = d
+	}
+}
+
+// Options configure the SEEC/mSEEC controllers.
+type Options struct {
+	// NICSearchPeriod is N from §3.7: at least every N cycles a seeker
+	// also searches NIC injection queues, covering the corner case
+	// where the NoC is so full of requests that a response can never
+	// inject. The paper set N to 1M cycles and reports never hitting
+	// the case in its runs; with a single VNet and two VCs under a
+	// coherence protocol the case is in fact routine, so this
+	// implementation defaults to 0 — every seeker searches the
+	// injection queues of the routers it visits (the compare logic is
+	// identical to the input-VC search and the queue head is local to
+	// the visited router's NIC). Set a positive period to reproduce
+	// the paper's rarely-armed variant.
+	NICSearchPeriod int64
+
+	// DisableQoSRotation makes seekers always begin searching at their
+	// own router instead of rotating from the previous FF origin
+	// (§3.3). Ablation knob: with rotation off, routers close to a NIC
+	// on the seeker path win upgrades disproportionately.
+	DisableQoSRotation bool
+
+	// OldestFirst makes a seeker upgrade the most-blocked matching
+	// packet among all it passes instead of the first match. This is
+	// the QoS direction §4.3 points at ("these results point to
+	// potential future work on leveraging SEEC for QoS"): express
+	// bandwidth goes to the packets hurting tail latency most, at the
+	// cost of a full-circulation seek every time.
+	OldestFirst bool
+}
+
+// DefaultOptions returns the library defaults (see NICSearchPeriod).
+func DefaultOptions() Options {
+	return Options{NICSearchPeriod: 0}
+}
+
+func (o Options) withDefaults() Options { return o }
+
+// SEEC is the base (single-seeker) scheme: one (NIC, message class)
+// turn is active at a time, rotating round-robin over all NICs and
+// classes; at most one FF packet exists in the network (§3.2), so FF
+// paths can never collide.
+type SEEC struct {
+	engine
+
+	ring    []int
+	ringIdx map[int][]int
+
+	turnNIC   int
+	turnClass int
+
+	seeker *seeker
+	worm   *worm
+}
+
+// NewSEEC returns the base SEEC scheme.
+func NewSEEC(opts Options) *SEEC {
+	return &SEEC{engine: engine{opts: opts.withDefaults()}}
+}
+
+// Name implements noc.Scheme.
+func (s *SEEC) Name() string { return "seec" }
+
+// Attach implements noc.Scheme.
+func (s *SEEC) Attach(n *noc.Network) error {
+	s.attach(n)
+	s.ring = EmbedRing(&n.Cfg)
+	s.ringIdx = ringIndex(s.ring)
+	return nil
+}
+
+// PreRouter implements noc.Scheme: runs the controller for one cycle.
+// Exactly one of {FF traversal, seeker walk, turn arbitration} is
+// active at a time.
+func (s *SEEC) PreRouter(n *noc.Network) {
+	s.proactiveReserve()
+	switch {
+	case s.worm != nil:
+		if s.worm.step(n) {
+			s.worm = nil
+			s.advanceTurn()
+		}
+	case s.seeker != nil:
+		s.stepSeeker()
+	default:
+		s.tryLaunch()
+	}
+}
+
+// PostRouter implements noc.Scheme.
+func (s *SEEC) PostRouter(*noc.Network) {}
+
+// tryLaunch attempts to start the current turn's seeker; if no
+// ejection VC is free the turn is skipped (§3.3).
+func (s *SEEC) tryLaunch() {
+	ej, ok := s.acquireEj(s.turnNIC, s.turnClass)
+	if !ok {
+		s.advanceTurn()
+		return
+	}
+	prev := s.prevOrigin[s.turnNIC]
+	start := s.turnNIC
+	if prev.router >= 0 && !s.opts.DisableQoSRotation {
+		start = prev.router
+	}
+	walk, searchAt := buildRingWalk(s.ring, s.ringIdx, s.turnNIC, start, s.n.Cfg.Nodes())
+	s.seeker = s.makeSeeker(s.turnNIC, s.turnClass, ej, walk, searchAt)
+	s.stepSeeker() // the launch cycle searches the initiator's router
+}
+
+// stepSeeker advances the active seeker one hop.
+func (s *SEEC) stepSeeker() {
+	sk := s.seeker
+	if m, ok := sk.advance(s.n, s.prevOrigin[sk.nic]); ok {
+		// Seeker dropped; FF traversal begins next cycle, behind the
+		// first lookahead (§3.5).
+		s.seeker = nil
+		s.Stats.noteSeekEnd(s.n.Cycle - sk.launch)
+		s.freeze(m)
+		s.worm = s.launchWorm(sk, m, ffPath(&s.n.Cfg, m.router, m.pkt.Dst))
+		return
+	}
+	if sk.done() {
+		s.Stats.noteSeekEnd(s.n.Cycle - sk.launch)
+		s.seeker = nil
+		if m, ok := sk.takeBest(s.n); ok {
+			// Oldest-first policy: the circulation is complete and the
+			// most senior candidate is still there — upgrade it.
+			s.freeze(m)
+			s.worm = s.launchWorm(sk, m, ffPath(&s.n.Cfg, m.router, m.pkt.Dst))
+			return
+		}
+		s.Stats.SeekersReturned++
+		s.unreserveEj(sk.nic, sk.ejIdx)
+		s.advanceTurn()
+	}
+}
+
+// advanceTurn rotates to the next message class, then the next NIC
+// (§3.3 round-robin).
+func (s *SEEC) advanceTurn() {
+	s.turnClass++
+	if s.turnClass == s.n.Cfg.Classes {
+		s.turnClass = 0
+		s.turnNIC = (s.turnNIC + 1) % s.n.Cfg.Nodes()
+	}
+}
+
+// String summarizes controller state for debugging.
+func (s *SEEC) String() string {
+	return fmt.Sprintf("SEEC{turn=(%d,%d) seeker=%v worm=%v}",
+		s.turnNIC, s.turnClass, s.seeker != nil, s.worm != nil)
+}

@@ -1,0 +1,153 @@
+package noc
+
+import "fmt"
+
+// CheckInvariants audits the whole network's flow-control bookkeeping
+// and returns an error describing the first violation found. It is a
+// test/debug facility meant to be called between cycles (after Step
+// returns); every scheme — including the ones that move packets
+// outside the pipeline (SPIN, SWAP, DRAIN, Free-Flow) — must keep
+// these invariants or credits would leak and buffers would eventually
+// corrupt silently.
+//
+// Invariants per (sender mirror, receiver VC) pair:
+//
+//	credits: mirror.Credits + buffered flits + in-flight flit
+//	         + credits staged on the credit link == VCDepth
+//	busy:    mirror.Busy  <=>  the receiver VC is owned (Active), or a
+//	         flit is in flight toward it, or its free signal is staged,
+//	         or an upstream packet holds an unspent allocation to it,
+//	         or (ejection VCs) it holds/reserves a packet.
+func (n *Network) CheckInvariants() error {
+	for _, r := range n.Routers {
+		for d := North; d <= West; d++ {
+			out := r.Out[d]
+			if out == nil {
+				continue
+			}
+			nb := n.Routers[out.DownRouter]
+			in := nb.In[Opposite(d)]
+			for v := range out.VCs {
+				if err := n.checkPair(&out.VCs[v], r, out, in, v); err != nil {
+					return fmt.Errorf("router %d port %s vc %d: %w", r.ID, DirName(d), v, err)
+				}
+			}
+		}
+		// Local input port: the NIC is the sender.
+		nic := n.NICs[r.ID]
+		in := r.In[Local]
+		for v := range nic.LocalMirror {
+			if err := n.checkNICInject(nic, in, v); err != nil {
+				return fmt.Errorf("nic %d inject vc %d: %w", r.ID, v, err)
+			}
+		}
+		// Local output port: the NIC ejection VCs are the receivers.
+		for v := range r.Out[Local].VCs {
+			if err := n.checkEject(r, nic, v); err != nil {
+				return fmt.Errorf("router %d eject vc %d: %w", r.ID, v, err)
+			}
+		}
+	}
+	return nil
+}
+
+// linkHolds reports whether the data link has a staged flit for vc.
+func linkHolds(l *DataLink, vc int) int {
+	if l != nil && l.busy && l.pending.vc == vc {
+		return 1
+	}
+	return 0
+}
+
+// stagedCredits sums staged credit counts for vc and reports whether a
+// free signal is staged.
+func stagedCredits(l *CreditLink, vc int) (count int, free bool) {
+	if l == nil {
+		return 0, false
+	}
+	for _, c := range l.pending {
+		if c.VC == vc {
+			count += c.Count
+			if c.Free {
+				free = true
+			}
+		}
+	}
+	return count, free
+}
+
+// allocatedUpstream reports whether any input VC of router r holds an
+// allocation (granted, tail not yet sent) to (outPort, outVC).
+func allocatedUpstream(r *Router, outPort, outVC int) bool {
+	for p := 0; p < NumPorts; p++ {
+		in := r.In[p]
+		if in == nil {
+			continue
+		}
+		for _, vc := range in.VCs {
+			if vc.State == VCActive && vc.OutPort == outPort && vc.OutVC == outVC {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkPair audits one router-to-router mirror/VC pair.
+func (n *Network) checkPair(m *OutVC, sender *Router, out *OutputPort, in *InputPort, v int) error {
+	vc := in.VCs[v]
+	inflight := linkHolds(out.Link, v)
+	staged, free := stagedCredits(in.CreditOut, v)
+	total := m.Credits + vc.Len() + inflight + staged
+	if total != n.Cfg.VCDepth {
+		return fmt.Errorf("credit leak: mirror=%d buffered=%d inflight=%d staged=%d, want sum %d",
+			m.Credits, vc.Len(), inflight, staged, n.Cfg.VCDepth)
+	}
+	owned := vc.State == VCActive || inflight > 0 || free || allocatedUpstream(sender, out.Dir, v)
+	if m.Busy != owned {
+		return fmt.Errorf("busy mismatch: mirror=%v but owned=%v (state=%d inflight=%d free=%v)",
+			m.Busy, owned, vc.State, inflight, free)
+	}
+	return nil
+}
+
+// checkNICInject audits one NIC-to-router local input pair.
+func (n *Network) checkNICInject(nic *NIC, in *InputPort, v int) error {
+	m := &nic.LocalMirror[v]
+	vc := in.VCs[v]
+	inflight := linkHolds(nic.InjLink, v)
+	staged, free := stagedCredits(in.CreditOut, v)
+	total := m.Credits + vc.Len() + inflight + staged
+	if total != n.Cfg.VCDepth {
+		return fmt.Errorf("credit leak: mirror=%d buffered=%d inflight=%d staged=%d, want sum %d",
+			m.Credits, vc.Len(), inflight, staged, n.Cfg.VCDepth)
+	}
+	streaming := nic.cur != nil && nic.curVC == v
+	owned := vc.State == VCActive || inflight > 0 || free || streaming
+	if m.Busy != owned {
+		return fmt.Errorf("busy mismatch: mirror=%v but owned=%v", m.Busy, owned)
+	}
+	return nil
+}
+
+// checkEject audits one router-to-NIC ejection pair. FF deposits skip
+// credits entirely, so only credited flits participate in the credit
+// identity.
+func (n *Network) checkEject(r *Router, nic *NIC, v int) error {
+	out := r.Out[Local]
+	m := &out.VCs[v]
+	ej := nic.Ej[v]
+	inflight := linkHolds(out.Link, v)
+	staged, free := stagedCredits(nic.EjCreditOut, v)
+	total := m.Credits + ej.creditsUsed + inflight + staged
+	if total != n.Cfg.EjectDepth() {
+		return fmt.Errorf("credit leak: mirror=%d credited=%d inflight=%d staged=%d, want sum %d",
+			m.Credits, ej.creditsUsed, inflight, staged, n.Cfg.EjectDepth())
+	}
+	owned := ej.Pkt != nil || ej.Reserved || inflight > 0 || free || allocatedUpstream(r, Local, v)
+	if m.Busy != owned {
+		return fmt.Errorf("busy mismatch: mirror=%v but owned=%v (pkt=%v reserved=%v)",
+			m.Busy, owned, ej.Pkt, ej.Reserved)
+	}
+	return nil
+}

@@ -1,0 +1,250 @@
+// Package noc implements a cycle-accurate network-on-chip simulator at
+// the abstraction level of gem5's Garnet2.0 standalone model: k-ary
+// 2-mesh topology, per-input-port virtual channels, virtual cut-through
+// (or wormhole) buffer management with credit-based flow control,
+// combined one-cycle router pipelines (RC+VA+SA+ST) and one-cycle links.
+//
+// The simulator is deliberately deadlock-capable: with fully-adaptive
+// minimal routing and no protection scheme, cyclic VC dependences form
+// and the network genuinely wedges. Deadlock-freedom schemes (SEEC,
+// SPIN, SWAP, DRAIN, escape VCs, turn models) plug in through the
+// Scheme and VAPolicy interfaces and must actually prevent or break
+// those deadlocks.
+package noc
+
+import "fmt"
+
+// Port direction indices. Every router has five ports.
+const (
+	Local = iota // to/from the attached network interface (NIC)
+	North        // +y
+	East         // +x
+	South        // -y
+	West         // -x
+	NumPorts
+)
+
+// DirName returns a short human-readable name for a port index.
+func DirName(d int) string {
+	switch d {
+	case Local:
+		return "L"
+	case North:
+		return "N"
+	case East:
+		return "E"
+	case South:
+		return "S"
+	case West:
+		return "W"
+	}
+	return fmt.Sprintf("?%d", d)
+}
+
+// Opposite returns the port on the neighboring router that a link from
+// port d arrives at (North<->South, East<->West).
+func Opposite(d int) int {
+	switch d {
+	case North:
+		return South
+	case South:
+		return North
+	case East:
+		return West
+	case West:
+		return East
+	}
+	panic("noc: Opposite of non-cardinal port " + DirName(d))
+}
+
+// RoutingKind selects the routing algorithm for regular (non-escape)
+// virtual channels.
+type RoutingKind int
+
+const (
+	// RoutingXY is dimension-ordered X-then-Y routing (deadlock-free).
+	RoutingXY RoutingKind = iota
+	// RoutingYX is dimension-ordered Y-then-X routing (deadlock-free).
+	RoutingYX
+	// RoutingWestFirst is the west-first turn model: all west hops are
+	// taken first, then minimal adaptive routing among the remaining
+	// productive directions (deadlock-free).
+	RoutingWestFirst
+	// RoutingObliviousMin picks uniformly at random among the minimal
+	// productive directions at every hop (deadlock-PRONE).
+	RoutingObliviousMin
+	// RoutingAdaptiveMin orders the minimal productive directions by
+	// the number of free VCs at the downstream router, breaking ties
+	// randomly (deadlock-PRONE).
+	RoutingAdaptiveMin
+)
+
+// String implements fmt.Stringer.
+func (k RoutingKind) String() string {
+	switch k {
+	case RoutingXY:
+		return "xy"
+	case RoutingYX:
+		return "yx"
+	case RoutingWestFirst:
+		return "west-first"
+	case RoutingObliviousMin:
+		return "oblivious-min"
+	case RoutingAdaptiveMin:
+		return "adaptive-min"
+	}
+	return fmt.Sprintf("routing(%d)", int(k))
+}
+
+// BufferMgmt selects how buffers and links are allocated to packets.
+type BufferMgmt int
+
+const (
+	// VCT is virtual cut-through: a head flit may only allocate an Idle
+	// downstream VC whose depth can hold the whole packet (Table 4 of
+	// the paper: "Virtual Cut Through, Single packet per VC").
+	VCT BufferMgmt = iota
+	// Wormhole allows VC depth smaller than the packet; a head flit
+	// still requires an Idle downstream VC (single packet per VC, the
+	// constraint adaptive routing imposes on wormhole, §3.11), but
+	// flits then flow on per-flit credits.
+	Wormhole
+)
+
+// Config describes one simulated network. The zero value is not valid;
+// call Defaults (or start from DefaultConfig) and adjust.
+type Config struct {
+	Rows, Cols int // mesh dimensions
+
+	// Classes is the number of protocol message classes (e.g. 6 for
+	// MOESI Hammer). Every class always has its own ejection VCs at the
+	// NIC (the paper's system assumption, §3.3).
+	Classes int
+
+	// VNets is the number of virtual networks inside the NoC. It must
+	// be either Classes (partitioned baselines: a packet of class c may
+	// only use VCs of vnet c) or 1 (SEEC/DRAIN: all classes share one
+	// set of VCs).
+	VNets int
+
+	// VCsPerVNet is the number of VCs per virtual network at each
+	// router input port. Total VCs per input port = VNets * VCsPerVNet.
+	VCsPerVNet int
+
+	// VCDepth is the flit capacity of each VC. For VCT it must be at
+	// least MaxPacketSize.
+	VCDepth int
+
+	// MaxPacketSize is the largest packet, in flits.
+	MaxPacketSize int
+
+	// EjectVCsPerClass is the number of ejection VCs per message class
+	// at each NIC.
+	EjectVCsPerClass int
+
+	// Routing selects the algorithm used in regular VCs.
+	Routing RoutingKind
+
+	// Buffering selects VCT or wormhole management.
+	Buffering BufferMgmt
+
+	// InjQueueCap bounds each per-class injection queue at the NIC
+	// (packets). 0 means unbounded (synthetic traffic). Coherence
+	// traffic uses a bound so protocol deadlock is genuinely possible.
+	InjQueueCap int
+
+	// Seed fixes the PRNG for the run.
+	Seed uint64
+
+	// Warmup is the number of cycles excluded from statistics.
+	Warmup int64
+
+	// FlitBits is the data link width (Table 4: 128 bits/cycle); used
+	// by the energy model.
+	FlitBits int
+}
+
+// DefaultConfig mirrors Table 4 of the paper for synthetic traffic on
+// an 8x8 mesh: 1-cycle routers, VCT single-packet-per-VC, mixed 1- and
+// 5-flit packets, 128-bit links, 1000-cycle warmup.
+func DefaultConfig() Config {
+	return Config{
+		Rows: 8, Cols: 8,
+		Classes:          1,
+		VNets:            1,
+		VCsPerVNet:       4,
+		VCDepth:          5,
+		MaxPacketSize:    5,
+		EjectVCsPerClass: 4,
+		Routing:          RoutingAdaptiveMin,
+		Buffering:        VCT,
+		Seed:             1,
+		Warmup:           1000,
+		FlitBits:         128,
+	}
+}
+
+// Nodes returns the number of routers/NICs in the mesh.
+func (c *Config) Nodes() int { return c.Rows * c.Cols }
+
+// EjectDepth returns the flit capacity of each NIC ejection VC. NICs
+// reassemble whole packets before handing them to the protocol, so the
+// ejection buffers always hold a full packet even in wormhole mode
+// where router VCs are shallower.
+func (c *Config) EjectDepth() int {
+	if c.VCDepth > c.MaxPacketSize {
+		return c.VCDepth
+	}
+	return c.MaxPacketSize
+}
+
+// TotalVCs returns the number of VCs per router input port.
+func (c *Config) TotalVCs() int { return c.VNets * c.VCsPerVNet }
+
+// VNetOf maps a message class to its virtual network.
+func (c *Config) VNetOf(class int) int {
+	if c.VNets == 1 {
+		return 0
+	}
+	return class
+}
+
+// VCRange returns the half-open VC index range [lo, hi) usable by the
+// given message class at router input ports.
+func (c *Config) VCRange(class int) (lo, hi int) {
+	v := c.VNetOf(class)
+	return v * c.VCsPerVNet, (v + 1) * c.VCsPerVNet
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if c.Rows < 2 || c.Cols < 2 {
+		return fmt.Errorf("noc: mesh must be at least 2x2, got %dx%d", c.Rows, c.Cols)
+	}
+	if c.Classes < 1 {
+		return fmt.Errorf("noc: need at least one message class")
+	}
+	if c.VNets != 1 && c.VNets != c.Classes {
+		return fmt.Errorf("noc: VNets must be 1 or Classes (%d), got %d", c.Classes, c.VNets)
+	}
+	if c.VCsPerVNet < 1 {
+		return fmt.Errorf("noc: need at least one VC per vnet")
+	}
+	if c.MaxPacketSize < 1 {
+		return fmt.Errorf("noc: MaxPacketSize must be positive")
+	}
+	if c.VCDepth < 1 {
+		return fmt.Errorf("noc: VCDepth must be positive")
+	}
+	if c.Buffering == VCT && c.VCDepth < c.MaxPacketSize {
+		return fmt.Errorf("noc: VCT requires VCDepth >= MaxPacketSize (%d < %d)",
+			c.VCDepth, c.MaxPacketSize)
+	}
+	if c.EjectVCsPerClass < 1 {
+		return fmt.Errorf("noc: need at least one ejection VC per class")
+	}
+	if c.FlitBits < 1 {
+		return fmt.Errorf("noc: FlitBits must be positive")
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package noc
+
+// linkPayload is what travels on a data link for one cycle: a flit plus
+// the downstream VC it was allocated to.
+type linkPayload struct {
+	flit Flit
+	vc   int
+}
+
+// DataLink is a unidirectional one-cycle link. A payload written during
+// phase B of cycle t is delivered (via the sink closure) during phase A
+// of cycle t+1. At most one flit may be sent per cycle; a second send in
+// the same cycle is a simulator bug and panics.
+type DataLink struct {
+	Name    string
+	pending linkPayload
+	busy    bool
+	sink    func(Flit, int)
+}
+
+// NewDataLink returns a link delivering into sink.
+func NewDataLink(name string, sink func(f Flit, vc int)) *DataLink {
+	return &DataLink{Name: name, sink: sink}
+}
+
+// Send stages a flit for delivery next cycle.
+func (l *DataLink) Send(f Flit, vc int) {
+	if l.busy {
+		panic("noc: two flits on link " + l.Name + " in one cycle")
+	}
+	l.pending = linkPayload{flit: f, vc: vc}
+	l.busy = true
+}
+
+// Busy reports whether a flit was already sent this cycle.
+func (l *DataLink) Busy() bool { return l.busy }
+
+// deliver flushes the staged flit into the sink (phase A).
+func (l *DataLink) deliver() {
+	if !l.busy {
+		return
+	}
+	p := l.pending
+	l.pending = linkPayload{}
+	l.busy = false
+	l.sink(p.flit, p.vc)
+}
+
+// Credit is a flow-control token returned upstream: Count buffer slots
+// freed in VC, with Free set when the tail departed and the VC returned
+// to Idle.
+type Credit struct {
+	VC    int
+	Count int
+	Free  bool
+}
+
+// CreditLink is a unidirectional one-cycle credit channel. Unlike data
+// links, several credits may be staged per cycle (e.g. multiple ejection
+// VCs consumed by a NIC in the same cycle).
+type CreditLink struct {
+	pending []Credit
+	apply   func(Credit)
+}
+
+// NewCreditLink returns a credit link applying credits via apply.
+func NewCreditLink(apply func(Credit)) *CreditLink {
+	return &CreditLink{apply: apply}
+}
+
+// Send stages a credit for delivery next cycle. Count may be zero when
+// only the Free signal matters (e.g. consuming a packet that arrived via
+// Free-Flow, which never consumed credits).
+func (l *CreditLink) Send(c Credit) {
+	l.pending = append(l.pending, c)
+}
+
+// deliver flushes staged credits (phase A).
+func (l *CreditLink) deliver() {
+	for _, c := range l.pending {
+		l.apply(c)
+	}
+	l.pending = l.pending[:0]
+}

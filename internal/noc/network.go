@@ -1,0 +1,269 @@
+package noc
+
+import (
+	"fmt"
+
+	"seec/internal/energy"
+	"seec/internal/rng"
+	"seec/internal/stats"
+)
+
+// TrafficSource drives and drains the network. Synthetic generators
+// produce open-loop Bernoulli traffic; the coherence engine produces
+// closed-loop, protocol-dependent traffic.
+type TrafficSource interface {
+	// Generate returns the packets node should enqueue this cycle. The
+	// returned slice is only valid until the next call.
+	Generate(cycle int64, node int) []PacketSpec
+	// Deliver offers a fully ejected packet to the sink. Returning
+	// false leaves the packet in its ejection VC (backpressure); the
+	// NIC retries every cycle.
+	Deliver(cycle int64, pkt *Packet) bool
+}
+
+// Scheme is a deadlock-freedom / flow-control mechanism layered on the
+// base credit-flow router. Hooks run inside Network.Step.
+type Scheme interface {
+	Name() string
+	// Attach wires the scheme to the network before the first cycle.
+	Attach(n *Network) error
+	// PreRouter runs after link delivery and traffic generation but
+	// before NIC injection and router pipelines. Free-Flow movement,
+	// SPIN spins, SWAP swaps and DRAIN drains happen here.
+	PreRouter(n *Network)
+	// PostRouter runs after NIC consumption, closing the cycle.
+	PostRouter(n *Network)
+}
+
+// Network is one simulated mesh NoC.
+type Network struct {
+	Cfg     Config
+	Cycle   int64
+	Routers []*Router
+	NICs    []*NIC
+
+	Rng       *rng.Rand
+	Traffic   TrafficSource
+	Scheme    Scheme
+	VA        VAPolicy
+	Collector *stats.Collector
+	Energy    *energy.Meter
+
+	// InFlight counts packets enqueued but not yet consumed.
+	InFlight int
+
+	// Frozen suspends NIC injection and router pipelines (links and
+	// consumption keep running). DRAIN freezes the network during its
+	// synchronous ring rotations.
+	Frozen bool
+
+	dataLinks    []*DataLink
+	creditLinks  []*CreditLink
+	lastProgress int64
+	nextPktID    uint64
+	specScratch  []PacketSpec
+}
+
+// Option mutates a Network during construction (before Attach).
+type Option func(*Network)
+
+// WithVA substitutes the VC-allocation policy.
+func WithVA(p VAPolicy) Option { return func(n *Network) { n.VA = p } }
+
+// WithScheme installs a deadlock-freedom scheme.
+func WithScheme(s Scheme) Option { return func(n *Network) { n.Scheme = s } }
+
+// WithTraffic installs the traffic source.
+func WithTraffic(t TrafficSource) Option { return func(n *Network) { n.Traffic = t } }
+
+// New builds a mesh network from cfg.
+func New(cfg Config, opts ...Option) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{
+		Cfg:       cfg,
+		Rng:       rng.New(cfg.Seed),
+		VA:        DefaultVA{Kind: cfg.Routing},
+		Collector: stats.NewCollector(cfg.Warmup),
+		Energy:    energy.NewMeter(cfg.FlitBits),
+	}
+	nodes := cfg.Nodes()
+	nvcs := cfg.TotalVCs()
+	n.Routers = make([]*Router, nodes)
+	n.NICs = make([]*NIC, nodes)
+
+	for id := 0; id < nodes; id++ {
+		x, y := cfg.XY(id)
+		r := &Router{ID: id, X: x, Y: y, Net: n}
+		n.Routers[id] = r
+	}
+	// Create ports. Every router has local ports; cardinal ports exist
+	// only where the mesh has a neighbor.
+	for id, r := range n.Routers {
+		for d := 0; d < NumPorts; d++ {
+			if d != Local && cfg.Neighbor(id, d) < 0 {
+				continue
+			}
+			in := &InputPort{Router: r, Dir: d, VCs: make([]*VC, nvcs)}
+			for v := range in.VCs {
+				in.VCs[v] = NewVC(v, cfg.VCDepth)
+			}
+			r.In[d] = in
+			nOut := nvcs
+			down := -1
+			if d == Local {
+				nOut = cfg.Classes * cfg.EjectVCsPerClass
+			} else {
+				down = cfg.Neighbor(id, d)
+			}
+			out := &OutputPort{Router: r, Dir: d, DownRouter: down, VCs: make([]OutVC, nOut)}
+			depth := cfg.VCDepth
+			if d == Local {
+				depth = cfg.EjectDepth()
+			}
+			for v := range out.VCs {
+				out.VCs[v].Credits = depth
+			}
+			r.Out[d] = out
+		}
+	}
+	// Wire router-to-router links and credit channels.
+	for id, r := range n.Routers {
+		for d := North; d <= West; d++ {
+			nb := cfg.Neighbor(id, d)
+			if nb < 0 {
+				continue
+			}
+			peer := n.Routers[nb].In[Opposite(d)]
+			out := r.Out[d]
+			out.Link = NewDataLink(fmt.Sprintf("r%d.%s->r%d", id, DirName(d), nb), peer.receiveFlit)
+			peer.CreditOut = NewCreditLink(out.applyCredit)
+			n.dataLinks = append(n.dataLinks, out.Link)
+			n.creditLinks = append(n.creditLinks, peer.CreditOut)
+		}
+	}
+	// Create NICs and wire local ports.
+	for id, r := range n.Routers {
+		nic := &NIC{
+			Node:        id,
+			Net:         n,
+			Queues:      make([][]*Packet, cfg.Classes),
+			LocalMirror: make([]OutVC, nvcs),
+			Ej:          make([]*EjVC, cfg.Classes*cfg.EjectVCsPerClass),
+		}
+		for v := range nic.LocalMirror {
+			nic.LocalMirror[v].Credits = cfg.VCDepth
+		}
+		for i := range nic.Ej {
+			nic.Ej[i] = &EjVC{Class: i / cfg.EjectVCsPerClass}
+		}
+		nic.InjLink = NewDataLink(fmt.Sprintf("nic%d->r%d", id, id), r.In[Local].receiveFlit)
+		r.In[Local].CreditOut = NewCreditLink(nic.applyCredit)
+		r.Out[Local].Link = NewDataLink(fmt.Sprintf("r%d->nic%d", id, id), nic.receiveEject)
+		nic.EjCreditOut = NewCreditLink(r.Out[Local].applyCredit)
+		n.dataLinks = append(n.dataLinks, nic.InjLink, r.Out[Local].Link)
+		n.creditLinks = append(n.creditLinks, r.In[Local].CreditOut, nic.EjCreditOut)
+		n.NICs[id] = nic
+	}
+
+	for _, o := range opts {
+		o(n)
+	}
+	if n.Scheme != nil {
+		if err := n.Scheme.Attach(n); err != nil {
+			return nil, err
+		}
+	}
+	return n, nil
+}
+
+// Step advances the simulation by one cycle.
+func (n *Network) Step() {
+	n.Cycle++
+	// Phase A: deliver everything staged in the previous cycle.
+	for _, l := range n.dataLinks {
+		l.deliver()
+	}
+	for _, l := range n.creditLinks {
+		l.deliver()
+	}
+	// Traffic generation.
+	if n.Traffic != nil {
+		for node := range n.NICs {
+			for _, spec := range n.Traffic.Generate(n.Cycle, node) {
+				n.NICs[node].Enqueue(spec)
+			}
+		}
+	}
+	// Phase B: scheme, injection, router pipelines, consumption.
+	for _, r := range n.Routers {
+		for _, o := range r.Out {
+			if o != nil {
+				o.FFReserved = false
+			}
+		}
+	}
+	if n.Scheme != nil {
+		n.Scheme.PreRouter(n)
+	}
+	if !n.Frozen {
+		for _, nic := range n.NICs {
+			nic.inject()
+		}
+		for _, r := range n.Routers {
+			r.step()
+		}
+	}
+	for _, nic := range n.NICs {
+		nic.consume()
+	}
+	if n.Scheme != nil {
+		n.Scheme.PostRouter(n)
+	}
+	n.Energy.Tick()
+}
+
+// Run advances the simulation by cycles steps.
+func (n *Network) Run(cycles int64) {
+	for i := int64(0); i < cycles; i++ {
+		n.Step()
+	}
+}
+
+// noteProgress records that some flit made forward progress this cycle;
+// the deadlock watchdog keys off it.
+func (n *Network) noteProgress() { n.lastProgress = n.Cycle }
+
+// NoteProgress is the exported form of the progress signal, for scheme
+// implementations that move flits outside the regular pipeline
+// (Free-Flow worms, SPIN spins, SWAP swaps, DRAIN drains).
+func (n *Network) NoteProgress() { n.lastProgress = n.Cycle }
+
+// LastProgress returns the last cycle in which any flit moved or was
+// consumed.
+func (n *Network) LastProgress() int64 { return n.lastProgress }
+
+// Stalled reports whether the network holds traffic but nothing has
+// moved for at least window cycles — the observable symptom of deadlock
+// (or of total livelock).
+func (n *Network) Stalled(window int64) bool {
+	return n.InFlight > 0 && n.Cycle-n.lastProgress >= window
+}
+
+// Drained reports whether no packets remain anywhere in the system.
+func (n *Network) Drained() bool { return n.InFlight == 0 }
+
+// Nodes returns the number of network endpoints.
+func (n *Network) Nodes() int { return n.Cfg.Nodes() }
+
+// FreeVCsAt counts idle VCs at router id's input port dir within the
+// class range — exported for scheme implementations and tests.
+func (n *Network) FreeVCsAt(id, dir, class int) int {
+	in := n.Routers[id].In[dir]
+	if in == nil {
+		return 0
+	}
+	lo, hi := n.Cfg.VCRange(class)
+	return in.FreeVCs(lo, hi)
+}

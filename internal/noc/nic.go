@@ -1,0 +1,241 @@
+package noc
+
+import "seec/internal/stats"
+
+// EjVC is one ejection virtual channel at a NIC. The paper's system
+// assumption (§3.3): the NIC has per-message-class ejection VCs even
+// when the network itself runs a single unified VC pool.
+type EjVC struct {
+	Class int
+	Pkt   *Packet // packet currently occupying the VC (head arrived)
+	Flits int     // flits of Pkt received so far
+
+	// Reserved marks a SEEC reservation: the express controller has
+	// claimed this VC for a future FF packet. The router-side mirror is
+	// marked Busy at the same time, so regular VA cannot allocate it.
+	Reserved bool
+
+	// creditsUsed counts flits that consumed router-side credits
+	// (normal ejection). FF deliveries bypass credits entirely.
+	creditsUsed int
+}
+
+// Complete reports whether a whole packet is buffered and consumable.
+func (e *EjVC) Complete() bool { return e.Pkt != nil && e.Flits == e.Pkt.Size }
+
+// NIC is a network interface: per-class injection queues feeding the
+// router's local input port, and per-class ejection VCs fed by the
+// router's local output port.
+type NIC struct {
+	Node int
+	Net  *Network
+
+	// Queues holds not-yet-injected packets, one FIFO per message class.
+	Queues [][]*Packet
+
+	classPtr int     // round-robin pointer over classes for injection
+	cur      *Packet // packet currently streaming into the router
+	curFlit  int
+	curVC    int
+
+	// LocalMirror tracks the state of the router's local input VCs
+	// (the NIC is the "upstream" of that port).
+	LocalMirror []OutVC
+
+	InjLink     *DataLink   // NIC -> router local input port
+	EjCreditOut *CreditLink // NIC -> router local output port (ejection credits)
+
+	Ej []*EjVC // ejection VCs, class-major: Ej[class*E+i]
+}
+
+// EjIndex returns the index in Ej of ejection VC i of the given class.
+func (n *NIC) EjIndex(class, i int) int {
+	return class*n.Net.Cfg.EjectVCsPerClass + i
+}
+
+// CanEnqueue reports whether the class's injection queue has room.
+func (n *NIC) CanEnqueue(class int) bool {
+	cap := n.Net.Cfg.InjQueueCap
+	return cap == 0 || len(n.Queues[class]) < cap
+}
+
+// QueuedPackets returns the injection queue for a class. The express
+// seeker inspects these every N cycles (§3.7 corner case). Callers must
+// not mutate the slice.
+func (n *NIC) QueuedPackets(class int) []*Packet { return n.Queues[class] }
+
+// RemoveQueued removes the i-th queued packet of a class (a seeker
+// upgraded it straight out of the injection buffer).
+func (n *NIC) RemoveQueued(class, i int) *Packet {
+	q := n.Queues[class]
+	p := q[i]
+	copy(q[i:], q[i+1:])
+	n.Queues[class] = q[:len(q)-1]
+	return p
+}
+
+// Enqueue creates a packet from spec and queues it for injection.
+func (n *NIC) Enqueue(spec PacketSpec) *Packet {
+	cfg := &n.Net.Cfg
+	if spec.Size < 1 || spec.Size > cfg.MaxPacketSize {
+		panic("noc: packet size out of range")
+	}
+	if spec.Class < 0 || spec.Class >= cfg.Classes {
+		panic("noc: packet class out of range")
+	}
+	if spec.Dst < 0 || spec.Dst >= cfg.Nodes() {
+		panic("noc: packet destination out of range")
+	}
+	n.Net.nextPktID++
+	p := &Packet{
+		ID:      n.Net.nextPktID,
+		Src:     n.Node,
+		Dst:     spec.Dst,
+		Class:   spec.Class,
+		Size:    spec.Size,
+		Created: n.Net.Cycle,
+		MinHops: cfg.MinHops(n.Node, spec.Dst),
+		Tag:     spec.Tag,
+	}
+	n.Queues[spec.Class] = append(n.Queues[spec.Class], p)
+	n.Net.InFlight++
+	n.Net.Collector.NoteInjected(p.Created, p.Size)
+	return p
+}
+
+// inject advances the injection side by one cycle: at most one flit
+// crosses the NIC->router link. A new packet is started only when a
+// local input VC can be allocated (credit flow control from the very
+// first hop); classes are served round-robin at packet boundaries, and
+// a class whose head cannot get a VC this cycle does not block the
+// others.
+func (n *NIC) inject() {
+	if n.cur == nil {
+		n.pickNext()
+	}
+	if n.cur == nil {
+		return
+	}
+	m := &n.LocalMirror[n.curVC]
+	if m.Credits <= 0 || n.InjLink.Busy() {
+		return
+	}
+	f := Flit{Pkt: n.cur, Seq: n.curFlit}
+	m.Credits--
+	n.InjLink.Send(f, n.curVC)
+	n.Net.noteProgress()
+	if f.IsHead() {
+		n.cur.Injected = n.Net.Cycle
+	}
+	n.curFlit++
+	if n.curFlit == n.cur.Size {
+		n.cur = nil
+		n.curFlit = 0
+	}
+}
+
+// pickNext selects the next packet to inject: round-robin over classes,
+// first packet of the chosen queue, requires a free local input VC.
+func (n *NIC) pickNext() {
+	classes := len(n.Queues)
+	for k := 0; k < classes; k++ {
+		c := (n.classPtr + k) % classes
+		q := n.Queues[c]
+		if len(q) == 0 {
+			continue
+		}
+		pkt := q[0]
+		v, ok := n.Net.VA.SelectInject(n.Net.Routers[n.Node], n.LocalMirror, pkt)
+		if !ok {
+			continue
+		}
+		copy(q, q[1:])
+		n.Queues[c] = q[:len(q)-1]
+		n.LocalMirror[v].Busy = true
+		n.cur = pkt
+		n.curFlit = 0
+		n.curVC = v
+		n.classPtr = c + 1
+		return
+	}
+}
+
+// applyCredit is the sink for credits returned by the router's local
+// input port.
+func (n *NIC) applyCredit(c Credit) {
+	m := &n.LocalMirror[c.VC]
+	m.Credits += c.Count
+	if c.Free {
+		m.Busy = false
+	}
+}
+
+// receiveEject is the data-link sink for the router's local output
+// port: a flit arriving at an ejection VC through regular (credited)
+// ejection.
+func (n *NIC) receiveEject(f Flit, vcID int) {
+	n.deposit(f, vcID, true)
+}
+
+// ReceiveFF deposits a Free-Flow flit directly into the (reserved)
+// ejection VC. FF flits never consumed router-side credits, so none are
+// returned for them at consumption time.
+func (n *NIC) ReceiveFF(f Flit, vcID int) {
+	n.deposit(f, vcID, false)
+}
+
+func (n *NIC) deposit(f Flit, vcID int, credited bool) {
+	ej := n.Ej[vcID]
+	if f.IsHead() {
+		if ej.Pkt != nil {
+			panic("noc: ejection VC collision (two packets in one ejection VC)")
+		}
+		ej.Pkt = f.Pkt
+		ej.Flits = 0
+		ej.creditsUsed = 0
+	}
+	if ej.Pkt != f.Pkt {
+		panic("noc: interleaved flits of different packets in one ejection VC")
+	}
+	ej.Flits++
+	if credited {
+		ej.creditsUsed++
+	}
+	n.Net.Energy.BufferWrites++
+	if f.IsTail() {
+		p := f.Pkt
+		n.Net.Collector.Record(stats.PacketRecord{
+			Created:    p.Created,
+			Injected:   p.Injected,
+			Received:   n.Net.Cycle,
+			Hops:       p.Hops,
+			MinHops:    p.MinHops,
+			Flits:      p.Size,
+			Class:      p.Class,
+			FF:         p.FF,
+			FFUpgraded: p.FFCycle,
+		})
+	}
+}
+
+// consume tries to hand every complete ejected packet to the traffic
+// sink. Terminating message classes always accept (the consumption
+// assumption, §3.7); protocol-dependent sinks may refuse and the packet
+// then keeps its ejection VC, providing real protocol backpressure.
+func (n *NIC) consume() {
+	for id, ej := range n.Ej {
+		if !ej.Complete() {
+			continue
+		}
+		if n.Net.Traffic != nil && !n.Net.Traffic.Deliver(n.Net.Cycle, ej.Pkt) {
+			continue
+		}
+		n.EjCreditOut.Send(Credit{VC: id, Count: ej.creditsUsed, Free: true})
+		ej.Pkt = nil
+		ej.Flits = 0
+		ej.creditsUsed = 0
+		ej.Reserved = false
+		n.Net.InFlight--
+		n.Net.noteProgress()
+	}
+}

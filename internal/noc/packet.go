@@ -1,0 +1,80 @@
+package noc
+
+import "fmt"
+
+// Packet is the unit of routing and VC allocation. Packets are broken
+// into flits to match link bandwidth (one flit per link per cycle).
+type Packet struct {
+	ID    uint64
+	Src   int // source node
+	Dst   int // destination node
+	Class int // protocol message class
+	Size  int // length in flits
+
+	Created  int64 // cycle the packet entered the source NIC queue
+	Injected int64 // cycle the head flit left the NIC into the router
+
+	Hops    int // hops traversed so far (incremented on head arrival)
+	MinHops int // Manhattan distance src->dst
+
+	// Free-Flow state (managed by the express package).
+	FF        bool  // packet has been upgraded to Free-Flow
+	FFCycle   int64 // cycle of upgrade
+	FFDropped bool  // internal: packet fully handed to the FF engine
+
+	// Tag is opaque storage for traffic generators (e.g. the coherence
+	// engine stores transaction pointers here).
+	Tag any
+}
+
+// String implements fmt.Stringer.
+func (p *Packet) String() string {
+	ff := ""
+	if p.FF {
+		ff = " FF"
+	}
+	return fmt.Sprintf("pkt#%d %d->%d class=%d size=%d%s", p.ID, p.Src, p.Dst, p.Class, p.Size, ff)
+}
+
+// Flit is one link-width slice of a packet. Seq 0 is the head; Seq ==
+// Size-1 is the tail. Single-flit packets are simultaneously head and
+// tail.
+type Flit struct {
+	Pkt *Packet
+	Seq int
+}
+
+// IsHead reports whether f is the packet's head flit.
+func (f Flit) IsHead() bool { return f.Seq == 0 }
+
+// IsTail reports whether f is the packet's tail flit.
+func (f Flit) IsTail() bool { return f.Pkt != nil && f.Seq == f.Pkt.Size-1 }
+
+// Valid reports whether the flit carries a packet.
+func (f Flit) Valid() bool { return f.Pkt != nil }
+
+// String implements fmt.Stringer.
+func (f Flit) String() string {
+	if f.Pkt == nil {
+		return "flit<nil>"
+	}
+	kind := "B"
+	switch {
+	case f.IsHead() && f.IsTail():
+		kind = "HT"
+	case f.IsHead():
+		kind = "H"
+	case f.IsTail():
+		kind = "T"
+	}
+	return fmt.Sprintf("%s[%s]", f.Pkt, kind)
+}
+
+// PacketSpec describes a packet a traffic source wants to enqueue at a
+// NIC.
+type PacketSpec struct {
+	Dst   int
+	Class int
+	Size  int
+	Tag   any
+}

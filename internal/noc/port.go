@@ -1,0 +1,88 @@
+package noc
+
+// OutVC mirrors the state of one downstream virtual channel, as tracked
+// by the upstream sender (credit-based flow control, §2.1). Busy means
+// the downstream VC is allocated to a packet; Credits counts free flit
+// slots.
+type OutVC struct {
+	Busy    bool
+	Credits int
+}
+
+// InputPort is one router input: a set of VCs plus the credit channel
+// back to the upstream sender.
+type InputPort struct {
+	Router *Router
+	Dir    int
+	VCs    []*VC
+	// CreditOut returns credits to whoever feeds this port (the
+	// neighboring router's output port, or the local NIC).
+	CreditOut *CreditLink
+
+	saPtr int // round-robin pointer for SA stage 1
+}
+
+// FreeVCs counts Idle VCs in the half-open index range [lo, hi).
+func (p *InputPort) FreeVCs(lo, hi int) int {
+	n := 0
+	for i := lo; i < hi && i < len(p.VCs); i++ {
+		if p.VCs[i].State == VCIdle {
+			n++
+		}
+	}
+	return n
+}
+
+// receiveFlit is the data-link sink for this port: buffer write plus VC
+// activation on head arrival.
+func (p *InputPort) receiveFlit(f Flit, vcID int) {
+	vc := p.VCs[vcID]
+	if f.IsHead() {
+		vc.Activate(f.Pkt, p.Router.Net.Cycle)
+	}
+	vc.Push(f)
+	p.Router.Net.Energy.BufferWrites++
+}
+
+// OutputPort is one router output: the data link to the downstream
+// input port (or NIC ejection), and the credit-tracked mirror of the
+// downstream VC states.
+type OutputPort struct {
+	Router *Router
+	Dir    int
+	Link   *DataLink
+	VCs    []OutVC
+
+	// DownRouter is the id of the router this port feeds, or -1 when
+	// the port feeds the local NIC.
+	DownRouter int
+
+	// FFReserved marks that the Free-Flow engine owns this port's link
+	// for the current cycle (lookahead semantics); regular SA must not
+	// grant it. Cleared at the start of every cycle.
+	FFReserved bool
+
+	saPtr int // round-robin pointer for SA stage 2 (over input ports)
+}
+
+// FreeDownVCs counts non-busy downstream VCs in [lo, hi), the quantity
+// adaptive routing consults ("number of free VCs at the downstream
+// routers", §4.1).
+func (o *OutputPort) FreeDownVCs(lo, hi int) int {
+	n := 0
+	for i := lo; i < hi && i < len(o.VCs); i++ {
+		if !o.VCs[i].Busy {
+			n++
+		}
+	}
+	return n
+}
+
+// applyCredit is the credit-link sink for this port.
+func (o *OutputPort) applyCredit(c Credit) {
+	vc := &o.VCs[c.VC]
+	vc.Credits += c.Count
+	if c.Free {
+		vc.Busy = false
+	}
+}

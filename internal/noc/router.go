@@ -1,0 +1,183 @@
+package noc
+
+// Assign is a VC-allocation decision: which output port and which
+// downstream VC a head packet gets.
+type Assign struct {
+	OutPort int
+	OutVC   int
+}
+
+// VAPolicy decides VC allocation. The default policy implements plain
+// credit flow control over the configured routing algorithm; the escape
+// VC scheme substitutes its own policy (adaptive in normal VCs,
+// west-first in the per-class escape VC).
+type VAPolicy interface {
+	// Select chooses an output port and downstream VC for the packet
+	// heading vc at input port in of router r, or reports that nothing
+	// is available this cycle.
+	Select(r *Router, in *InputPort, vc *VC) (Assign, bool)
+	// SelectInject picks a VC at router r's local input port for a new
+	// packet at the NIC, given the NIC's mirror of those VCs.
+	SelectInject(r *Router, mirror []OutVC, pkt *Packet) (int, bool)
+}
+
+// DefaultVA is the standard allocation policy: try the routing
+// algorithm's candidate ports in order; within a port take the first
+// Idle downstream VC in the packet's class range.
+type DefaultVA struct {
+	Kind RoutingKind
+}
+
+// Select implements VAPolicy.
+func (d DefaultVA) Select(r *Router, in *InputPort, vc *VC) (Assign, bool) {
+	var dirs [2]int
+	for _, port := range r.RouteCandidates(d.Kind, vc.Pkt, dirs[:0]) {
+		out := r.Out[port]
+		lo, hi := r.EligibleOutVCs(port, vc.Pkt.Class)
+		for ov := lo; ov < hi; ov++ {
+			if !out.VCs[ov].Busy {
+				return Assign{OutPort: port, OutVC: ov}, true
+			}
+		}
+	}
+	return Assign{}, false
+}
+
+// SelectInject implements VAPolicy.
+func (d DefaultVA) SelectInject(r *Router, mirror []OutVC, pkt *Packet) (int, bool) {
+	lo, hi := r.Net.Cfg.VCRange(pkt.Class)
+	for v := lo; v < hi; v++ {
+		if !mirror[v].Busy {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// Router is a five-port, one-cycle-pipeline mesh router (combined
+// RC+VA+SA+ST, Table 4: "Router Latency 1-cycle").
+type Router struct {
+	ID   int
+	X, Y int
+	Net  *Network
+
+	In  [NumPorts]*InputPort  // nil where the mesh has no neighbor
+	Out [NumPorts]*OutputPort // nil where the mesh has no neighbor
+
+	vaPtr int // rotating fairness pointer over (port, vc) pairs for VA
+}
+
+// EligibleOutVCs returns the downstream VC index range a packet of the
+// given class may allocate at output port `port`: the per-class
+// ejection VCs for the local port, the class's vnet range otherwise.
+func (r *Router) EligibleOutVCs(port, class int) (lo, hi int) {
+	if port == Local {
+		e := r.Net.Cfg.EjectVCsPerClass
+		return class * e, (class + 1) * e
+	}
+	return r.Net.Cfg.VCRange(class)
+}
+
+// step runs the router for one cycle: VC allocation, then switch
+// allocation and traversal.
+func (r *Router) step() {
+	r.va()
+	r.sa()
+}
+
+// va performs VC allocation for every head packet that does not yet
+// hold a downstream VC. Input VCs are visited in a rotating order so no
+// (port, vc) pair is structurally favored. Allocations take effect
+// immediately (mirror marked Busy), so two heads can never win the same
+// downstream VC in one cycle.
+func (r *Router) va() {
+	nvcs := r.Net.Cfg.TotalVCs()
+	total := NumPorts * nvcs
+	for k := 0; k < total; k++ {
+		idx := (r.vaPtr + k) % total
+		in := r.In[idx/nvcs]
+		if in == nil {
+			continue
+		}
+		vc := in.VCs[idx%nvcs]
+		if vc.State != VCActive || vc.FFMode || vc.OutVC >= 0 ||
+			vc.Empty() || !vc.Front().IsHead() {
+			continue
+		}
+		if a, ok := r.Net.VA.Select(r, in, vc); ok {
+			vc.OutPort = a.OutPort
+			vc.OutVC = a.OutVC
+			r.Out[a.OutPort].VCs[a.OutVC].Busy = true
+		}
+	}
+	r.vaPtr++
+}
+
+// sa is a two-stage separable switch allocator: stage 1 picks one
+// requesting VC per input port (round-robin), stage 2 picks one input
+// port per output port (round-robin), then winners traverse the switch.
+func (r *Router) sa() {
+	var reqs [NumPorts]*VC
+	for p := 0; p < NumPorts; p++ {
+		in := r.In[p]
+		if in == nil {
+			continue
+		}
+		n := len(in.VCs)
+		for k := 0; k < n; k++ {
+			vc := in.VCs[(in.saPtr+k)%n]
+			if vc.State != VCActive || vc.FFMode || vc.Empty() || vc.OutVC < 0 {
+				continue
+			}
+			out := r.Out[vc.OutPort]
+			if out.FFReserved || out.Link.Busy() || out.VCs[vc.OutVC].Credits <= 0 {
+				continue
+			}
+			reqs[p] = vc
+			break
+		}
+	}
+	for o := 0; o < NumPorts; o++ {
+		out := r.Out[o]
+		if out == nil || out.FFReserved || out.Link.Busy() {
+			continue
+		}
+		for k := 0; k < NumPorts; k++ {
+			p := (out.saPtr + k) % NumPorts
+			vc := reqs[p]
+			if vc == nil || vc.OutPort != o {
+				continue
+			}
+			r.sendFlit(r.In[p], vc)
+			out.saPtr = p + 1
+			r.In[p].saPtr = vc.ID + 1
+			reqs[p] = nil
+			break
+		}
+	}
+}
+
+// sendFlit moves the front flit of vc across the switch onto its output
+// link, returns a credit upstream, and releases the VC on tail
+// departure.
+func (r *Router) sendFlit(in *InputPort, vc *VC) {
+	out := r.Out[vc.OutPort]
+	f := vc.Pop()
+	out.VCs[vc.OutVC].Credits--
+	out.Link.Send(f, vc.OutVC)
+	vc.LastMove = r.Net.Cycle
+	r.Net.Energy.BufferReads++
+	if out.Dir != Local {
+		r.Net.Energy.AddDataHop()
+		if f.IsHead() {
+			f.Pkt.Hops++
+		}
+	}
+	r.Net.noteProgress()
+	if in.CreditOut != nil {
+		in.CreditOut.Send(Credit{VC: vc.ID, Count: 1, Free: f.IsTail()})
+	}
+	if f.IsTail() {
+		vc.Release()
+	}
+}

@@ -1,0 +1,208 @@
+package noc
+
+import "testing"
+
+// pipeNet is a quiet 4x4 network for pipeline micro-tests.
+func pipeNet(t *testing.T, vcs int) *Network {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Rows, cfg.Cols = 4, 4
+	cfg.VCsPerVNet = vcs
+	cfg.Routing = RoutingXY
+	cfg.Warmup = 0
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestVAAllocatesIdleVCOnly: a head may only be granted an Idle
+// downstream VC (single packet per VC); with the lone eligible VC
+// seeded busy, allocation must fail until it frees.
+func TestVAAllocatesIdleVCOnly(t *testing.T) {
+	n := pipeNet(t, 1)
+	// Seed a parked packet in router 1's West inport VC 0 (the VC that
+	// router 0's East output feeds) destined far away but frozen.
+	blocker := n.SeedPacket(1, West, 0, PacketSpec{Dst: 3, Class: 0, Size: 5})
+	n.Routers[1].In[West].VCs[0].FFMode = true // freeze it in place
+	// A packet at router 0 wants to go east through that VC.
+	n.SeedPacket(0, North, 0, PacketSpec{Dst: 3, Class: 0, Size: 1})
+	n.Run(20)
+	vc := n.Routers[0].In[North].VCs[0]
+	if vc.State != VCActive || vc.OutVC >= 0 {
+		t.Fatalf("head was allocated a busy downstream VC (state=%d outvc=%d)", vc.State, vc.OutVC)
+	}
+	// Unfreeze: the blocker drains and the waiter proceeds.
+	n.Routers[1].In[West].VCs[0].FFMode = false
+	_ = blocker
+	for i := 0; i < 200 && !n.Drained(); i++ {
+		n.Step()
+	}
+	if !n.Drained() {
+		t.Fatal("packets never drained after unblocking")
+	}
+}
+
+// TestSAOneFlitPerOutputPort: two inputs contending for one output
+// port send at most one flit per cycle on its link.
+func TestSAOneFlitPerOutputPort(t *testing.T) {
+	n := pipeNet(t, 2)
+	// Two packets at router 5 (1,1), both needing East: one from West
+	// inport, one from South inport, destined to 7 (3,1).
+	n.SeedPacket(5, West, 0, PacketSpec{Dst: 7, Class: 0, Size: 3})
+	n.SeedPacket(5, South, 0, PacketSpec{Dst: 7, Class: 0, Size: 3})
+	// DataLink.Send panics on double-send; surviving the run is the
+	// assertion. Both must still be delivered.
+	for i := 0; i < 200 && !n.Drained(); i++ {
+		n.Step()
+	}
+	if !n.Drained() {
+		t.Fatal("contending packets not delivered")
+	}
+	if n.Collector.ReceivedPackets != 2 {
+		t.Fatalf("received %d", n.Collector.ReceivedPackets)
+	}
+}
+
+// TestSARoundRobinFairness: under sustained two-way contention for an
+// output port, grants alternate — neither input port starves.
+func TestSARoundRobinFairness(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Rows, cfg.Cols = 4, 4
+	cfg.Routing = RoutingXY
+	cfg.Warmup = 0
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two streams contend for router 5's East port: node 4's traffic
+	// passing through (row 1 under XY) and node 5's locally injected
+	// traffic, both headed to node 7.
+	for i := 0; i < 30; i++ {
+		n.NICs[4].Enqueue(PacketSpec{Dst: 7, Class: 0, Size: 1})
+		n.NICs[5].Enqueue(PacketSpec{Dst: 7, Class: 0, Size: 1})
+	}
+	for i := 0; i < 3000 && !n.Drained(); i++ {
+		n.Step()
+	}
+	if !n.Drained() {
+		t.Fatal("contention streams not drained")
+	}
+	if n.Collector.ReceivedPackets != 60 {
+		t.Fatalf("received %d of 60", n.Collector.ReceivedPackets)
+	}
+	// Fairness shows as bounded worst-case latency: with round-robin,
+	// neither stream waits more than ~2x the other's service.
+	if max := n.Collector.MaxLatency(); max > 300 {
+		t.Fatalf("max latency %d suggests starvation", max)
+	}
+}
+
+// TestBodyFlitsFollowHeadVC: all flits of a packet accumulate in the
+// same downstream VC in order (VCT property). The destination's
+// ejection VCs are blocked so the packet must park whole at the last
+// hop where it can be observed (a 1-cycle router otherwise forwards
+// each flit the same cycle it arrives).
+func TestBodyFlitsFollowHeadVC(t *testing.T) {
+	n := pipeNet(t, 4)
+	// Block every ejection VC of class 0 at node 1.
+	for i := 0; i < n.Cfg.EjectVCsPerClass; i++ {
+		idx := n.NICs[1].EjIndex(0, i)
+		n.NICs[1].Ej[idx].Reserved = true
+		n.Routers[1].Out[Local].VCs[idx].Busy = true
+	}
+	n.SeedPacket(0, Local, 2, PacketSpec{Dst: 1, Class: 0, Size: 5})
+	n.Run(30)
+	var vc *VC
+	for _, cand := range n.Routers[1].In[West].VCs {
+		if cand.State == VCActive {
+			if vc != nil {
+				t.Fatal("packet spread over two VCs")
+			}
+			vc = cand
+		}
+	}
+	if vc == nil || !vc.HasWholePacket() {
+		t.Fatal("packet not parked whole at the blocked hop")
+	}
+	for i := 0; i < vc.Len(); i++ {
+		if vc.At(i).Seq != i {
+			t.Fatalf("flit order broken at %d", i)
+		}
+	}
+	// Unblock and drain.
+	for i := 0; i < n.Cfg.EjectVCsPerClass; i++ {
+		idx := n.NICs[1].EjIndex(0, i)
+		n.NICs[1].Ej[idx].Reserved = false
+		n.Routers[1].Out[Local].VCs[idx].Busy = false
+	}
+	for i := 0; i < 100 && !n.Drained(); i++ {
+		n.Step()
+	}
+	if !n.Drained() {
+		t.Fatal("did not drain after unblocking ejection")
+	}
+}
+
+// TestEligibleOutVCsLocalPort: ejection eligibility is per class.
+func TestEligibleOutVCsLocalPort(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Rows, cfg.Cols = 4, 4
+	cfg.Classes = 3
+	cfg.VNets = 3
+	cfg.VCsPerVNet = 1
+	cfg.EjectVCsPerClass = 2
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := n.Routers[0]
+	for class := 0; class < 3; class++ {
+		lo, hi := r.EligibleOutVCs(Local, class)
+		if lo != class*2 || hi != class*2+2 {
+			t.Fatalf("class %d ejection range [%d,%d)", class, lo, hi)
+		}
+	}
+	lo, hi := r.EligibleOutVCs(East, 1)
+	if lo != 1 || hi != 2 {
+		t.Fatalf("class 1 network range [%d,%d)", lo, hi)
+	}
+}
+
+// reservingScheme reserves one output port every cycle, standing in
+// for an FF lookahead.
+type reservingScheme struct{ router, port int }
+
+func (r *reservingScheme) Name() string          { return "reserver" }
+func (r *reservingScheme) Attach(*Network) error { return nil }
+func (r *reservingScheme) PostRouter(*Network)   {}
+func (r *reservingScheme) PreRouter(n *Network)  { n.Routers[r.router].Out[r.port].FFReserved = true }
+
+// TestFFReservedBlocksSA: a port reserved by the FF engine (every
+// cycle, via the scheme hook like a real lookahead) must never carry a
+// regular flit, and traffic flows again once reservations stop.
+func TestFFReservedBlocksSA(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Rows, cfg.Cols = 4, 4
+	cfg.Routing = RoutingXY
+	cfg.Warmup = 0
+	res := &reservingScheme{router: 0, port: East}
+	n, err := New(cfg, WithScheme(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SeedPacket(0, North, 0, PacketSpec{Dst: 3, Class: 0, Size: 1})
+	n.Run(30)
+	if n.Drained() {
+		t.Fatal("packet crossed a permanently reserved port")
+	}
+	// Disable the reservation by retargeting a port nobody uses.
+	res.router, res.port = 15, Local
+	for i := 0; i < 50 && !n.Drained(); i++ {
+		n.Step()
+	}
+	if !n.Drained() {
+		t.Fatal("packet stuck after reservations stopped")
+	}
+}

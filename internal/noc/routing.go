@@ -1,0 +1,182 @@
+package noc
+
+// Coordinates and distance helpers. Node/router ids are row-major:
+// id = y*Cols + x, with x growing East and y growing North.
+
+// XY returns the mesh coordinates of a node id.
+func (c *Config) XY(id int) (x, y int) { return id % c.Cols, id / c.Cols }
+
+// NodeAt returns the node id at mesh coordinates (x, y).
+func (c *Config) NodeAt(x, y int) int { return y*c.Cols + x }
+
+// MinHops returns the Manhattan distance between two nodes.
+func (c *Config) MinHops(a, b int) int {
+	ax, ay := c.XY(a)
+	bx, by := c.XY(b)
+	return abs(ax-bx) + abs(ay-by)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Neighbor returns the node id one hop from id in direction d, or -1 at
+// a mesh edge. d must be a cardinal port.
+func (c *Config) Neighbor(id, d int) int {
+	x, y := c.XY(id)
+	switch d {
+	case North:
+		y++
+	case South:
+		y--
+	case East:
+		x++
+	case West:
+		x--
+	default:
+		panic("noc: Neighbor of non-cardinal port")
+	}
+	if x < 0 || x >= c.Cols || y < 0 || y >= c.Rows {
+		return -1
+	}
+	return c.NodeAt(x, y)
+}
+
+// productiveDirs appends the minimal productive directions from the
+// router toward dst (or Local when already there).
+func (r *Router) productiveDirs(dst int, buf []int) []int {
+	dx, dy := r.Net.Cfg.XY(dst)
+	if dx == r.X && dy == r.Y {
+		return append(buf, Local)
+	}
+	if dx > r.X {
+		buf = append(buf, East)
+	} else if dx < r.X {
+		buf = append(buf, West)
+	}
+	if dy > r.Y {
+		buf = append(buf, North)
+	} else if dy < r.Y {
+		buf = append(buf, South)
+	}
+	return buf
+}
+
+// RouteCandidates appends the output ports the routing algorithm allows
+// for pkt at this router, in preference order. All algorithms here are
+// minimal; the subactive baselines misroute through scheme hooks, not
+// through routing.
+func (r *Router) RouteCandidates(kind RoutingKind, pkt *Packet, buf []int) []int {
+	cfg := &r.Net.Cfg
+	dx, dy := cfg.XY(pkt.Dst)
+	if dx == r.X && dy == r.Y {
+		return append(buf, Local)
+	}
+	switch kind {
+	case RoutingXY:
+		if dx > r.X {
+			return append(buf, East)
+		}
+		if dx < r.X {
+			return append(buf, West)
+		}
+		if dy > r.Y {
+			return append(buf, North)
+		}
+		return append(buf, South)
+	case RoutingYX:
+		if dy > r.Y {
+			return append(buf, North)
+		}
+		if dy < r.Y {
+			return append(buf, South)
+		}
+		if dx > r.X {
+			return append(buf, East)
+		}
+		return append(buf, West)
+	case RoutingWestFirst:
+		// All west hops must be taken first; afterwards the remaining
+		// productive directions (E/N/S) may be used adaptively.
+		if dx < r.X {
+			return append(buf, West)
+		}
+		buf = r.productiveDirs(pkt.Dst, buf)
+		return r.orderAdaptive(pkt, buf)
+	case RoutingObliviousMin:
+		buf = r.productiveDirs(pkt.Dst, buf)
+		if len(buf) == 2 && r.Net.Rng.Bool(0.5) {
+			buf[0], buf[1] = buf[1], buf[0]
+		}
+		return buf
+	case RoutingAdaptiveMin:
+		buf = r.productiveDirs(pkt.Dst, buf)
+		return r.orderAdaptive(pkt, buf)
+	}
+	panic("noc: unknown routing kind")
+}
+
+// orderAdaptive orders candidate ports by descending free downstream VC
+// count (within the packet's class range), breaking ties randomly.
+// Minimal meshes offer at most two productive directions, so this is a
+// single comparison.
+func (r *Router) orderAdaptive(pkt *Packet, dirs []int) []int {
+	if len(dirs) < 2 {
+		return dirs
+	}
+	lo, hi := r.Net.Cfg.VCRange(pkt.Class)
+	f0 := r.Out[dirs[0]].FreeDownVCs(lo, hi)
+	f1 := r.Out[dirs[1]].FreeDownVCs(lo, hi)
+	if f1 > f0 || (f0 == f1 && r.Net.Rng.Bool(0.5)) {
+		dirs[0], dirs[1] = dirs[1], dirs[0]
+	}
+	return dirs
+}
+
+// MinimalXYPath returns the sequence of router ids on the XY-minimal
+// path from src to dst, excluding src and including dst. The Free-Flow
+// engine uses it as the default express path (§3.1: FF packets traverse
+// a minimal route).
+func (c *Config) MinimalXYPath(src, dst int) []int {
+	var path []int
+	x, y := c.XY(src)
+	dx, dy := c.XY(dst)
+	for x != dx {
+		if dx > x {
+			x++
+		} else {
+			x--
+		}
+		path = append(path, c.NodeAt(x, y))
+	}
+	for y != dy {
+		if dy > y {
+			y++
+		} else {
+			y--
+		}
+		path = append(path, c.NodeAt(x, y))
+	}
+	return path
+}
+
+// DirTowards returns the port direction of the link from router a to
+// adjacent router b. It panics if a and b are not adjacent.
+func (c *Config) DirTowards(a, b int) int {
+	ax, ay := c.XY(a)
+	bx, by := c.XY(b)
+	switch {
+	case bx == ax+1 && by == ay:
+		return East
+	case bx == ax-1 && by == ay:
+		return West
+	case bx == ax && by == ay+1:
+		return North
+	case bx == ax && by == ay-1:
+		return South
+	}
+	panic("noc: DirTowards of non-adjacent routers")
+}

@@ -1,0 +1,244 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"seec/internal/rng"
+)
+
+// testNet builds a bare network (no traffic) for routing-property
+// checks.
+func propNet(t *testing.T, rows, cols int) *Network {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Rows, cfg.Cols = rows, cols
+	n, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestNeighborSymmetry(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Rows, cfg.Cols = 5, 7
+	for id := 0; id < cfg.Nodes(); id++ {
+		for d := North; d <= West; d++ {
+			nb := cfg.Neighbor(id, d)
+			if nb < 0 {
+				continue
+			}
+			if back := cfg.Neighbor(nb, Opposite(d)); back != id {
+				t.Fatalf("neighbor(%d,%s)=%d but reverse gives %d", id, DirName(d), nb, back)
+			}
+			if cfg.DirTowards(id, nb) != d {
+				t.Fatalf("DirTowards disagrees with Neighbor at %d->%d", id, nb)
+			}
+		}
+	}
+}
+
+func TestMinHopsTriangle(t *testing.T) {
+	cfg := DefaultConfig()
+	prop := func(a, b, c uint8) bool {
+		x, y, z := int(a)%cfg.Nodes(), int(b)%cfg.Nodes(), int(c)%cfg.Nodes()
+		return cfg.MinHops(x, z) <= cfg.MinHops(x, y)+cfg.MinHops(y, z) &&
+			cfg.MinHops(x, y) == cfg.MinHops(y, x) &&
+			cfg.MinHops(x, x) == 0
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinimalXYPathProperty(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Rows, cfg.Cols = 6, 9
+	prop := func(a, b uint8) bool {
+		src, dst := int(a)%cfg.Nodes(), int(b)%cfg.Nodes()
+		path := cfg.MinimalXYPath(src, dst)
+		if len(path) != cfg.MinHops(src, dst) {
+			return false
+		}
+		prev := src
+		for _, r := range path {
+			if cfg.MinHops(prev, r) != 1 {
+				return false
+			}
+			prev = r
+		}
+		return len(path) == 0 || path[len(path)-1] == dst
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRouteCandidatesProductive: every candidate from every algorithm
+// must reduce the distance to the destination (minimal routing) or be
+// Local exactly at the destination.
+func TestRouteCandidatesProductive(t *testing.T) {
+	n := propNet(t, 6, 6)
+	kinds := []RoutingKind{RoutingXY, RoutingYX, RoutingWestFirst, RoutingObliviousMin, RoutingAdaptiveMin}
+	for _, kind := range kinds {
+		for id := 0; id < n.Cfg.Nodes(); id++ {
+			for dst := 0; dst < n.Cfg.Nodes(); dst++ {
+				r := n.Routers[id]
+				pkt := &Packet{Src: 0, Dst: dst, Class: 0, Size: 1}
+				var buf [2]int
+				cands := r.RouteCandidates(kind, pkt, buf[:0])
+				if len(cands) == 0 {
+					t.Fatalf("%v: no candidates at %d for dst %d", kind, id, dst)
+				}
+				for _, c := range cands {
+					if dst == id {
+						if c != Local {
+							t.Fatalf("%v: at destination but candidate %s", kind, DirName(c))
+						}
+						continue
+					}
+					nb := n.Cfg.Neighbor(id, c)
+					if nb < 0 {
+						t.Fatalf("%v: candidate %s off the mesh edge at %d", kind, DirName(c), id)
+					}
+					if n.Cfg.MinHops(nb, dst) != n.Cfg.MinHops(id, dst)-1 {
+						t.Fatalf("%v: non-productive candidate %s at %d toward %d", kind, DirName(c), id, dst)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestWestFirstLegality: under west-first, a packet that still needs
+// to go west must be offered West only (all west hops first).
+func TestWestFirstLegality(t *testing.T) {
+	n := propNet(t, 6, 6)
+	cfg := &n.Cfg
+	for id := 0; id < cfg.Nodes(); id++ {
+		for dst := 0; dst < cfg.Nodes(); dst++ {
+			x, _ := cfg.XY(id)
+			dx, _ := cfg.XY(dst)
+			pkt := &Packet{Dst: dst}
+			var buf [2]int
+			cands := n.Routers[id].RouteCandidates(RoutingWestFirst, pkt, buf[:0])
+			if dx < x {
+				if len(cands) != 1 || cands[0] != West {
+					t.Fatalf("west-first at %d->%d offered %v", id, dst, cands)
+				}
+			} else {
+				for _, c := range cands {
+					if c == West {
+						t.Fatalf("west-first offered West after eastward progress at %d->%d", id, dst)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestXYDeterministic: XY offers exactly one candidate everywhere.
+func TestXYDeterministic(t *testing.T) {
+	n := propNet(t, 5, 5)
+	for id := 0; id < 25; id++ {
+		for dst := 0; dst < 25; dst++ {
+			var buf [2]int
+			cands := n.Routers[id].RouteCandidates(RoutingXY, &Packet{Dst: dst}, buf[:0])
+			if len(cands) != 1 {
+				t.Fatalf("XY offered %d candidates", len(cands))
+			}
+		}
+	}
+}
+
+// TestAdaptiveOrderingPrefersFreeVCs: with one direction's downstream
+// VCs all busy, adaptive must order the free direction first.
+func TestAdaptiveOrderingPrefersFreeVCs(t *testing.T) {
+	n := propNet(t, 4, 4)
+	r := n.Routers[5] // (1,1): both East and North productive toward 15 (3,3)
+	pkt := &Packet{Dst: 15, Class: 0}
+	// Mark all East downstream VCs busy.
+	for v := range r.Out[East].VCs {
+		r.Out[East].VCs[v].Busy = true
+	}
+	for trial := 0; trial < 20; trial++ {
+		var buf [2]int
+		cands := r.RouteCandidates(RoutingAdaptiveMin, pkt, buf[:0])
+		if cands[0] != North {
+			t.Fatalf("adaptive chose congested direction %s", DirName(cands[0]))
+		}
+	}
+}
+
+// TestObliviousRandomBalanced: over many draws, oblivious random
+// splits between the two productive directions roughly evenly.
+func TestObliviousRandomBalanced(t *testing.T) {
+	n := propNet(t, 4, 4)
+	n.Rng = rng.New(12345)
+	r := n.Routers[0]
+	pkt := &Packet{Dst: 15, Class: 0}
+	first := map[int]int{}
+	for i := 0; i < 2000; i++ {
+		var buf [2]int
+		cands := r.RouteCandidates(RoutingObliviousMin, pkt, buf[:0])
+		first[cands[0]]++
+	}
+	if first[East] < 800 || first[North] < 800 {
+		t.Fatalf("oblivious split unbalanced: %v", first)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []func(*Config){
+		func(c *Config) { c.Rows = 1 },
+		func(c *Config) { c.Classes = 0 },
+		func(c *Config) { c.Classes = 3; c.VNets = 2 },
+		func(c *Config) { c.VCsPerVNet = 0 },
+		func(c *Config) { c.MaxPacketSize = 0 },
+		func(c *Config) { c.VCDepth = 0 },
+		func(c *Config) { c.VCDepth = 3; c.MaxPacketSize = 5 }, // VCT needs depth >= pkt
+		func(c *Config) { c.EjectVCsPerClass = 0 },
+		func(c *Config) { c.FlitBits = 0 },
+	}
+	for i, mut := range bad {
+		cfg := DefaultConfig()
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+	good := DefaultConfig()
+	good.Buffering = Wormhole
+	good.VCDepth = 2 // wormhole allows depth < packet
+	if err := good.Validate(); err != nil {
+		t.Errorf("wormhole with shallow VCs rejected: %v", err)
+	}
+}
+
+func TestVCRangePartitioning(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Classes = 6
+	cfg.VNets = 6
+	cfg.VCsPerVNet = 2
+	for c := 0; c < 6; c++ {
+		lo, hi := cfg.VCRange(c)
+		if lo != c*2 || hi != c*2+2 {
+			t.Fatalf("class %d range [%d,%d)", c, lo, hi)
+		}
+	}
+	cfg.VNets = 1
+	lo, hi := cfg.VCRange(5)
+	if lo != 0 || hi != 2 {
+		t.Fatalf("shared pool range [%d,%d)", lo, hi)
+	}
+}
+
+func TestOppositePanicsOnLocal(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Opposite(Local) must panic")
+		}
+	}()
+	Opposite(Local)
+}

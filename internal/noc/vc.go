@@ -1,0 +1,133 @@
+package noc
+
+// VCState is the allocation state of an input-port virtual channel.
+type VCState int
+
+const (
+	// VCIdle means no packet owns the VC.
+	VCIdle VCState = iota
+	// VCActive means a packet's head flit has arrived and the packet
+	// owns the VC until its tail flit departs (single packet per VC).
+	VCActive
+)
+
+// VC is one input-port virtual channel: a flit FIFO plus the per-packet
+// allocation state used by the router pipeline.
+type VC struct {
+	ID    int
+	Depth int
+
+	buf  []Flit
+	head int
+	n    int
+
+	State VCState
+	Pkt   *Packet // owner packet while Active
+
+	// Routing/allocation state for the owner packet.
+	OutPort int // granted output port, -1 until VA succeeds
+	OutVC   int // granted downstream VC, -1 until VA succeeds
+
+	// Liveness bookkeeping for reactive/subactive schemes.
+	ActiveSince int64 // cycle the head flit arrived
+	LastMove    int64 // cycle a flit last departed this VC
+
+	// FFMode marks the VC as owned by the Free-Flow engine: the normal
+	// pipeline must not route, allocate or switch its flits.
+	FFMode bool
+}
+
+// NewVC returns an idle VC with the given identifier and flit capacity.
+func NewVC(id, depth int) *VC {
+	return &VC{ID: id, Depth: depth, buf: make([]Flit, depth), OutPort: -1, OutVC: -1}
+}
+
+// Len returns the number of buffered flits.
+func (v *VC) Len() int { return v.n }
+
+// Empty reports whether no flits are buffered.
+func (v *VC) Empty() bool { return v.n == 0 }
+
+// Full reports whether the buffer has no free slots.
+func (v *VC) Full() bool { return v.n == v.Depth }
+
+// Front returns the flit at the head of the FIFO. It panics if empty.
+func (v *VC) Front() Flit {
+	if v.n == 0 {
+		panic("noc: Front of empty VC")
+	}
+	return v.buf[v.head]
+}
+
+// At returns the i-th buffered flit (0 = front).
+func (v *VC) At(i int) Flit {
+	if i < 0 || i >= v.n {
+		panic("noc: VC.At out of range")
+	}
+	return v.buf[(v.head+i)%v.Depth]
+}
+
+// Push appends a flit. It panics on overflow (a flow-control violation,
+// which the simulator treats as a bug, never silently drops).
+func (v *VC) Push(f Flit) {
+	if v.Full() {
+		panic("noc: VC overflow (flow control violation)")
+	}
+	v.buf[(v.head+v.n)%v.Depth] = f
+	v.n++
+}
+
+// Pop removes and returns the front flit. It panics if empty.
+func (v *VC) Pop() Flit {
+	f := v.Front()
+	v.buf[v.head] = Flit{}
+	v.head = (v.head + 1) % v.Depth
+	v.n--
+	return f
+}
+
+// Activate marks the VC as owned by pkt (head flit arrival).
+func (v *VC) Activate(pkt *Packet, cycle int64) {
+	if v.State != VCIdle {
+		panic("noc: activating non-idle VC (single packet per VC violated)")
+	}
+	v.State = VCActive
+	v.Pkt = pkt
+	v.OutPort = -1
+	v.OutVC = -1
+	v.ActiveSince = cycle
+	v.LastMove = cycle
+}
+
+// Release returns the VC to Idle (tail flit departed).
+func (v *VC) Release() {
+	if v.n != 0 {
+		panic("noc: releasing VC with buffered flits")
+	}
+	v.State = VCIdle
+	v.Pkt = nil
+	v.OutPort = -1
+	v.OutVC = -1
+	v.FFMode = false
+}
+
+// HasWholePacket reports whether every flit of the owner packet is
+// buffered (nothing already departed, nothing still in flight). Atomic
+// packet moves (SPIN spins, SWAP swaps, DRAIN drains) and FF upgrades
+// require this.
+func (v *VC) HasWholePacket() bool {
+	return v.State == VCActive && v.n == v.Pkt.Size && v.Front().IsHead()
+}
+
+// BlockedFor returns how many cycles the owner packet's front flit has
+// failed to move, or 0 if the VC is idle/empty.
+func (v *VC) BlockedFor(cycle int64) int64 {
+	if v.State != VCActive || v.n == 0 {
+		return 0
+	}
+	since := v.LastMove
+	if v.ActiveSince > since {
+		since = v.ActiveSince
+	}
+	return cycle - since
+}

@@ -1,0 +1,306 @@
+// Package drain implements the DRAIN baseline (Parasar et al., HPCA
+// 2020): subactive deadlock removal by periodic, oblivious, network-
+// wide packet movement along a Hamiltonian ring embedded in the
+// topology. Every Period cycles (default 1024, footnote 5 of the SEEC
+// paper) the network pauses normal operation and, for Duration cycles,
+// rotates the packets sitting in the ring-facing VCs one hop along the
+// ring; packets passing their destination eject, vacated ring slots are
+// boarded by packets waiting at the router's other ports. Movement is
+// oblivious — packets are dragged away from their destinations — which
+// is DRAIN's misroute cost (Table 1) and why it has the highest tail
+// latency in Fig. 15.
+package drain
+
+import (
+	"fmt"
+
+	"seec/internal/noc"
+)
+
+// Stats counts DRAIN activity.
+type Stats struct {
+	Drains       int64 // drain events
+	RotationHops int64 // packet-hops moved along the ring
+	Ejections    int64 // packets ejected while rotating
+	Boardings    int64 // packets moved onto the ring lane
+}
+
+// Options configure DRAIN.
+type Options struct {
+	// Period is the interval between drain events (cycles).
+	Period int64
+	// Duration is how many cycles each drain event rotates for.
+	Duration int64
+}
+
+// DRAIN is the scheme object.
+type DRAIN struct {
+	opts Options
+	n    *noc.Network
+
+	ring    []int // Hamiltonian cycle over all routers
+	nextOf  []int // router -> successor on the ring
+	ringIn  []int // router -> input port facing its ring predecessor
+	ringOut []int // router -> output port toward its ring successor
+
+	draining  int64 // cycles left in the current drain event
+	boardPtrs []int // per-router round-robin pointer for boarding
+
+	Stats Stats
+}
+
+// New returns a DRAIN scheme.
+func New(opts Options) *DRAIN {
+	if opts.Period <= 0 {
+		opts.Period = 1024
+	}
+	if opts.Duration <= 0 {
+		opts.Duration = 48
+	}
+	return &DRAIN{opts: opts}
+}
+
+// Name implements noc.Scheme.
+func (d *DRAIN) Name() string { return "drain" }
+
+// Attach implements noc.Scheme.
+func (d *DRAIN) Attach(n *noc.Network) error {
+	ring, err := HamiltonianCycle(&n.Cfg)
+	if err != nil {
+		return err
+	}
+	d.n = n
+	d.ring = ring
+	nodes := n.Cfg.Nodes()
+	d.nextOf = make([]int, nodes)
+	d.ringIn = make([]int, nodes)
+	d.ringOut = make([]int, nodes)
+	d.boardPtrs = make([]int, nodes)
+	for i, r := range ring {
+		next := ring[(i+1)%len(ring)]
+		prev := ring[(i-1+len(ring))%len(ring)]
+		d.nextOf[r] = next
+		d.ringOut[r] = n.Cfg.DirTowards(r, next)
+		d.ringIn[r] = n.Cfg.DirTowards(r, prev)
+	}
+	return nil
+}
+
+// PostRouter implements noc.Scheme.
+func (d *DRAIN) PostRouter(*noc.Network) {}
+
+// PreRouter implements noc.Scheme.
+func (d *DRAIN) PreRouter(n *noc.Network) {
+	if d.draining > 0 {
+		d.rotate()
+		d.draining--
+		if d.draining == 0 {
+			n.Frozen = false
+		}
+		return
+	}
+	if n.Cycle > 0 && n.Cycle%d.opts.Period == 0 && n.InFlight > 0 {
+		d.draining = d.opts.Duration
+		n.Frozen = true
+		d.Stats.Drains++
+		d.rotate()
+		d.draining--
+		if d.draining == 0 {
+			n.Frozen = false
+		}
+	}
+}
+
+// rotate performs one synchronous drain cycle, per VC index: every
+// whole packet in a ring-lane VC whose successor slot is free or also
+// vacating moves one hop along the ring (ejecting in passing when it
+// reaches its destination); then vacated ring slots are boarded from
+// the router's other input ports.
+func (d *DRAIN) rotate() {
+	n := d.n
+	nvcs := n.Cfg.TotalVCs()
+	ringLen := len(d.ring)
+	const (
+		idle = iota
+		movable
+		stuck // FF-frozen or partially buffered: cannot move atomically
+	)
+	state := make([]int, ringLen)
+	canMove := make([]bool, ringLen)
+	for v := 0; v < nvcs; v++ {
+		brk := -1
+		for i, r := range d.ring {
+			vc := n.Routers[r].In[d.ringIn[r]].VCs[v]
+			switch {
+			case n.SlotFree(r, d.ringIn[r], v):
+				state[i] = idle
+			case vc.State == noc.VCIdle || vc.FFMode || !vc.HasWholePacket():
+				// Idle-but-claimed (head flit in flight on the link),
+				// FF-frozen, or partially buffered: cannot participate.
+				state[i] = stuck
+			default:
+				// A packet already at its destination ejects in place
+				// if an ejection VC is free, creating a bubble.
+				state[i] = movable
+				if vc.Pkt.Dst == d.ring[i] {
+					flits := n.ExtractPacket(d.ring[i], d.ringIn[d.ring[i]], v)
+					if n.EjectDirect(flits) {
+						d.Stats.Ejections++
+						state[i] = idle
+					} else {
+						n.PlacePacket(d.ring[i], d.ringIn[d.ring[i]], v, flits)
+					}
+				}
+			}
+			if state[i] != movable {
+				brk = i
+			}
+		}
+		if brk < 0 {
+			// The whole lane is movable: a pure rotation, all move.
+			for i := range canMove {
+				canMove[i] = true
+			}
+		} else {
+			// Propagate feasibility backwards from the break: a slot
+			// moves iff its successor is idle or is itself moving.
+			for k := 0; k < ringLen; k++ {
+				i := (brk - 1 - k + ringLen) % ringLen
+				succ := (i + 1) % ringLen
+				switch {
+				case state[i] != movable:
+					canMove[i] = false
+				case state[succ] == idle:
+					canMove[i] = true
+				case state[succ] == movable:
+					canMove[i] = canMove[succ]
+				default:
+					canMove[i] = false
+				}
+			}
+		}
+		// Extract all movers simultaneously, then place them.
+		type moved struct {
+			flits []noc.Flit
+			to    int
+		}
+		var moves []moved
+		for i, r := range d.ring {
+			if canMove[i] {
+				moves = append(moves, moved{flits: n.ExtractPacket(r, d.ringIn[r], v), to: d.nextOf[r]})
+			}
+		}
+		for _, m := range moves {
+			pkt := m.flits[0].Pkt
+			pkt.Hops++
+			d.Stats.RotationHops++
+			n.Energy.DataHops += int64(len(m.flits))
+			if pkt.Dst == m.to && n.EjectDirect(m.flits) {
+				d.Stats.Ejections++
+				continue
+			}
+			n.PlacePacket(m.to, d.ringIn[m.to], v, m.flits)
+		}
+	}
+	// Boarding phase: fill idle ring-lane VCs from other inports so
+	// every packet eventually rides the ring past its destination.
+	for _, r := range d.ring {
+		d.board(r)
+	}
+}
+
+// board moves waiting whole packets from non-ring inports of r into
+// idle ring-lane VCs, round-robin across ports for fairness.
+func (d *DRAIN) board(r int) {
+	n := d.n
+	for v := range n.Routers[r].In[d.ringIn[r]].VCs {
+		if !n.SlotFree(r, d.ringIn[r], v) {
+			continue
+		}
+		if !d.boardOne(r, v) {
+			return
+		}
+	}
+}
+
+// boardOne finds one boardable packet (whole, allowed in lane VC v) and
+// moves it; reports whether a packet was found.
+func (d *DRAIN) boardOne(r, v int) bool {
+	n := d.n
+	rt := n.Routers[r]
+	start := d.boardPtrs[r]
+	nvcs := n.Cfg.TotalVCs()
+	total := noc.NumPorts * nvcs
+	for k := 0; k < total; k++ {
+		idx := (start + k) % total
+		p := idx / nvcs
+		if p == d.ringIn[r] {
+			continue
+		}
+		in := rt.In[p]
+		if in == nil {
+			continue
+		}
+		vc := in.VCs[idx%nvcs]
+		if vc.State != noc.VCActive || vc.FFMode || !vc.HasWholePacket() {
+			continue
+		}
+		lo, hi := n.Cfg.VCRange(vc.Pkt.Class)
+		if v < lo || v >= hi {
+			continue
+		}
+		flits := n.ExtractPacket(r, p, idx%nvcs)
+		n.PlacePacket(r, d.ringIn[r], v, flits)
+		d.boardPtrs[r] = idx + 1
+		d.Stats.Boardings++
+		return true
+	}
+	return false
+}
+
+// HamiltonianCycle returns a cycle visiting every router exactly once.
+// A grid graph has one iff at least one dimension is even; the paper's
+// meshes (4x4, 8x8, 16x16) all qualify.
+func HamiltonianCycle(cfg *noc.Config) ([]int, error) {
+	if cfg.Rows%2 == 0 {
+		return hamRowsEven(cfg), nil
+	}
+	if cfg.Cols%2 == 0 {
+		// Transpose the even-rows construction.
+		t := *cfg
+		t.Rows, t.Cols = cfg.Cols, cfg.Rows
+		walk := hamRowsEven(&t)
+		out := make([]int, len(walk))
+		for i, id := range walk {
+			x, y := t.XY(id)
+			out[i] = cfg.NodeAt(y, x)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("drain: no Hamiltonian cycle on an odd x odd mesh (%dx%d)", cfg.Rows, cfg.Cols)
+}
+
+// hamRowsEven builds the cycle for an even number of rows: east along
+// row 0, serpentine up through rows 1..R-1 within columns 1..C-1, then
+// home down column 0.
+func hamRowsEven(cfg *noc.Config) []int {
+	var walk []int
+	for x := 0; x < cfg.Cols; x++ {
+		walk = append(walk, cfg.NodeAt(x, 0))
+	}
+	for y := 1; y < cfg.Rows; y++ {
+		if y%2 == 1 {
+			for x := cfg.Cols - 1; x >= 1; x-- {
+				walk = append(walk, cfg.NodeAt(x, y))
+			}
+		} else {
+			for x := 1; x < cfg.Cols; x++ {
+				walk = append(walk, cfg.NodeAt(x, y))
+			}
+		}
+	}
+	for y := cfg.Rows - 1; y >= 1; y-- {
+		walk = append(walk, cfg.NodeAt(0, y))
+	}
+	return walk
+}

@@ -1,0 +1,133 @@
+package drain
+
+import (
+	"testing"
+
+	"seec/internal/noc"
+	"seec/internal/traffic"
+)
+
+func TestHamiltonianCycleProperties(t *testing.T) {
+	for _, dim := range [][2]int{{2, 2}, {4, 4}, {8, 8}, {16, 16}, {4, 5}, {5, 4}, {2, 7}, {7, 2}, {6, 3}} {
+		cfg := noc.DefaultConfig()
+		cfg.Rows, cfg.Cols = dim[0], dim[1]
+		ring, err := HamiltonianCycle(&cfg)
+		if err != nil {
+			t.Fatalf("%dx%d: %v", dim[0], dim[1], err)
+		}
+		if len(ring) != cfg.Nodes() {
+			t.Fatalf("%dx%d: cycle length %d want %d", dim[0], dim[1], len(ring), cfg.Nodes())
+		}
+		seen := make(map[int]bool)
+		for i, r := range ring {
+			if seen[r] {
+				t.Fatalf("%dx%d: router %d visited twice", dim[0], dim[1], r)
+			}
+			seen[r] = true
+			next := ring[(i+1)%len(ring)]
+			if cfg.MinHops(r, next) != 1 {
+				t.Fatalf("%dx%d: %d and %d not adjacent", dim[0], dim[1], r, next)
+			}
+		}
+	}
+}
+
+func TestHamiltonianCycleOddOddRejected(t *testing.T) {
+	cfg := noc.DefaultConfig()
+	cfg.Rows, cfg.Cols = 3, 3
+	if _, err := HamiltonianCycle(&cfg); err == nil {
+		t.Fatal("odd x odd grid has no Hamiltonian cycle; must error")
+	}
+}
+
+func TestDrainAttachRejectsOddOdd(t *testing.T) {
+	cfg := noc.DefaultConfig()
+	cfg.Rows, cfg.Cols = 3, 3
+	_, err := noc.New(cfg, noc.WithScheme(New(Options{})))
+	if err == nil {
+		t.Fatal("DRAIN attached to a 3x3 mesh")
+	}
+}
+
+// TestDrainConservesPackets: rotations must never lose or duplicate
+// packets across a long saturated run.
+func TestDrainConservesPackets(t *testing.T) {
+	cfg := noc.DefaultConfig()
+	cfg.Rows, cfg.Cols = 4, 4
+	cfg.Routing = noc.RoutingAdaptiveMin
+	cfg.VCsPerVNet = 2
+	src := traffic.NewSynthetic(4, 4, traffic.UniformRandom, 0.35, 31)
+	d := New(Options{Period: 256, Duration: 8})
+	n, err := noc.New(cfg, noc.WithTraffic(src), noc.WithScheme(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run(8000)
+	if d.Stats.Drains == 0 || d.Stats.RotationHops == 0 {
+		t.Fatal("drain never engaged; conservation test is vacuous")
+	}
+	src.Pause()
+	for i := 0; i < 2_000_000 && !n.Drained(); i++ {
+		n.Step()
+	}
+	if !n.Drained() {
+		t.Fatalf("%d packets lost or stranded", n.InFlight)
+	}
+	n.Run(5)
+	if err := n.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDrainEjectsInPassing: packets riding the ring past their
+// destination must leave it there.
+func TestDrainEjectsInPassing(t *testing.T) {
+	cfg := noc.DefaultConfig()
+	cfg.Rows, cfg.Cols = 4, 4
+	cfg.Routing = noc.RoutingAdaptiveMin
+	cfg.VCsPerVNet = 1
+	cfg.Warmup = 0
+	d := New(Options{Period: 64, Duration: 32})
+	n, err := noc.New(cfg, noc.WithScheme(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Seed a blocked-looking packet on the ring lane far from its
+	// destination; with no other traffic regular routing would deliver
+	// it, so freeze its chances by seeding it somewhere the drain ring
+	// will carry it: use the seeded wedge trick — a packet at its own
+	// router's non-productive inport still routes normally, so instead
+	// verify the Ejections counter on a saturated run.
+	src := traffic.NewSynthetic(4, 4, traffic.Transpose, 0.4, 33)
+	n.Traffic = src
+	n.Run(6000)
+	if d.Stats.Ejections == 0 {
+		t.Fatal("no in-passing ejections during saturated drains")
+	}
+}
+
+// TestDrainFreezesNetwork: during a drain event the regular pipeline
+// pauses (Frozen), and resumes afterwards.
+func TestDrainFreezesNetwork(t *testing.T) {
+	cfg := noc.DefaultConfig()
+	cfg.Rows, cfg.Cols = 4, 4
+	cfg.VCsPerVNet = 1
+	d := New(Options{Period: 100, Duration: 5})
+	src := traffic.NewSynthetic(4, 4, traffic.UniformRandom, 0.2, 35)
+	n, err := noc.New(cfg, noc.WithTraffic(src), noc.WithScheme(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	frozenSeen, thawedSeen := false, false
+	for i := 0; i < 1000; i++ {
+		n.Step()
+		if n.Frozen {
+			frozenSeen = true
+		} else {
+			thawedSeen = true
+		}
+	}
+	if !frozenSeen || !thawedSeen {
+		t.Fatalf("freeze cycle broken: frozen=%v thawed=%v", frozenSeen, thawedSeen)
+	}
+}

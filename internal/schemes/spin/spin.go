@@ -1,0 +1,254 @@
+// Package spin implements the SPIN baseline (Ramrakhyani et al., ISCA
+// 2018): reactive deadlock recovery by synchronized packet movement.
+// A packet blocked past a timeout (dd-thresh, default 1024 cycles)
+// launches a probe that walks the chain of blocked packets, each
+// waiting on a buffer held by the next; if the probe arrives back at
+// its own packet, a deadlock ring has been mapped, and every packet on
+// the ring then moves one hop forward simultaneously ("spins"), each
+// into the buffer vacated by its successor. Probes are full-width
+// path-capture messages that contend for links, which is exactly the
+// energy spike Fig. 11 of the SEEC paper charges SPIN for.
+package spin
+
+import "seec/internal/noc"
+
+// Stats counts SPIN activity.
+type Stats struct {
+	ProbesSent     int64
+	ProbesDied     int64
+	DeadlocksFound int64
+	Spins          int64 // synchronized one-hop moves (ring rotations)
+	PacketsSpun    int64
+}
+
+// Options configure SPIN.
+type Options struct {
+	// DDThresh is the blocked-cycles timeout before a probe launches
+	// (the AE appendix runs SPIN with -dd-thresh=1024).
+	DDThresh int64
+}
+
+// slot identifies one buffered packet: (router, inport, vc).
+type slot struct{ r, p, v int }
+
+// probe walks the blocked-packet dependency chain one hop per cycle.
+type probe struct {
+	origin slot
+	cur    slot
+	path   []slot
+}
+
+// MaxProbes bounds the number of concurrently walking probes
+// (fan-out copies included); the SPIN artifact's equivalent knob is
+// its turn-capacity limit.
+const MaxProbes = 256
+
+// SPIN is the scheme object.
+type SPIN struct {
+	opts Options
+	n    *noc.Network
+
+	probes []*probe
+	forked []*probe // branches created mid-sweep, start next cycle
+	// lastProbe throttles probe launches per router.
+	lastProbe []int64
+
+	Stats Stats
+}
+
+// New returns a SPIN scheme with the given options.
+func New(opts Options) *SPIN {
+	if opts.DDThresh <= 0 {
+		opts.DDThresh = 1024
+	}
+	return &SPIN{opts: opts}
+}
+
+// Name implements noc.Scheme.
+func (s *SPIN) Name() string { return "spin" }
+
+// Attach implements noc.Scheme.
+func (s *SPIN) Attach(n *noc.Network) error {
+	s.n = n
+	s.lastProbe = make([]int64, n.Cfg.Nodes())
+	return nil
+}
+
+// PostRouter implements noc.Scheme.
+func (s *SPIN) PostRouter(*noc.Network) {}
+
+// PreRouter implements noc.Scheme: advance in-flight probes, then
+// launch new probes from timed-out packets.
+func (s *SPIN) PreRouter(n *noc.Network) {
+	keep := s.probes[:0]
+	for _, pr := range s.probes {
+		if s.stepProbe(pr) {
+			keep = append(keep, pr)
+		}
+	}
+	s.probes = append(keep, s.forked...)
+	s.forked = s.forked[:0]
+	s.launchProbes()
+}
+
+// blockedSlot reports whether the slot holds a whole packet that has
+// been unable to move for at least the deadlock-detection threshold
+// and is still waiting for a downstream VC.
+func (s *SPIN) blockedSlot(sl slot) bool {
+	vc := s.n.Routers[sl.r].In[sl.p].VCs[sl.v]
+	return vc.State == noc.VCActive && !vc.FFMode && vc.OutVC < 0 &&
+		vc.HasWholePacket() && vc.BlockedFor(s.n.Cycle) >= s.opts.DDThresh
+}
+
+// desiredPort returns the output port the blocked packet is treated as
+// waiting on. It must be deterministic: a probe revisiting the same
+// packet has to see the same dependency edge, or chains never close.
+func (s *SPIN) desiredPort(sl slot) int {
+	rt := s.n.Routers[sl.r]
+	vc := rt.In[sl.p].VCs[sl.v]
+	return s.n.DesiredPort(rt, vc.Pkt)
+}
+
+// launchProbes starts a probe from every router that holds a timed-out
+// packet and hasn't probed recently.
+func (s *SPIN) launchProbes() {
+	for r := range s.n.Routers {
+		if s.n.Cycle-s.lastProbe[r] < s.opts.DDThresh {
+			continue
+		}
+		if sl, ok := s.findBlocked(r); ok {
+			s.lastProbe[r] = s.n.Cycle
+			s.probes = append(s.probes, &probe{origin: sl, cur: sl, path: []slot{sl}})
+			s.Stats.ProbesSent++
+		}
+	}
+}
+
+// findBlocked returns the most-blocked eligible slot at router r.
+func (s *SPIN) findBlocked(r int) (slot, bool) {
+	var best slot
+	var bestFor int64 = -1
+	for p := 0; p < noc.NumPorts; p++ {
+		in := s.n.Routers[r].In[p]
+		if in == nil {
+			continue
+		}
+		for v := range in.VCs {
+			sl := slot{r, p, v}
+			if s.blockedSlot(sl) {
+				if bf := in.VCs[v].BlockedFor(s.n.Cycle); bf > bestFor {
+					best, bestFor = sl, bf
+				}
+			}
+		}
+	}
+	return best, bestFor >= 0
+}
+
+// stepProbe advances a probe one hop along the dependency chain. It
+// returns false when the probe dies or completes (deadlock found and
+// spun).
+func (s *SPIN) stepProbe(pr *probe) bool {
+	if !s.blockedSlot(pr.cur) {
+		// The chain moved on its own; no deadlock through here.
+		s.Stats.ProbesDied++
+		return false
+	}
+	d := s.desiredPort(pr.cur)
+	if d == noc.Local {
+		// Waiting on ejection, which the consumption assumption
+		// eventually frees: not a routing deadlock.
+		s.Stats.ProbesDied++
+		return false
+	}
+	// Probes are prioritized over regular flits and occupy the link
+	// they traverse — the paper's explanation for SPIN's saturation
+	// throughput loss and energy spike ("its probes hinder the forward
+	// movement of packets", §4.3).
+	s.n.Energy.AddProbeHop()
+	s.n.Routers[pr.cur.r].Out[d].FFReserved = true
+	nr := s.n.Cfg.Neighbor(pr.cur.r, d)
+	np := noc.Opposite(d)
+	// The blockers are the packets holding the VCs the waiting packet
+	// could allocate.
+	pkt := s.n.Routers[pr.cur.r].In[pr.cur.p].VCs[pr.cur.v].Pkt
+	lo, hi := s.n.Cfg.VCRange(pkt.Class)
+	var next slot
+	found := false
+	for v := lo; v < hi; v++ {
+		sl := slot{nr, np, v}
+		if sl == pr.origin {
+			// Cycle closed: the origin packet itself blocks the chain.
+			s.spin(pr.path)
+			return false
+		}
+		if s.blockedSlot(sl) {
+			if found {
+				// SPIN probes fan out along every blocked dependency
+				// edge (the probe-storm cost Fig. 11 attributes to
+				// SPIN): fork a copy to follow this branch too, up to
+				// the global probe budget.
+				if len(s.probes)+len(s.forked) < MaxProbes {
+					branch := &probe{origin: pr.origin, cur: sl}
+					branch.path = append(append([]slot{}, pr.path...), sl)
+					s.forked = append(s.forked, branch)
+					s.n.Energy.AddProbeHop()
+				}
+				continue
+			}
+			next = sl
+			found = true
+		}
+	}
+	if !found {
+		// Some blocker is still moving (or not yet timed out): treat as
+		// transient and drop the probe; it relaunches after dd-thresh.
+		s.Stats.ProbesDied++
+		return false
+	}
+	for _, seen := range pr.path {
+		if seen == next {
+			// Cycle that does not pass through the origin: spin the
+			// sub-ring starting at its first occurrence.
+			for i, sl := range pr.path {
+				if sl == next {
+					s.spin(pr.path[i:])
+					return false
+				}
+			}
+		}
+	}
+	pr.cur = next
+	pr.path = append(pr.path, next)
+	return true
+}
+
+// spin performs the synchronized movement: every packet on the ring
+// moves one hop into the buffer vacated by its successor. All moves
+// are simultaneous — extract everything, then place everything.
+func (s *SPIN) spin(ring []slot) {
+	// Verify the ring is still intact (packets may have moved between
+	// the probe's traversal and now).
+	for _, sl := range ring {
+		if !s.blockedSlot(sl) {
+			s.Stats.ProbesDied++
+			return
+		}
+	}
+	s.Stats.DeadlocksFound++
+	flits := make([][]noc.Flit, len(ring))
+	for i, sl := range ring {
+		flits[i] = s.n.ExtractPacket(sl.r, sl.p, sl.v)
+	}
+	// Packet i wanted the buffer held by packet i+1 (the next slot in
+	// the probe path), so it moves into slot i+1; the last packet's
+	// successor is the origin slot (ring[0]).
+	for i, fl := range flits {
+		dst := ring[(i+1)%len(ring)]
+		s.n.PlacePacket(dst.r, dst.p, dst.v, fl)
+		fl[0].Pkt.Hops++
+		s.n.Energy.DataHops += int64(len(fl))
+		s.Stats.PacketsSpun++
+	}
+	s.Stats.Spins++
+}

@@ -1,0 +1,142 @@
+// Package swap implements the SWAP baseline (Parasar et al., MICRO
+// 2019): subactive deadlock resolution by synchronized weaving of
+// adjacent packets. Periodically (default every 1024 cycles, footnote 5
+// of the SEEC paper), each router holding a long-blocked packet
+// exchanges it with the occupant of a VC at the downstream router the
+// packet wants to enter: the blocked packet advances one productive
+// hop, and the displaced packet moves one hop backward — a misroute,
+// which is exactly the cost Table 1 and Fig. 11 charge SWAP for. Local
+// pair-wise movement guarantees every blocked packet eventually
+// progresses, so any routing deadlock dissolves without detection.
+package swap
+
+import "seec/internal/noc"
+
+// Stats counts SWAP activity.
+type Stats struct {
+	Swaps        int64 // pair-wise exchanges
+	ForcedMoves  int64 // blocked packet moved into an idle downstream VC
+	MisrouteHops int64 // backward hops forced on displaced packets
+}
+
+// Options configure SWAP.
+type Options struct {
+	// Period is the interval between swap rounds in cycles (the AE
+	// appendix default for whenToSwap-style knobs is 1024).
+	Period int64
+	// MinBlocked is how long a packet must have been stuck before it
+	// participates in a swap round.
+	MinBlocked int64
+}
+
+// SWAP is the scheme object.
+type SWAP struct {
+	opts Options
+	n    *noc.Network
+
+	Stats Stats
+}
+
+// New returns a SWAP scheme.
+func New(opts Options) *SWAP {
+	if opts.Period <= 0 {
+		opts.Period = 1024
+	}
+	if opts.MinBlocked <= 0 {
+		opts.MinBlocked = opts.Period / 2
+	}
+	return &SWAP{opts: opts}
+}
+
+// Name implements noc.Scheme.
+func (s *SWAP) Name() string { return "swap" }
+
+// Attach implements noc.Scheme.
+func (s *SWAP) Attach(n *noc.Network) error {
+	s.n = n
+	return nil
+}
+
+// PostRouter implements noc.Scheme.
+func (s *SWAP) PostRouter(*noc.Network) {}
+
+// PreRouter implements noc.Scheme: every Period cycles, run one swap
+// round.
+func (s *SWAP) PreRouter(n *noc.Network) {
+	if n.Cycle == 0 || n.Cycle%s.opts.Period != 0 {
+		return
+	}
+	touched := make(map[[3]int]bool)
+	for r := range n.Routers {
+		s.swapAt(r, touched)
+	}
+}
+
+// swapAt performs at most one swap for router r's most-blocked packet.
+func (s *SWAP) swapAt(r int, touched map[[3]int]bool) {
+	n := s.n
+	rt := n.Routers[r]
+	// Find the most-blocked whole packet still waiting for a VC.
+	var bp, bv int
+	var bestFor int64 = -1
+	for p := 0; p < noc.NumPorts; p++ {
+		in := rt.In[p]
+		if in == nil {
+			continue
+		}
+		for v, vc := range in.VCs {
+			if vc.State != noc.VCActive || vc.FFMode || vc.OutVC >= 0 || !vc.HasWholePacket() {
+				continue
+			}
+			if touched[[3]int{r, p, v}] {
+				continue
+			}
+			if bf := vc.BlockedFor(n.Cycle); bf >= s.opts.MinBlocked && bf > bestFor {
+				bp, bv, bestFor = p, v, bf
+			}
+		}
+	}
+	if bestFor < 0 {
+		return
+	}
+	vc := rt.In[bp].VCs[bv]
+	pkt := vc.Pkt
+	d := n.DesiredPort(rt, pkt)
+	if d == noc.Local {
+		return // waiting on ejection, not swappable
+	}
+	nr := n.Cfg.Neighbor(r, d)
+	np := noc.Opposite(d)
+	lo, hi := n.Cfg.VCRange(pkt.Class)
+	// Prefer a whole-packet occupant to exchange with; a partially
+	// buffered occupant cannot move atomically.
+	for v := lo; v < hi; v++ {
+		down := n.Routers[nr].In[np].VCs[v]
+		if down.State != noc.VCActive || down.FFMode || !down.HasWholePacket() {
+			continue
+		}
+		if touched[[3]int{nr, np, v}] {
+			continue
+		}
+		// The displaced packet moves backward into the blocked
+		// packet's VC only if its class may occupy that VC.
+		dlo, dhi := n.Cfg.VCRange(down.Pkt.Class)
+		if bv < dlo || bv >= dhi {
+			continue
+		}
+		fwd := n.ExtractPacket(r, bp, bv)
+		bwd := n.ExtractPacket(nr, np, v)
+		n.PlacePacket(nr, np, v, fwd)
+		n.PlacePacket(r, bp, bv, bwd)
+		fwd[0].Pkt.Hops++
+		bwd[0].Pkt.Hops++
+		s.Stats.MisrouteHops++
+		n.Energy.DataHops += int64(len(fwd) + len(bwd))
+		touched[[3]int{r, bp, bv}] = true
+		touched[[3]int{nr, np, v}] = true
+		s.Stats.Swaps++
+		return
+	}
+	// No swappable occupant: if an idle VC exists the packet will move
+	// on its own through regular VA; nothing to do.
+}

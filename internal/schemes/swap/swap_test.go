@@ -1,0 +1,84 @@
+package swap_test
+
+import (
+	"testing"
+
+	"seec/internal/noc"
+	"seec/internal/schemes/swap"
+	"seec/internal/traffic"
+)
+
+func swapNet(t *testing.T, vcs int, rate float64, opts swap.Options, seed uint64) (*noc.Network, *swap.SWAP, *traffic.Synthetic) {
+	t.Helper()
+	cfg := noc.DefaultConfig()
+	cfg.Rows, cfg.Cols = 4, 4
+	cfg.Routing = noc.RoutingAdaptiveMin
+	cfg.VCsPerVNet = vcs
+	src := traffic.NewSynthetic(4, 4, traffic.UniformRandom, rate, seed)
+	s := swap.New(opts)
+	n, err := noc.New(cfg, noc.WithTraffic(src), noc.WithScheme(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n, s, src
+}
+
+// TestSWAPKeepsSaturatedNetworkLive with the paper's 1024-cycle period.
+func TestSWAPKeepsSaturatedNetworkLive(t *testing.T) {
+	n, s, _ := swapNet(t, 1, 0.40, swap.Options{}, 71)
+	for i := 0; i < 25000; i++ {
+		n.Step()
+		if n.Stalled(5000) {
+			t.Fatalf("SWAP wedged at %d (swaps=%d)", n.Cycle, s.Stats.Swaps)
+		}
+	}
+	if s.Stats.Swaps == 0 {
+		t.Fatal("no swaps at saturation; liveness test is vacuous")
+	}
+}
+
+// TestSWAPMisroutesAreAccounted: displaced packets take extra hops
+// that must show in the delivered-packet hop statistics (the Fig. 11
+// cost).
+func TestSWAPMisroutesAreAccounted(t *testing.T) {
+	n, s, src := swapNet(t, 1, 0.40, swap.Options{Period: 256, MinBlocked: 128}, 73)
+	n.Run(15000)
+	if s.Stats.Swaps == 0 {
+		t.Skip("no swaps this seed")
+	}
+	src.Pause()
+	for i := 0; i < 2_000_000 && !n.Drained(); i++ {
+		n.Step()
+	}
+	if !n.Drained() {
+		t.Fatalf("%d stranded", n.InFlight)
+	}
+	if n.Collector.MisrouteHops == 0 {
+		t.Fatal("swaps happened but no misroute hops were recorded")
+	}
+}
+
+// TestSWAPQuietAtLowLoad: no swaps when nothing blocks long enough.
+func TestSWAPQuietAtLowLoad(t *testing.T) {
+	n, s, _ := swapNet(t, 2, 0.02, swap.Options{}, 75)
+	n.Run(10000)
+	if s.Stats.Swaps != 0 {
+		t.Fatalf("%d swaps at 2%% load", s.Stats.Swaps)
+	}
+}
+
+// TestSWAPDefaultOptions pins the paper's default knobs.
+func TestSWAPDefaultOptions(t *testing.T) {
+	s := swap.New(swap.Options{})
+	_ = s
+	// Defaults are applied internally; behavioral pin: a zero-options
+	// SWAP must behave identically to an explicit 1024-cycle period.
+	a, sa, _ := swapNet(t, 1, 0.35, swap.Options{}, 77)
+	b, sb, _ := swapNet(t, 1, 0.35, swap.Options{Period: 1024, MinBlocked: 512}, 77)
+	a.Run(12000)
+	b.Run(12000)
+	if sa.Stats.Swaps != sb.Stats.Swaps || a.Collector.ReceivedPackets != b.Collector.ReceivedPackets {
+		t.Fatalf("zero options != documented defaults: %d/%d swaps, %d/%d recv",
+			sa.Stats.Swaps, sb.Stats.Swaps, a.Collector.ReceivedPackets, b.Collector.ReceivedPackets)
+	}
+}

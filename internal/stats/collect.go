@@ -1,0 +1,205 @@
+package stats
+
+// PacketRecord describes one received packet for measurement purposes.
+// All times are absolute simulation cycles.
+type PacketRecord struct {
+	Created    int64 // cycle the packet was created at the source NIC
+	Injected   int64 // cycle the head flit entered the network (left the NIC)
+	Received   int64 // cycle the tail flit arrived in the ejection VC
+	Hops       int   // hops actually traversed (including misroutes)
+	MinHops    int   // minimal hop count source->destination
+	Flits      int   // packet length in flits
+	Class      int   // message class / virtual network
+	FF         bool  // packet was upgraded to Free-Flow at some point
+	FFUpgraded int64 // cycle of FF upgrade (valid when FF)
+}
+
+// Collector accumulates packet-level statistics for one simulation run.
+// Packets created before the warmup horizon are ignored (Table 4: the
+// simulator is warmed for 1000 cycles).
+type Collector struct {
+	Warmup int64 // ignore packets created before this cycle
+
+	Latency      *Histogram // created -> received
+	NetLatency   *Histogram // injected -> received
+	QueueLatency *Histogram // created -> injected
+	HopCount     *Histogram
+
+	// Fig. 10 breakdowns.
+	FFLatency      *Histogram // total latency of packets that used FF
+	RegLatency     *Histogram // total latency of regular packets
+	FFBufferedPart *Histogram // FF packets: cycles before upgrade
+	FFFreePart     *Histogram // FF packets: cycles from upgrade to ejection
+
+	ReceivedPackets int64
+	ReceivedFlits   int64
+	FFPackets       int64
+	MisrouteHops    int64
+
+	// ClassLatency holds per-message-class latency histograms, grown
+	// on demand (index = class). Protocol analysis (e.g. are responses
+	// beating requests?) reads these.
+	ClassLatency []*Histogram
+
+	InjectedPackets int64 // packets created after warmup (all, incl. in flight)
+	InjectedFlits   int64
+}
+
+// NewCollector returns an empty collector with the given warmup horizon.
+func NewCollector(warmup int64) *Collector {
+	return &Collector{
+		Warmup:         warmup,
+		Latency:        NewHistogram(),
+		NetLatency:     NewHistogram(),
+		QueueLatency:   NewHistogram(),
+		HopCount:       NewHistogram(),
+		FFLatency:      NewHistogram(),
+		RegLatency:     NewHistogram(),
+		FFBufferedPart: NewHistogram(),
+		FFFreePart:     NewHistogram(),
+	}
+}
+
+// NoteInjected records that a packet was created (for offered-load and
+// completion accounting). Packets created during warmup are ignored.
+func (c *Collector) NoteInjected(created int64, flits int) {
+	if created < c.Warmup {
+		return
+	}
+	c.InjectedPackets++
+	c.InjectedFlits += int64(flits)
+}
+
+// Record accounts one received packet. Packets received during the
+// warmup interval are excluded (Table 4: the simulator is warmed for
+// 1000 cycles "to remove any effects due to empty queues in the packet
+// latency statistics"); packets *created* during warmup but received
+// later count, as in Garnet — in saturated regimes the network drains
+// oldest-first and excluding them would blind the statistics.
+func (c *Collector) Record(r PacketRecord) {
+	if r.Received < c.Warmup {
+		return
+	}
+	lat := r.Received - r.Created
+	c.Latency.Add(lat)
+	for r.Class >= len(c.ClassLatency) {
+		c.ClassLatency = append(c.ClassLatency, NewHistogram())
+	}
+	c.ClassLatency[r.Class].Add(lat)
+	c.NetLatency.Add(r.Received - r.Injected)
+	c.QueueLatency.Add(r.Injected - r.Created)
+	c.HopCount.Add(int64(r.Hops))
+	if r.Hops > r.MinHops {
+		c.MisrouteHops += int64(r.Hops - r.MinHops)
+	}
+	c.ReceivedPackets++
+	c.ReceivedFlits += int64(r.Flits)
+	if r.FF {
+		c.FFPackets++
+		c.FFLatency.Add(lat)
+		c.FFBufferedPart.Add(r.FFUpgraded - r.Created)
+		c.FFFreePart.Add(r.Received - r.FFUpgraded)
+	} else {
+		c.RegLatency.Add(lat)
+	}
+}
+
+// AvgLatency returns the mean end-to-end packet latency in cycles.
+func (c *Collector) AvgLatency() float64 { return c.Latency.Mean() }
+
+// ClassAvgLatency returns the mean latency of one message class, or 0
+// if the class received nothing.
+func (c *Collector) ClassAvgLatency(class int) float64 {
+	if class < 0 || class >= len(c.ClassLatency) {
+		return 0
+	}
+	return c.ClassLatency[class].Mean()
+}
+
+// MaxLatency returns the maximum end-to-end packet latency in cycles.
+func (c *Collector) MaxLatency() int64 { return c.Latency.Max() }
+
+// FFFraction returns the fraction of received packets that used FF.
+func (c *Collector) FFFraction() float64 {
+	if c.ReceivedPackets == 0 {
+		return 0
+	}
+	return float64(c.FFPackets) / float64(c.ReceivedPackets)
+}
+
+// Throughput returns received flits per node per cycle over the
+// measurement interval [Warmup, now).
+func (c *Collector) Throughput(now int64, nodes int) float64 {
+	cycles := now - c.Warmup
+	if cycles <= 0 || nodes == 0 {
+		return 0
+	}
+	return float64(c.ReceivedFlits) / float64(cycles) / float64(nodes)
+}
+
+// PacketThroughput returns received packets per node per cycle.
+func (c *Collector) PacketThroughput(now int64, nodes int) float64 {
+	cycles := now - c.Warmup
+	if cycles <= 0 || nodes == 0 {
+		return 0
+	}
+	return float64(c.ReceivedPackets) / float64(cycles) / float64(nodes)
+}
+
+// WindowMax tracks the maximum sum of a per-cycle quantity over a fixed
+// sliding window of cycles. It is used for "peak" metrics such as peak
+// link energy at saturation (Fig. 11). Samples must be fed for every
+// cycle in order.
+type WindowMax struct {
+	window  int
+	buf     []float64
+	pos     int
+	filled  int
+	sum     float64
+	max     float64
+	haveMax bool
+	total   float64
+	n       int64
+}
+
+// NewWindowMax returns a tracker over the given window length in cycles.
+func NewWindowMax(window int) *WindowMax {
+	if window < 1 {
+		window = 1
+	}
+	return &WindowMax{window: window, buf: make([]float64, window)}
+}
+
+// Push feeds the quantity observed in the next cycle.
+func (w *WindowMax) Push(v float64) {
+	w.sum += v - w.buf[w.pos]
+	w.buf[w.pos] = v
+	w.pos = (w.pos + 1) % w.window
+	if w.filled < w.window {
+		w.filled++
+	}
+	if w.filled == w.window && (!w.haveMax || w.sum > w.max) {
+		w.max = w.sum
+		w.haveMax = true
+	}
+	w.total += v
+	w.n++
+}
+
+// PeakPerCycle returns the maximum windowed average per cycle seen so
+// far. If fewer than one full window of samples was pushed, it falls
+// back to the overall average.
+func (w *WindowMax) PeakPerCycle() float64 {
+	if !w.haveMax {
+		return w.AvgPerCycle()
+	}
+	return w.max / float64(w.window)
+}
+
+// AvgPerCycle returns the overall per-cycle average of all samples.
+func (w *WindowMax) AvgPerCycle() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.total / float64(w.n)
+}

@@ -1,0 +1,37 @@
+package stats
+
+import "testing"
+
+// FuzzHistogram checks core invariants on arbitrary sample streams:
+// count/sum/max are exact and percentiles never exceed the max.
+func FuzzHistogram(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 255})
+	f.Add([]byte{0})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		h := NewHistogram()
+		var sum, max int64
+		for i := 0; i+1 < len(raw); i += 2 {
+			v := int64(raw[i])<<8 | int64(raw[i+1])
+			h.Add(v)
+			sum += v
+			if v > max {
+				max = v
+			}
+		}
+		if h.Count() > 0 {
+			if h.Sum() != sum || h.Max() != max {
+				t.Fatalf("sum/max mismatch: %d/%d vs %d/%d", h.Sum(), h.Max(), sum, max)
+			}
+			if h.Percentile(50) > h.Max() || h.Percentile(99.9) > h.Max() {
+				t.Fatal("percentile above max")
+			}
+			if h.Min() > h.Percentile(1)+1 && h.Count() > 1 {
+				// p1's bucket low edge can undershoot min by at most
+				// one bucket; a gross violation means broken buckets.
+				if float64(h.Min()) > float64(h.Percentile(1))*1.2+2 {
+					t.Fatalf("p1 %d far below min %d", h.Percentile(1), h.Min())
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,167 @@
+// Package stats provides measurement utilities for the simulator:
+// latency accumulators, HDR-style histograms for percentile/tail
+// reporting, and windowed activity tracking for peak-rate metrics.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Histogram is an HDR-style histogram of non-negative integer samples
+// (cycle counts). Buckets are arranged in powers of two with a fixed
+// number of linear sub-buckets per power, giving a bounded relative
+// error (~1/subBuckets) at every magnitude. The zero value is unusable;
+// construct with NewHistogram.
+type Histogram struct {
+	subBuckets int // linear sub-buckets per octave; power of two
+	subShift   uint
+	counts     []int64
+	count      int64
+	sum        int64
+	max        int64
+	min        int64
+}
+
+const defaultSubBuckets = 32
+
+// NewHistogram returns an empty histogram with default precision
+// (relative error about 3% at every magnitude).
+func NewHistogram() *Histogram {
+	h := &Histogram{
+		subBuckets: defaultSubBuckets,
+		subShift:   uint(bits.TrailingZeros(uint(defaultSubBuckets))),
+		min:        math.MaxInt64,
+	}
+	return h
+}
+
+// bucketIndex maps a sample to its bucket.
+func (h *Histogram) bucketIndex(v int64) int {
+	if v < int64(h.subBuckets) {
+		return int(v)
+	}
+	// Octave o covers [subBuckets<<(o-1), subBuckets<<o).
+	octave := bits.Len64(uint64(v)) - int(h.subShift)
+	sub := int(v >> uint(octave-1) & int64(h.subBuckets-1))
+	return octave*h.subBuckets + sub
+}
+
+// bucketLow returns the lowest sample value mapping to bucket i.
+func (h *Histogram) bucketLow(i int) int64 {
+	octave := i / h.subBuckets
+	sub := i % h.subBuckets
+	if octave == 0 {
+		return int64(sub)
+	}
+	return (int64(h.subBuckets) + int64(sub)) << uint(octave-1)
+}
+
+// Add records one sample. Negative samples are clamped to zero.
+func (h *Histogram) Add(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	idx := h.bucketIndex(v)
+	if idx >= len(h.counts) {
+		grown := make([]int64, idx+1)
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	h.counts[idx]++
+	h.count++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+	if v < h.min {
+		h.min = v
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int64 { return h.count }
+
+// Sum returns the sum of all recorded samples.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Mean returns the mean sample, or 0 if empty.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Max returns the largest recorded sample, or 0 if empty.
+func (h *Histogram) Max() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Min returns the smallest recorded sample, or 0 if empty.
+func (h *Histogram) Min() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Percentile returns an approximation of the p-th percentile
+// (0 < p <= 100). The true max is returned for p >= 100.
+func (h *Histogram) Percentile(p float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if p >= 100 {
+		return h.max
+	}
+	target := int64(math.Ceil(float64(h.count) * p / 100))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			return h.bucketLow(i)
+		}
+	}
+	return h.max
+}
+
+// Merge adds all samples from other into h. The histograms must have the
+// same precision (all histograms from NewHistogram do).
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil || other.count == 0 {
+		return
+	}
+	if other.subBuckets != h.subBuckets {
+		panic("stats: merging histograms with different precision")
+	}
+	if len(other.counts) > len(h.counts) {
+		grown := make([]int64, len(other.counts))
+		copy(grown, h.counts)
+		h.counts = grown
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.count += other.count
+	h.sum += other.sum
+	if other.max > h.max {
+		h.max = other.max
+	}
+	if other.min < h.min {
+		h.min = other.min
+	}
+}
+
+// String summarizes the distribution.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("n=%d mean=%.2f p50=%d p99=%d max=%d",
+		h.count, h.Mean(), h.Percentile(50), h.Percentile(99), h.Max())
+}

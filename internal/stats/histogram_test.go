@@ -1,0 +1,254 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Max() != 0 || h.Min() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	if h.Percentile(50) != 0 {
+		t.Fatal("empty percentile must be 0")
+	}
+}
+
+func TestHistogramExactSmallValues(t *testing.T) {
+	// Values below subBuckets are stored exactly.
+	h := NewHistogram()
+	for v := int64(0); v < 32; v++ {
+		h.Add(v)
+	}
+	if h.Min() != 0 || h.Max() != 31 {
+		t.Fatalf("min/max = %d/%d", h.Min(), h.Max())
+	}
+	if h.Sum() != 31*32/2 {
+		t.Fatalf("sum = %d", h.Sum())
+	}
+	if p := h.Percentile(50); p < 14 || p > 17 {
+		t.Fatalf("p50 = %d", p)
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram()
+	h.Add(-5)
+	if h.Min() != 0 || h.Count() != 1 {
+		t.Fatal("negative samples must clamp to zero")
+	}
+}
+
+// TestHistogramMeanExact checks that Sum/Count is exact regardless of
+// bucketing.
+func TestHistogramMeanExact(t *testing.T) {
+	h := NewHistogram()
+	vals := []int64{1, 10, 100, 1000, 10000, 123456}
+	var sum int64
+	for _, v := range vals {
+		h.Add(v)
+		sum += v
+	}
+	if h.Sum() != sum {
+		t.Fatalf("sum %d want %d", h.Sum(), sum)
+	}
+	if h.Mean() != float64(sum)/float64(len(vals)) {
+		t.Fatalf("mean %f", h.Mean())
+	}
+}
+
+// TestHistogramPercentileBoundedError: percentiles must be within the
+// histogram's relative-error bound of the exact order statistic.
+func TestHistogramPercentileBoundedError(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	h := NewHistogram()
+	var vals []int64
+	for i := 0; i < 20000; i++ {
+		v := int64(r.ExpFloat64() * 500)
+		vals = append(vals, v)
+		h.Add(v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, p := range []float64{10, 50, 90, 99, 99.9} {
+		exact := vals[int(float64(len(vals)-1)*p/100)]
+		got := h.Percentile(p)
+		// Bucket low edge: got <= exact, and within ~2/32 relative error
+		// plus one small-value slack.
+		if got > exact {
+			t.Fatalf("p%.1f: got %d > exact %d", p, got, exact)
+		}
+		if exact > 64 && float64(got) < float64(exact)*0.90 {
+			t.Fatalf("p%.1f: got %d too far below exact %d", p, got, exact)
+		}
+	}
+}
+
+// TestHistogramMaxExact: Max must be exact, not bucketized.
+func TestHistogramMaxExact(t *testing.T) {
+	prop := func(vs []uint32) bool {
+		if len(vs) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		var max int64
+		for _, v := range vs {
+			x := int64(v)
+			h.Add(x)
+			if x > max {
+				max = x
+			}
+		}
+		return h.Max() == max
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHistogramBucketRoundTrip: every value maps to a bucket whose low
+// edge is <= the value and within the precision bound.
+func TestHistogramBucketRoundTrip(t *testing.T) {
+	h := NewHistogram()
+	prop := func(v uint32) bool {
+		x := int64(v)
+		idx := h.bucketIndex(x)
+		low := h.bucketLow(idx)
+		if low > x {
+			return false
+		}
+		// Relative error bound: one sub-bucket at that octave.
+		if x >= 32 && float64(x-low) > float64(x)/16 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHistogramMerge: merging must equal adding everything to one.
+func TestHistogramMerge(t *testing.T) {
+	prop := func(a, b []uint16) bool {
+		h1, h2, all := NewHistogram(), NewHistogram(), NewHistogram()
+		for _, v := range a {
+			h1.Add(int64(v))
+			all.Add(int64(v))
+		}
+		for _, v := range b {
+			h2.Add(int64(v))
+			all.Add(int64(v))
+		}
+		h1.Merge(h2)
+		return h1.Count() == all.Count() && h1.Sum() == all.Sum() &&
+			h1.Max() == all.Max() && h1.Percentile(50) == all.Percentile(50)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowMaxBasics(t *testing.T) {
+	w := NewWindowMax(4)
+	for _, v := range []float64{1, 1, 1, 1} {
+		w.Push(v)
+	}
+	if w.PeakPerCycle() != 1 || w.AvgPerCycle() != 1 {
+		t.Fatalf("uniform stream: peak=%f avg=%f", w.PeakPerCycle(), w.AvgPerCycle())
+	}
+	// A burst of 4 raises the windowed peak to 4.
+	for _, v := range []float64{4, 4, 4, 4, 0, 0, 0, 0} {
+		w.Push(v)
+	}
+	if w.PeakPerCycle() != 4 {
+		t.Fatalf("peak=%f want 4", w.PeakPerCycle())
+	}
+	if avg := w.AvgPerCycle(); avg != (4+16)/12.0 {
+		t.Fatalf("avg=%f", avg)
+	}
+}
+
+func TestWindowMaxPartialWindowFallsBack(t *testing.T) {
+	w := NewWindowMax(100)
+	w.Push(3)
+	w.Push(5)
+	if w.PeakPerCycle() != w.AvgPerCycle() {
+		t.Fatal("partial window must fall back to average")
+	}
+}
+
+func TestCollectorWarmupFilter(t *testing.T) {
+	c := NewCollector(1000)
+	c.Record(PacketRecord{Created: 0, Injected: 1, Received: 500, Hops: 2, MinHops: 2, Flits: 1})
+	if c.ReceivedPackets != 0 {
+		t.Fatal("packet received during warmup must be excluded")
+	}
+	c.Record(PacketRecord{Created: 0, Injected: 1, Received: 1500, Hops: 2, MinHops: 2, Flits: 1})
+	if c.ReceivedPackets != 1 {
+		t.Fatal("packet received after warmup must count even if created before")
+	}
+	if c.Latency.Max() != 1500 {
+		t.Fatalf("latency %d", c.Latency.Max())
+	}
+}
+
+func TestCollectorFFBreakdown(t *testing.T) {
+	c := NewCollector(0)
+	c.Record(PacketRecord{Created: 10, Injected: 12, Received: 100, Hops: 3, MinHops: 3, Flits: 5, FF: true, FFUpgraded: 80})
+	c.Record(PacketRecord{Created: 10, Injected: 12, Received: 40, Hops: 3, MinHops: 3, Flits: 1})
+	if c.FFPackets != 1 || c.FFFraction() != 0.5 {
+		t.Fatalf("ff accounting: %d, %f", c.FFPackets, c.FFFraction())
+	}
+	if c.FFBufferedPart.Max() != 70 || c.FFFreePart.Max() != 20 {
+		t.Fatalf("ff split: %d/%d", c.FFBufferedPart.Max(), c.FFFreePart.Max())
+	}
+	if c.RegLatency.Max() != 30 {
+		t.Fatalf("regular latency %d", c.RegLatency.Max())
+	}
+}
+
+func TestCollectorMisrouteAccounting(t *testing.T) {
+	c := NewCollector(0)
+	c.Record(PacketRecord{Created: 0, Injected: 0, Received: 50, Hops: 9, MinHops: 5, Flits: 1})
+	if c.MisrouteHops != 4 {
+		t.Fatalf("misroute hops %d want 4", c.MisrouteHops)
+	}
+}
+
+func TestCollectorThroughput(t *testing.T) {
+	c := NewCollector(1000)
+	for i := 0; i < 100; i++ {
+		c.Record(PacketRecord{Created: 1000, Injected: 1001, Received: 2000, Flits: 5})
+	}
+	if thr := c.Throughput(2000, 10); thr != 500.0/1000/10 {
+		t.Fatalf("throughput %f", thr)
+	}
+	if thr := c.PacketThroughput(2000, 10); thr != 100.0/1000/10 {
+		t.Fatalf("pkt throughput %f", thr)
+	}
+	if c.Throughput(999, 10) != 0 {
+		t.Fatal("throughput before warmup end must be 0")
+	}
+}
+
+func TestCollectorPerClassLatency(t *testing.T) {
+	c := NewCollector(0)
+	c.Record(PacketRecord{Created: 0, Received: 10, Class: 0, Flits: 1})
+	c.Record(PacketRecord{Created: 0, Received: 30, Class: 2, Flits: 5})
+	c.Record(PacketRecord{Created: 0, Received: 50, Class: 2, Flits: 5})
+	if got := c.ClassAvgLatency(0); got != 10 {
+		t.Fatalf("class 0 avg %f", got)
+	}
+	if got := c.ClassAvgLatency(2); got != 40 {
+		t.Fatalf("class 2 avg %f", got)
+	}
+	if got := c.ClassAvgLatency(1); got != 0 {
+		t.Fatalf("empty class 1 avg %f", got)
+	}
+	if got := c.ClassAvgLatency(99); got != 0 {
+		t.Fatalf("out-of-range class avg %f", got)
+	}
+}

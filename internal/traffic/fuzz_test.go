@@ -1,0 +1,26 @@
+package traffic
+
+import (
+	"testing"
+
+	"seec/internal/rng"
+)
+
+// FuzzDestInRange drives every pattern with fuzzer-chosen sources and
+// mesh shapes: destinations must always be valid nodes.
+func FuzzDestInRange(f *testing.F) {
+	f.Add(uint8(8), uint8(8), uint16(0), uint8(0))
+	f.Add(uint8(4), uint8(8), uint16(31), uint8(5))
+	f.Add(uint8(2), uint8(2), uint16(3), uint8(8))
+	f.Fuzz(func(t *testing.T, rows, cols uint8, src uint16, pat uint8) {
+		r := int(rows%15) + 2
+		c := int(cols%15) + 2
+		p := Pattern(int(pat) % 9)
+		s := NewSynthetic(r, c, p, 0.1, 1)
+		n := r * c
+		d := s.Dest(int(src)%n, rng.New(uint64(src)+1))
+		if d < 0 || d >= n {
+			t.Fatalf("%v on %dx%d: dest %d out of range", p, r, c, d)
+		}
+	})
+}

@@ -1,0 +1,207 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"seec/internal/rng"
+)
+
+func TestParsePatternRoundTrip(t *testing.T) {
+	for _, p := range []Pattern{UniformRandom, BitComplement, BitReverse,
+		BitRotation, Shuffle, Transpose, Tornado, Neighbor, HotSpot} {
+		got, err := ParsePattern(p.String())
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if got != p {
+			t.Fatalf("round trip %v -> %v", p, got)
+		}
+	}
+	if _, err := ParsePattern("nonsense"); err == nil {
+		t.Fatal("unknown pattern accepted")
+	}
+}
+
+func TestDestsInRange(t *testing.T) {
+	r := rng.New(1)
+	for _, dims := range [][2]int{{4, 4}, {8, 8}, {4, 8}} {
+		for _, p := range []Pattern{UniformRandom, BitComplement, BitReverse,
+			BitRotation, Shuffle, Transpose, Tornado, Neighbor, HotSpot} {
+			s := NewSynthetic(dims[0], dims[1], p, 0.1, 1)
+			n := dims[0] * dims[1]
+			for src := 0; src < n; src++ {
+				for trial := 0; trial < 4; trial++ {
+					d := s.Dest(src, r)
+					if d < 0 || d >= n {
+						t.Fatalf("%v on %dx%d: dest %d out of range for src %d", p, dims[0], dims[1], d, src)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestInvolutions: bit complement and transpose (on square meshes) are
+// involutions — applying them twice returns the source.
+func TestInvolutions(t *testing.T) {
+	r := rng.New(1)
+	for _, p := range []Pattern{BitComplement, Transpose} {
+		s := NewSynthetic(8, 8, p, 0.1, 1)
+		for src := 0; src < 64; src++ {
+			d := s.Dest(src, r)
+			if back := s.Dest(d, r); back != src {
+				t.Fatalf("%v not an involution: %d -> %d -> %d", p, src, d, back)
+			}
+		}
+	}
+}
+
+// TestBitPermutationsAreBijective: the bit patterns must be
+// permutations of the node set on power-of-two meshes.
+func TestBitPermutationsAreBijective(t *testing.T) {
+	r := rng.New(1)
+	for _, p := range []Pattern{BitComplement, BitReverse, BitRotation, Shuffle, Transpose, Tornado, Neighbor} {
+		s := NewSynthetic(8, 8, p, 0.1, 1)
+		seen := map[int]bool{}
+		for src := 0; src < 64; src++ {
+			d := s.Dest(src, r)
+			if seen[d] {
+				t.Fatalf("%v maps two sources to %d", p, d)
+			}
+			seen[d] = true
+		}
+	}
+}
+
+func TestTransposeSwapsCoordinates(t *testing.T) {
+	r := rng.New(1)
+	s := NewSynthetic(4, 4, Transpose, 0.1, 1)
+	// (x=1, y=2) = node 9 -> (x=2, y=1) = node 6.
+	if d := s.Dest(9, r); d != 6 {
+		t.Fatalf("transpose(9) = %d want 6", d)
+	}
+	// Diagonal maps to itself.
+	if d := s.Dest(5, r); d != 5 {
+		t.Fatalf("transpose(5) = %d want 5", d)
+	}
+}
+
+func TestNeighborPattern(t *testing.T) {
+	r := rng.New(1)
+	s := NewSynthetic(4, 4, Neighbor, 0.1, 1)
+	if d := s.Dest(0, r); d != 1 {
+		t.Fatalf("neighbor(0) = %d want 1", d)
+	}
+	if d := s.Dest(3, r); d != 0 {
+		t.Fatalf("neighbor(3) = %d want 0 (wrap)", d)
+	}
+}
+
+func TestTornadoHalfway(t *testing.T) {
+	r := rng.New(1)
+	s := NewSynthetic(8, 8, Tornado, 0.1, 1)
+	// (0,0) -> (3,0): x + ceil(8/2)-1 = 3.
+	if d := s.Dest(0, r); d != 3 {
+		t.Fatalf("tornado(0) = %d want 3", d)
+	}
+}
+
+func TestInjectionRateAccuracy(t *testing.T) {
+	s := NewSynthetic(4, 4, UniformRandom, 0.2, 7)
+	count := 0
+	const cycles = 20000
+	for cyc := int64(1); cyc <= cycles; cyc++ {
+		for node := 0; node < 16; node++ {
+			count += len(s.Generate(cyc, node))
+		}
+	}
+	got := float64(count) / (cycles * 16)
+	if math.Abs(got-0.2) > 0.01 {
+		t.Fatalf("measured injection rate %.4f want 0.2", got)
+	}
+}
+
+func TestPauseStopsInjection(t *testing.T) {
+	s := NewSynthetic(4, 4, UniformRandom, 0.5, 7)
+	s.Pause()
+	for cyc := int64(1); cyc < 100; cyc++ {
+		for node := 0; node < 16; node++ {
+			if len(s.Generate(cyc, node)) != 0 {
+				t.Fatal("paused source generated traffic")
+			}
+		}
+	}
+	s.Resume()
+	total := 0
+	for cyc := int64(100); cyc < 200; cyc++ {
+		for node := 0; node < 16; node++ {
+			total += len(s.Generate(cyc, node))
+		}
+	}
+	if total == 0 {
+		t.Fatal("resumed source generated nothing")
+	}
+}
+
+func TestSizeMixDistribution(t *testing.T) {
+	s := NewSynthetic(4, 4, UniformRandom, 1.0, 7)
+	ones, fives := 0, 0
+	for cyc := int64(1); cyc < 4000; cyc++ {
+		for node := 0; node < 16; node++ {
+			for _, spec := range s.Generate(cyc, node) {
+				switch spec.Size {
+				case 1:
+					ones++
+				case 5:
+					fives++
+				default:
+					t.Fatalf("unexpected packet size %d", spec.Size)
+				}
+			}
+		}
+	}
+	frac := float64(ones) / float64(ones+fives)
+	if math.Abs(frac-0.5) > 0.03 {
+		t.Fatalf("size mix %.3f want ~0.5 (Table 4: mixed 1-/5-flit)", frac)
+	}
+}
+
+func TestHotSpotConcentration(t *testing.T) {
+	s := NewSynthetic(4, 4, HotSpot, 1.0, 7)
+	s.HotNode = 5
+	s.HotFrac = 0.5
+	r := rng.New(9)
+	hot := 0
+	const trials = 10000
+	for i := 0; i < trials; i++ {
+		if s.Dest(0, r) == 5 {
+			hot++
+		}
+	}
+	// 50% direct + ~1/16 of the uniform remainder.
+	want := 0.5 + 0.5/16
+	if math.Abs(float64(hot)/trials-want) > 0.03 {
+		t.Fatalf("hotspot fraction %.3f want ~%.3f", float64(hot)/trials, want)
+	}
+}
+
+func TestPerNodeStreamsIndependent(t *testing.T) {
+	s := NewSynthetic(4, 4, UniformRandom, 0.5, 7)
+	// Two nodes must not produce identical injection sequences.
+	var seq0, seq1 []int
+	for cyc := int64(1); cyc < 500; cyc++ {
+		seq0 = append(seq0, len(s.Generate(cyc, 0)))
+		seq1 = append(seq1, len(s.Generate(cyc, 1)))
+	}
+	same := true
+	for i := range seq0 {
+		if seq0[i] != seq1[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("node 0 and node 1 share an injection stream")
+	}
+}

@@ -1,0 +1,224 @@
+package seec
+
+import (
+	"fmt"
+
+	"seec/internal/area"
+)
+
+// Result summarizes one synthetic-traffic run.
+type Result struct {
+	Config Config
+
+	AvgLatency float64 // end-to-end packet latency, cycles
+	P50Latency int64
+	P99Latency int64
+	MaxLatency int64
+
+	ThroughputFlits   float64 // received flits / node / cycle
+	ThroughputPackets float64 // received packets / node / cycle
+
+	ReceivedPackets int64
+	InjectedPackets int64
+
+	FFFraction    float64 // fraction of received packets that used Free-Flow
+	FFBufferedAvg float64 // Fig. 10b: mean cycles before upgrade (FF packets)
+	FFFreeAvg     float64 // Fig. 10b: mean cycles in bufferless traversal
+	RegLatencyAvg float64 // Fig. 10b: mean latency of regular packets
+
+	MisrouteHops int64
+
+	AvgLinkEnergy  float64 // flit-traversal units per cycle
+	PeakLinkEnergy float64
+
+	Stalled bool // liveness failure observed (deadlock/livelock symptom)
+}
+
+// header returns the aligned text header matching Result.Row.
+func resultHeader() string {
+	return fmt.Sprintf("%-11s %8s %8s %8s %9s %9s %7s %7s", "scheme", "rate", "avgLat", "p99", "thrFlit", "recv", "%FF", "stall")
+}
+
+// Row renders the result as one aligned text row.
+func (r Result) Row() string {
+	stall := ""
+	if r.Stalled {
+		stall = "STALL"
+	}
+	return fmt.Sprintf("%-11s %8.3f %8.1f %8d %9.4f %9d %6.1f%% %7s",
+		r.Config.Scheme, r.Config.InjectionRate, r.AvgLatency, r.P99Latency,
+		r.ThroughputFlits, r.ReceivedPackets, 100*r.FFFraction, stall)
+}
+
+// RunSynthetic executes one synthetic-traffic simulation: warmup +
+// SimCycles measured cycles.
+func RunSynthetic(cfg Config) (Result, error) {
+	s, err := NewSim(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	total := cfg.Warmup + cfg.SimCycles
+	for s.Cycle() < total {
+		s.Step()
+	}
+	return s.Snapshot(), nil
+}
+
+// Snapshot summarizes the run so far.
+func (s *Sim) Snapshot() Result {
+	c := s.Collector()
+	e := s.Energy()
+	r := Result{
+		Config:            s.Cfg,
+		AvgLatency:        c.AvgLatency(),
+		P50Latency:        c.Latency.Percentile(50),
+		P99Latency:        c.Latency.Percentile(99),
+		MaxLatency:        c.MaxLatency(),
+		ThroughputFlits:   c.Throughput(s.Cycle(), s.Nodes()),
+		ThroughputPackets: c.PacketThroughput(s.Cycle(), s.Nodes()),
+		ReceivedPackets:   c.ReceivedPackets,
+		InjectedPackets:   c.InjectedPackets,
+		FFFraction:        c.FFFraction(),
+		FFBufferedAvg:     c.FFBufferedPart.Mean(),
+		FFFreeAvg:         c.FFFreePart.Mean(),
+		RegLatencyAvg:     c.RegLatency.Mean(),
+		MisrouteHops:      c.MisrouteHops,
+		AvgLinkEnergy:     e.AvgLinkEnergy(),
+		PeakLinkEnergy:    e.PeakLinkEnergy(),
+		Stalled:           s.Stalled(5000),
+	}
+	return r
+}
+
+// CurvePoint is one point on a latency-throughput curve.
+type CurvePoint struct {
+	Rate   float64
+	Result Result
+}
+
+// LatencyCurve sweeps injection rates and returns the latency curve
+// (Fig. 8's data). Points past severe saturation still return (with
+// saturated latency values), matching how the paper plots its curves.
+func LatencyCurve(cfg Config, rates []float64) ([]CurvePoint, error) {
+	pts := make([]CurvePoint, 0, len(rates))
+	for _, rate := range rates {
+		c := cfg
+		c.InjectionRate = rate
+		res, err := RunSynthetic(c)
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, CurvePoint{Rate: rate, Result: res})
+	}
+	return pts, nil
+}
+
+// ZeroLoadLatency measures the average latency at a near-zero rate.
+func ZeroLoadLatency(cfg Config) (float64, error) {
+	c := cfg
+	c.InjectionRate = 0.005
+	if c.SimCycles < 20000 {
+		c.SimCycles = 20000
+	}
+	res, err := RunSynthetic(c)
+	if err != nil {
+		return 0, err
+	}
+	return res.AvgLatency, nil
+}
+
+// SaturationThroughput returns the highest injection rate (packets/
+// node/cycle) at which average latency stays below 3x the zero-load
+// latency — the standard saturation definition, measured by bisection.
+// The returned Result is from the last sub-saturation run.
+func SaturationThroughput(cfg Config) (float64, Result, error) {
+	zero, err := ZeroLoadLatency(cfg)
+	if err != nil {
+		return 0, Result{}, err
+	}
+	limit := 3 * zero
+	ok := func(rate float64) (bool, Result, error) {
+		c := cfg
+		c.InjectionRate = rate
+		res, err := RunSynthetic(c)
+		if err != nil {
+			return false, res, err
+		}
+		return !res.Stalled && res.AvgLatency > 0 && res.AvgLatency <= limit, res, nil
+	}
+	lo, hi := 0.005, 1.0
+	var last Result
+	// Exponential probe up, then bisect.
+	for hi-lo > 0.005 {
+		mid := (lo + hi) / 2
+		good, res, err := ok(mid)
+		if err != nil {
+			return 0, Result{}, err
+		}
+		if good {
+			lo = mid
+			last = res
+		} else {
+			hi = mid
+		}
+	}
+	return lo, last, nil
+}
+
+// AppResult summarizes one application run (Figs. 14-15).
+type AppResult struct {
+	App        string
+	Scheme     Scheme
+	Runtime    int64 // cycles to complete the transaction target
+	AvgLatency float64
+	MaxLatency int64
+	P99Latency int64
+	Completed  int64
+	Stalled    bool
+
+	// ClassAvgLatency holds per-message-class mean latencies (indexed
+	// by coherence class: request, forward, response, ack, writeback,
+	// wb-ack).
+	ClassAvgLatency []float64
+}
+
+// RunApplication drives a coherence workload to its transaction target
+// (or maxCycles) and reports runtime and packet-latency statistics.
+func RunApplication(cfg Config, app string, txns, maxCycles int64) (AppResult, error) {
+	s, err := NewAppSim(cfg, app, txns)
+	if err != nil {
+		return AppResult{}, err
+	}
+	for !s.App.Done() && s.Cycle() < maxCycles {
+		s.Step()
+	}
+	c := s.Collector()
+	perClass := make([]float64, len(c.ClassLatency))
+	for i := range perClass {
+		perClass[i] = c.ClassAvgLatency(i)
+	}
+	return AppResult{
+		App:             app,
+		Scheme:          cfg.Scheme,
+		Runtime:         s.Cycle(),
+		AvgLatency:      c.AvgLatency(),
+		MaxLatency:      c.MaxLatency(),
+		P99Latency:      c.Latency.Percentile(99),
+		Completed:       s.App.Stats.Completed,
+		Stalled:         s.Stalled(5000),
+		ClassAvgLatency: perClass,
+	}, nil
+}
+
+// AreaBreakdown re-exports the analytic router area model (Fig. 7).
+type AreaBreakdown = area.Breakdown
+
+// AreaReport sizes each scheme's minimum-buffer router configuration
+// (Fig. 7) with 128-bit links.
+func AreaReport() []AreaBreakdown {
+	var out []AreaBreakdown
+	for _, s := range area.Fig7Schemes() {
+		out = append(out, area.Router(area.SchemeConfig(s, 128)))
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package seec_test
+
+import (
+	"fmt"
+	"testing"
+
+	"seec"
+	"seec/internal/rng"
+)
+
+// TestRandomizedStress is the repository's chaos harness: random
+// scheme, mesh shape, VC count, pattern, load and seed combinations,
+// each audited for bookkeeping consistency and liveness-appropriate
+// behavior. Any panic (flow-control violation, FF collision, buffer
+// overflow) or invariant breach fails the run with its recipe printed
+// for reproduction.
+func TestRandomizedStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress harness is slow")
+	}
+	r := rng.New(0xC0FFEE)
+	schemes := seec.AllSchemes()
+	patterns := []string{"uniform_random", "bit_rotation", "shuffle",
+		"transpose", "bit_complement", "tornado", "neighbor", "hotspot"}
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		cfg := seec.DefaultConfig()
+		dims := [][2]int{{4, 4}, {8, 8}, {4, 8}, {2, 6}, {6, 2}}[r.Intn(5)]
+		cfg.Rows, cfg.Cols = dims[0], dims[1]
+		cfg.Scheme = schemes[r.Intn(len(schemes))]
+		cfg.VCsPerVNet = 1 + r.Intn(4)
+		if cfg.Scheme == seec.SchemeEscape && cfg.VCsPerVNet < 2 {
+			cfg.VCsPerVNet = 2
+		}
+		cfg.EjectVCsPerClass = 1 + r.Intn(4)
+		cfg.Pattern = patterns[r.Intn(len(patterns))]
+		cfg.InjectionRate = 0.02 + r.Float64()*0.38
+		cfg.Seed = r.Uint64()
+		cfg.SimCycles = 3000
+		recipe := fmt.Sprintf("trial %d: %s %dx%d vcs=%d ej=%d %s rate=%.3f seed=%d",
+			trial, cfg.Scheme, cfg.Rows, cfg.Cols, cfg.VCsPerVNet,
+			cfg.EjectVCsPerClass, cfg.Pattern, cfg.InjectionRate, cfg.Seed)
+		sim, err := seec.NewSim(cfg)
+		if err != nil {
+			// Only structural rejections are acceptable (e.g. DRAIN has
+			// no Hamiltonian cycle on odd x odd meshes — none here).
+			t.Fatalf("%s: %v", recipe, err)
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("%s: panic: %v", recipe, p)
+				}
+			}()
+			sim.Run(cfg.Warmup + cfg.SimCycles)
+		}()
+		if sim.Net != nil {
+			if err := sim.Net.CheckInvariants(); err != nil {
+				t.Fatalf("%s: %v", recipe, err)
+			}
+		}
+		// Turn-model and express schemes must never misroute.
+		switch cfg.Scheme {
+		case seec.SchemeXY, seec.SchemeWestFirst, seec.SchemeTFC,
+			seec.SchemeEscape, seec.SchemeSEEC, seec.SchemeMSEEC, seec.SchemeSPIN:
+			if m := sim.Collector().MisrouteHops; m != 0 {
+				t.Fatalf("%s: %d misroute hops from a minimal scheme", recipe, m)
+			}
+		}
+	}
+}
