@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test short race check bench figures
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+short:
+	$(GO) test -short ./...
+
+# Race-detector pass over the short suite; see ci.sh for why -short.
+race:
+	$(GO) test -race -short ./...
+
+# The tier-1 gate: everything ci.sh runs (build, vet, test, race).
+check:
+	./ci.sh
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$'
+
+# Regenerate the checked-in quick-scale results record.
+figures:
+	$(GO) run ./cmd/figures -fig all -scale quick > results/figures_quick.txt

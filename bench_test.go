@@ -7,6 +7,8 @@ package seec_test
 // doubles as a compact reproduction record.
 
 import (
+	"context"
+	"runtime"
 	"strconv"
 	"testing"
 
@@ -157,6 +159,37 @@ func BenchmarkTable3_SeekBounds(b *testing.B) {
 			b.Fatal("no rows")
 		}
 	}
+}
+
+// benchCurve is the shared workload for the serial-vs-parallel
+// LatencyCurve pair: one full Fig. 8-style rate sweep.
+func benchCurve(b *testing.B, workers int) {
+	cfg := seec.DefaultConfig()
+	cfg.Rows, cfg.Cols = 4, 4
+	cfg.Scheme = seec.SchemeSEEC
+	cfg.SimCycles = 3000
+	rates := []float64{0.02, 0.06, 0.10, 0.14, 0.18, 0.22, 0.26, 0.30}
+	for i := 0; i < b.N; i++ {
+		pts, err := seec.LatencyCurveCtx(context.Background(), cfg, rates, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pts) != len(rates) {
+			b.Fatalf("got %d points", len(pts))
+		}
+	}
+}
+
+// BenchmarkLatencyCurveSerial pins the single-worker sweep so the
+// parallel speedup below is tracked in the benchmark trajectory.
+func BenchmarkLatencyCurveSerial(b *testing.B) { benchCurve(b, 1) }
+
+// BenchmarkLatencyCurveParallel runs the identical sweep across
+// GOMAXPROCS workers; the results are byte-identical to serial (see
+// TestLatencyCurveParallelDeterminism), only the wall clock changes.
+func BenchmarkLatencyCurveParallel(b *testing.B) {
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "workers")
+	benchCurve(b, runtime.GOMAXPROCS(0))
 }
 
 // BenchmarkStepSEEC8x8 measures raw simulator speed (cycles/op) for

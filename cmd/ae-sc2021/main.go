@@ -5,22 +5,32 @@
 // SEEC repository's schemes, printing one average_packet_latency line
 // per run exactly as the gem5 flow would.
 //
+// The runs are independent simulations, so they fan out across -j
+// workers; each run derives its RNG seed from its own (scheme,
+// pattern, rate, mesh) coordinates, and the lines print in sweep
+// order, so the output is byte-identical at any -j.
+//
 // Usage:
 //
 //	ae-sc2021              # 8x8 only (minutes)
 //	ae-sc2021 -mesh both   # 8x8 and 16x16 (slow, as was the original)
+//	ae-sc2021 -j 16        # 16 concurrent simulations
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"runtime"
 
 	"seec"
+	"seec/internal/runner"
 )
 
 func main() {
 	mesh := flag.String("mesh", "8x8", `"8x8" or "both" (adds 16x16)`)
 	cycles := flag.Int64("sim-cycles", 10000, "measured cycles per point")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "simulations to run concurrently (output is identical at any value)")
 	flag.Parse()
 
 	sizes := []int{8}
@@ -33,6 +43,7 @@ func main() {
 	patterns := []string{"bit_rotation", "shuffle", "transpose"}
 	rates := []float64{0.02, 0.05, 0.08, 0.11, 0.14, 0.17, 0.20}
 
+	var cfgs []seec.Config
 	for _, k := range sizes {
 		for _, pat := range patterns {
 			for _, scheme := range schemes {
@@ -43,15 +54,23 @@ func main() {
 					cfg.Pattern = pat
 					cfg.InjectionRate = rate
 					cfg.SimCycles = *cycles
-					res, err := seec.RunSynthetic(cfg)
-					if err != nil {
-						fmt.Printf("# %v\n", err)
-						continue
-					}
-					fmt.Printf("mesh=%dx%d synthetic=%s scheme=%s injectionrate=%.2f average_packet_latency=%.3f reception_rate=%.4f\n",
-						k, k, pat, scheme, rate, res.AvgLatency, res.ThroughputPackets)
+					cfg.Seed = cfg.SweepSeed()
+					cfgs = append(cfgs, cfg)
 				}
 			}
 		}
+	}
+	lines, _ := runner.Sweep(context.Background(), cfgs,
+		func(_ context.Context, cfg seec.Config) (string, error) {
+			res, err := seec.RunSynthetic(cfg)
+			if err != nil {
+				return fmt.Sprintf("# %v", err), nil
+			}
+			return fmt.Sprintf("mesh=%dx%d synthetic=%s scheme=%s injectionrate=%.2f average_packet_latency=%.3f reception_rate=%.4f",
+				cfg.Rows, cfg.Cols, cfg.Pattern, cfg.Scheme, cfg.InjectionRate,
+				res.AvgLatency, res.ThroughputPackets), nil
+		}, runner.WithWorkers(*jobs))
+	for _, line := range lines {
+		fmt.Println(line)
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"seec/internal/exp"
@@ -22,6 +23,7 @@ func main() {
 	scale := flag.String("scale", "quick", "experiment scale: quick, medium or full")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	chart := flag.Bool("chart", false, "also draw latency-curve figures (8, 12, 13) as ASCII charts")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "simulations to run concurrently (output is identical at any value)")
 	flag.Parse()
 
 	var sc exp.Scale
@@ -36,6 +38,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
 		os.Exit(2)
 	}
+	sc.Workers = *jobs
 
 	gens := map[string]func() []*exp.Table{
 		"7":      func() []*exp.Table { return []*exp.Table{exp.Fig7()} },

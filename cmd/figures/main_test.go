@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// The golden tests run the real CLI — flag parsing, generator
+// dispatch, CSV rendering — not just the exp package underneath, via
+// the helper-process trick: the test binary re-executes itself with
+// mainEnv set, and TestMain routes that invocation into main() with
+// the command line under test.
+
+const mainEnv = "SEEC_FIGURES_RUN_MAIN"
+
+var update = flag.Bool("update", false, "regenerate the golden files under results/golden/")
+
+func TestMain(m *testing.M) {
+	if os.Getenv(mainEnv) == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// runFigures executes the CLI with the given arguments and returns its
+// stdout.
+func runFigures(t *testing.T, args ...string) []byte {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, args...)
+	cmd.Env = append(os.Environ(), mainEnv+"=1")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("figures %v: %v\nstderr:\n%s", args, err, stderr.String())
+	}
+	return stdout.Bytes()
+}
+
+// TestGoldenTable1QuickCSV: `figures -fig table1 -scale quick -csv`
+// must reproduce results/golden/table1_quick.csv byte for byte. Run
+// with -update to regenerate the golden file after an intended
+// simulator or formatting change.
+func TestGoldenTable1QuickCSV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates Table 1 at quick scale (~1 min)")
+	}
+	golden := filepath.Join("..", "..", "results", "golden", "table1_quick.csv")
+	got := runFigures(t, "-fig", "table1", "-scale", "quick", "-csv")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s (%d bytes)", golden, len(got))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("output differs from %s — simulator behavior or formatting changed; "+
+			"rerun with -update if intended.\n--- got ---\n%s\n--- want ---\n%s",
+			golden, got, want)
+	}
+}
+
+// TestGoldenOutputWorkerIndependent: the same table generated at -j 1
+// and -j 8 must be byte-identical on stdout (the CLI face of the
+// determinism contract). Fig. 7 is analytic (no simulations), so this
+// also pins the cheap path; the -j flag must still be accepted.
+func TestGoldenOutputWorkerIndependent(t *testing.T) {
+	a := runFigures(t, "-fig", "7", "-scale", "quick", "-csv", "-j", "1")
+	b := runFigures(t, "-fig", "7", "-scale", "quick", "-csv", "-j", "8")
+	if len(a) == 0 || !bytes.Equal(a, b) {
+		t.Fatalf("-j 1 and -j 8 outputs differ:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestCLIRejectsBadFlags: unknown figures and scales must exit
+// non-zero (the AE scripts depend on loud failures, not empty output).
+func TestCLIRejectsBadFlags(t *testing.T) {
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, args := range [][]string{
+		{"-fig", "nope"},
+		{"-scale", "nope"},
+	} {
+		cmd := exec.Command(exe, args...)
+		cmd.Env = append(os.Environ(), mainEnv+"=1")
+		if err := cmd.Run(); err == nil {
+			t.Errorf("figures %v unexpectedly succeeded", args)
+		}
+	}
+}

@@ -16,17 +16,22 @@ func Fig10a(s Scale) *Table {
 		Title:  "FF packets received (%) vs injection rate — uniform random, 8x8",
 		Header: []string{"rate", "seec %FF", "mseec %FF"},
 	}
-	for _, rate := range s.Rates {
+	schemes := []seec.Scheme{seec.SchemeSEEC, seec.SchemeMSEEC}
+	vals := cells(s, len(s.Rates)*len(schemes), func(i int) string {
+		rate, sc := s.Rates[i/len(schemes)], schemes[i%len(schemes)]
+		cfg := synthCfg(sc, 8, 4, "uniform_random", s.SimCycles)
+		cfg.InjectionRate = rate
+		cfg.Seed = cfg.SweepSeed()
+		res, err := seec.RunSynthetic(cfg)
+		if err != nil {
+			return "err"
+		}
+		return fmt.Sprintf("%.1f", 100*res.FFFraction)
+	})
+	for ri, rate := range s.Rates {
 		row := []any{fmt.Sprintf("%.2f", rate)}
-		for _, sc := range []seec.Scheme{seec.SchemeSEEC, seec.SchemeMSEEC} {
-			cfg := synthCfg(sc, 8, 4, "uniform_random", s.SimCycles)
-			cfg.InjectionRate = rate
-			res, err := seec.RunSynthetic(cfg)
-			if err != nil {
-				row = append(row, "err")
-				continue
-			}
-			row = append(row, fmt.Sprintf("%.1f", 100*res.FFFraction))
+		for ci := range schemes {
+			row = append(row, vals[ri*len(schemes)+ci])
 		}
 		t.AddRow(row...)
 	}
@@ -47,21 +52,27 @@ func Fig10b(s Scale) *Table {
 			"FF buffered part", "FF bufferless part", "%FF"},
 	}
 	rates := []float64{s.Rates[0], s.Rates[len(s.Rates)/2], s.Rates[len(s.Rates)-1]}
-	for _, sc := range []seec.Scheme{seec.SchemeSEEC, seec.SchemeMSEEC} {
-		for _, rate := range rates {
-			cfg := synthCfg(sc, 8, 4, "uniform_random", s.SimCycles)
-			cfg.InjectionRate = rate
-			res, err := seec.RunSynthetic(cfg)
-			if err != nil {
-				continue
-			}
-			ffLat := res.FFBufferedAvg + res.FFFreeAvg
-			t.AddRow(string(sc), fmt.Sprintf("%.2f", rate),
-				fmt.Sprintf("%.1f", res.RegLatencyAvg),
-				fmt.Sprintf("%.1f", ffLat),
-				fmt.Sprintf("%.1f", res.FFBufferedAvg),
-				fmt.Sprintf("%.1f", res.FFFreeAvg),
-				fmt.Sprintf("%.1f", 100*res.FFFraction))
+	schemes := []seec.Scheme{seec.SchemeSEEC, seec.SchemeMSEEC}
+	rows := cells(s, len(schemes)*len(rates), func(i int) []any {
+		sc, rate := schemes[i/len(rates)], rates[i%len(rates)]
+		cfg := synthCfg(sc, 8, 4, "uniform_random", s.SimCycles)
+		cfg.InjectionRate = rate
+		cfg.Seed = cfg.SweepSeed()
+		res, err := seec.RunSynthetic(cfg)
+		if err != nil {
+			return nil
+		}
+		ffLat := res.FFBufferedAvg + res.FFFreeAvg
+		return []any{string(sc), fmt.Sprintf("%.2f", rate),
+			fmt.Sprintf("%.1f", res.RegLatencyAvg),
+			fmt.Sprintf("%.1f", ffLat),
+			fmt.Sprintf("%.1f", res.FFBufferedAvg),
+			fmt.Sprintf("%.1f", res.FFFreeAvg),
+			fmt.Sprintf("%.1f", 100*res.FFFraction)}
+	})
+	for _, row := range rows {
+		if row != nil {
+			t.AddRow(row...)
 		}
 	}
 	t.Notes = append(t.Notes, "FF packets were blocked before upgrade, so their buffered part dominates (paper §4.3)")
@@ -101,29 +112,30 @@ func Fig11(s Scale) *Table {
 		err                     error
 	}
 	measure := func(sc seec.Scheme) pt {
-		cfg := synthCfg(sc, 8, 4, "uniform_random", s.SimCycles)
-		cfg.InjectionRate = kneeRate
-		res, err := seec.RunSynthetic(cfg)
+		at := func(rate float64) (seec.Result, error) {
+			cfg := synthCfg(sc, 8, 4, "uniform_random", s.SimCycles)
+			cfg.InjectionRate = rate
+			cfg.Seed = cfg.SweepSeed()
+			return seec.RunSynthetic(cfg)
+		}
+		res, err := at(kneeRate)
 		if err != nil {
 			return pt{sc: sc, err: err}
 		}
 		p := pt{sc: sc, avg: res.AvgLinkEnergy, peakKnee: res.PeakLinkEnergy}
-		cfg.InjectionRate = overRate
-		res, err = seec.RunSynthetic(cfg)
+		res, err = at(overRate)
 		if err != nil {
 			return pt{sc: sc, err: err}
 		}
 		p.peakOver = res.PeakLinkEnergy
 		return p
 	}
-	var pts []pt
+	pts := cells(s, len(schemes), func(i int) pt { return measure(schemes[i]) })
 	var base pt
-	for _, sc := range schemes {
-		p := measure(sc)
-		if sc == seec.SchemeWestFirst && p.err == nil {
+	for _, p := range pts {
+		if p.sc == seec.SchemeWestFirst && p.err == nil {
 			base = p
 		}
-		pts = append(pts, p)
 	}
 	for _, p := range pts {
 		if p.err != nil || base.avg == 0 {

@@ -31,26 +31,49 @@ func fig12Variants() []fig12Variant {
 }
 
 // Fig12 regenerates the routing-algorithm comparison: latency vs
-// injection rate for uniform random and transpose at 2 VCs.
+// injection rate for uniform random and transpose at 2 VCs. Both
+// tables' cells fan out as one flat job list.
 func Fig12(s Scale) []*Table {
+	pats := []string{"uniform_random", "transpose"}
+	vs := fig12Variants()
+	type coord struct {
+		pat  string
+		rate float64
+		v    fig12Variant
+	}
+	var coords []coord
+	for _, pat := range pats {
+		for _, rate := range s.Rates {
+			for _, v := range vs {
+				coords = append(coords, coord{pat, rate, v})
+			}
+		}
+	}
+	vals := cells(s, len(coords), func(i int) string {
+		c := coords[i]
+		cfg := synthCfg(c.v.scheme, 8, 2, c.pat, s.SimCycles)
+		cfg.Routing = c.v.routing
+		cfg.InjectionRate = c.rate
+		cfg.Seed = cfg.SweepSeed()
+		res, err := seec.RunSynthetic(cfg)
+		return latencyCell(res, err)
+	})
 	var out []*Table
-	for _, pat := range []string{"uniform_random", "transpose"} {
+	i := 0
+	for _, pat := range pats {
 		t := &Table{
 			ID:    "fig12",
 			Title: fmt.Sprintf("Routing-algorithm deep dive — 8x8, %s, 2 VCs", pat),
 		}
 		t.Header = append(t.Header, "rate")
-		for _, v := range fig12Variants() {
+		for _, v := range vs {
 			t.Header = append(t.Header, v.label)
 		}
 		for _, rate := range s.Rates {
 			row := []any{fmt.Sprintf("%.2f", rate)}
-			for _, v := range fig12Variants() {
-				cfg := synthCfg(v.scheme, 8, 2, pat, s.SimCycles)
-				cfg.Routing = v.routing
-				cfg.InjectionRate = rate
-				res, err := seec.RunSynthetic(cfg)
-				row = append(row, latencyCell(res, err))
+			for range vs {
+				row = append(row, vals[i])
+				i++
 			}
 			t.AddRow(row...)
 		}
@@ -63,31 +86,56 @@ func Fig12(s Scale) []*Table {
 // 2 VCs against escape VC with 2, 4, 8 and 16 VCs on an 8x8 mesh.
 // The paper's crossover: escape VC needs 8+ VCs to match SEEC/mSEEC.
 func Fig13(s Scale) []*Table {
+	pats := []string{"uniform_random", "transpose"}
 	var out []*Table
-	for _, pat := range []string{"uniform_random", "transpose"} {
+	for _, pat := range pats {
 		t := &Table{
 			ID:    "fig13",
 			Title: fmt.Sprintf("SEEC/mSEEC @2VC vs escape VC with more VCs — 8x8, %s", pat),
 			Header: []string{"rate", "seec 2VC", "mseec 2VC",
 				"eVC 2VC", "eVC 4VC", "eVC 8VC", "eVC 16VC"},
 		}
+		out = append(out, t)
+	}
+	// Columns: SEEC and mSEEC at 2 VCs, then escape VC at each width.
+	type col struct {
+		sc  seec.Scheme
+		vcs int
+	}
+	colsOf := []col{{seec.SchemeSEEC, 2}, {seec.SchemeMSEEC, 2},
+		{seec.SchemeEscape, 2}, {seec.SchemeEscape, 4},
+		{seec.SchemeEscape, 8}, {seec.SchemeEscape, 16}}
+	type coord struct {
+		pat  string
+		rate float64
+		c    col
+	}
+	var coords []coord
+	for _, pat := range pats {
+		for _, rate := range s.Rates {
+			for _, c := range colsOf {
+				coords = append(coords, coord{pat, rate, c})
+			}
+		}
+	}
+	vals := cells(s, len(coords), func(i int) string {
+		j := coords[i]
+		cfg := synthCfg(j.c.sc, 8, j.c.vcs, j.pat, s.SimCycles)
+		cfg.InjectionRate = j.rate
+		cfg.Seed = cfg.SweepSeed()
+		res, err := seec.RunSynthetic(cfg)
+		return latencyCell(res, err)
+	})
+	i := 0
+	for ti := range pats {
 		for _, rate := range s.Rates {
 			row := []any{fmt.Sprintf("%.2f", rate)}
-			for _, sc := range []seec.Scheme{seec.SchemeSEEC, seec.SchemeMSEEC} {
-				cfg := synthCfg(sc, 8, 2, pat, s.SimCycles)
-				cfg.InjectionRate = rate
-				res, err := seec.RunSynthetic(cfg)
-				row = append(row, latencyCell(res, err))
+			for range colsOf {
+				row = append(row, vals[i])
+				i++
 			}
-			for _, vcs := range []int{2, 4, 8, 16} {
-				cfg := synthCfg(seec.SchemeEscape, 8, vcs, pat, s.SimCycles)
-				cfg.InjectionRate = rate
-				res, err := seec.RunSynthetic(cfg)
-				row = append(row, latencyCell(res, err))
-			}
-			t.AddRow(row...)
+			out[ti].AddRow(row...)
 		}
-		out = append(out, t)
 	}
 	return out
 }

@@ -57,6 +57,25 @@ func appConfig(v appVariant) seec.Config {
 	return cfg
 }
 
+// appRun is one (application, variant) measurement.
+type appRun struct {
+	res seec.AppResult
+	err error
+}
+
+// appResults fans the apps x variants grid out across the worker pool,
+// returning results in row-major (app, variant) order. Each run's seed
+// derives from its variant coordinates plus the application name.
+func appResults(s Scale, apps []string, vs []appVariant) []appRun {
+	return cells(s, len(apps)*len(vs), func(i int) appRun {
+		app, v := apps[i/len(vs)], vs[i%len(vs)]
+		cfg := appConfig(v)
+		cfg.Seed = cfg.SweepSeed(app)
+		res, err := seec.RunApplication(cfg, app, s.AppTxns, s.MaxAppCycles)
+		return appRun{res: res, err: err}
+	})
+}
+
 // Fig14 regenerates the application study: average packet latency and
 // runtime normalized to XY, per application.
 func Fig14(s Scale) *Table {
@@ -69,23 +88,24 @@ func Fig14(s Scale) *Table {
 	for _, v := range vs {
 		t.Header = append(t.Header, v.label)
 	}
-	for _, app := range s.Apps {
+	results := appResults(s, s.Apps, vs)
+	for ai, app := range s.Apps {
 		lat := []any{app, "avg-lat"}
 		run := []any{app, "runtime"}
 		baseRuntime := int64(0)
-		for i, v := range vs {
-			res, err := seec.RunApplication(appConfig(v), app, s.AppTxns, s.MaxAppCycles)
-			if err != nil || res.Completed < s.AppTxns {
+		for i := range vs {
+			r := results[ai*len(vs)+i]
+			if r.err != nil || r.res.Completed < s.AppTxns {
 				lat = append(lat, "err")
 				run = append(run, "err")
 				continue
 			}
 			if i == 0 {
-				baseRuntime = res.Runtime
+				baseRuntime = r.res.Runtime
 			}
-			lat = append(lat, fmt.Sprintf("%.1f", res.AvgLatency))
+			lat = append(lat, fmt.Sprintf("%.1f", r.res.AvgLatency))
 			if baseRuntime > 0 {
-				run = append(run, fmt.Sprintf("%.3f", float64(res.Runtime)/float64(baseRuntime)))
+				run = append(run, fmt.Sprintf("%.3f", float64(r.res.Runtime)/float64(baseRuntime)))
 			} else {
 				run = append(run, "-")
 			}
@@ -111,15 +131,16 @@ func Fig15(s Scale) *Table {
 	for _, v := range vs {
 		t.Header = append(t.Header, v.label)
 	}
-	for _, app := range s.Apps {
+	results := appResults(s, s.Apps, vs)
+	for ai, app := range s.Apps {
 		row := []any{app}
-		for _, v := range vs {
-			res, err := seec.RunApplication(appConfig(v), app, s.AppTxns, s.MaxAppCycles)
-			if err != nil || res.Completed < s.AppTxns {
+		for i := range vs {
+			r := results[ai*len(vs)+i]
+			if r.err != nil || r.res.Completed < s.AppTxns {
 				row = append(row, "err")
 				continue
 			}
-			row = append(row, fmt.Sprint(res.MaxLatency))
+			row = append(row, fmt.Sprint(r.res.MaxLatency))
 		}
 		t.AddRow(row...)
 	}

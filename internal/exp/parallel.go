@@ -1,0 +1,19 @@
+package exp
+
+import (
+	"context"
+
+	"seec/internal/runner"
+)
+
+// cells fans n independent simulation cells out across the scale's
+// worker pool and returns the results in cell order. Generators render
+// per-cell failures into the cell text (a table should show "err", not
+// abort), so fn returns a plain value; with no error path and no
+// cancellation, the runner call cannot fail.
+func cells[T any](s Scale, n int, fn func(i int) T) []T {
+	out, _ := runner.Map(context.Background(), n, func(_ context.Context, i int) (T, error) {
+		return fn(i), nil
+	}, runner.WithWorkers(s.Workers))
+	return out
+}

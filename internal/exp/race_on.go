@@ -1,0 +1,8 @@
+//go:build race
+
+package exp
+
+// raceEnabled reports whether the race detector is compiled in; the
+// heavyweight determinism tests skip under it (10x slowdown on
+// hundreds of simulations) — the trimmed variants still run.
+const raceEnabled = true

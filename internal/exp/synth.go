@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"seec"
@@ -34,27 +35,53 @@ func fig8Patterns() []string {
 // Fig8 regenerates the latency-versus-injection-rate curves: one table
 // per (mesh size, traffic pattern), columns are schemes, cells are
 // average packet latency in cycles ("sat" once past saturation or
-// stalled). Run with 4 VCs per input port as in the paper.
+// stalled). Run with 4 VCs per input port as in the paper. Every cell
+// — across tables, rows and scheme columns — is an independent
+// simulation, so the whole figure fans out as one flat job list.
 func Fig8(s Scale) []*Table {
-	var out []*Table
+	schemes := fig8Schemes()
+	pats := fig8Patterns()
+	type coord struct {
+		k    int
+		pat  string
+		rate float64
+		sc   seec.Scheme
+	}
+	var coords []coord
 	for _, k := range s.MeshSizes {
-		for _, pat := range fig8Patterns() {
+		for _, pat := range pats {
+			for _, rate := range s.Rates {
+				for _, sc := range schemes {
+					coords = append(coords, coord{k, pat, rate, sc})
+				}
+			}
+		}
+	}
+	vals := cells(s, len(coords), func(i int) string {
+		c := coords[i]
+		cfg := synthCfg(c.sc, c.k, 4, c.pat, s.SimCycles)
+		cfg.InjectionRate = c.rate
+		cfg.Seed = cfg.SweepSeed()
+		res, err := seec.RunSynthetic(cfg)
+		return latencyCell(res, err)
+	})
+	var out []*Table
+	i := 0
+	for _, k := range s.MeshSizes {
+		for _, pat := range pats {
 			t := &Table{
 				ID:    "fig8",
 				Title: fmt.Sprintf("Avg packet latency vs injection rate — %dx%d mesh, %s, 4 VCs", k, k, pat),
 			}
 			t.Header = append(t.Header, "rate")
-			schemes := fig8Schemes()
 			for _, sc := range schemes {
 				t.Header = append(t.Header, string(sc))
 			}
 			for _, rate := range s.Rates {
 				row := []any{fmt.Sprintf("%.2f", rate)}
-				for _, sc := range schemes {
-					cfg := synthCfg(sc, k, 4, pat, s.SimCycles)
-					cfg.InjectionRate = rate
-					res, err := seec.RunSynthetic(cfg)
-					row = append(row, latencyCell(res, err))
+				for range schemes {
+					row = append(row, vals[i])
+					i++
 				}
 				t.AddRow(row...)
 			}
@@ -98,22 +125,45 @@ func Fig9(s Scale) *Table {
 	if len(sizes) > 2 {
 		sizes = sizes[:2] // Fig. 9 uses 4x4 and 8x8
 	}
+	type coord struct {
+		pat string
+		k   int
+		vcs int
+		sc  seec.Scheme
+	}
+	var coords []coord
+	for _, pat := range []string{"bit_rotation", "transpose"} {
+		for _, k := range sizes {
+			for _, vcs := range []int{1, 2, 4} {
+				for _, sc := range schemes {
+					coords = append(coords, coord{pat, k, vcs, sc})
+				}
+			}
+		}
+	}
+	// Parallelism lives at the cell level; each cell's saturation
+	// search runs its probes serially (workers=1) so the pool is not
+	// oversubscribed. The search result is identical either way.
+	vals := cells(s, len(coords), func(i int) string {
+		c := coords[i]
+		if c.sc == seec.SchemeEscape && c.vcs < 2 {
+			return "n/a"
+		}
+		cfg := synthCfg(c.sc, c.k, c.vcs, c.pat, s.SatCycles)
+		sat, _, err := seec.SaturationThroughputCtx(context.Background(), cfg, 1)
+		if err != nil {
+			return "err"
+		}
+		return fmt.Sprintf("%.3f", sat)
+	})
+	i := 0
 	for _, pat := range []string{"bit_rotation", "transpose"} {
 		for _, k := range sizes {
 			for _, vcs := range []int{1, 2, 4} {
 				row := []any{pat, fmt.Sprintf("%dx%d", k, k), vcs}
-				for _, sc := range schemes {
-					if sc == seec.SchemeEscape && vcs < 2 {
-						row = append(row, "n/a")
-						continue
-					}
-					cfg := synthCfg(sc, k, vcs, pat, s.SatCycles)
-					sat, _, err := seec.SaturationThroughput(cfg)
-					if err != nil {
-						row = append(row, "err")
-						continue
-					}
-					row = append(row, fmt.Sprintf("%.3f", sat))
+				for range schemes {
+					row = append(row, vals[i])
+					i++
 				}
 				t.AddRow(row...)
 			}

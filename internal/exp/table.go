@@ -105,6 +105,13 @@ type Scale struct {
 	Apps         []string  // application subset
 	SatCycles    int64     // cycles per point during saturation search
 	MaxAppCycles int64
+
+	// Workers bounds the worker pool the generators fan their
+	// independent simulations out across; 0 selects
+	// runtime.GOMAXPROCS(0). Every job derives its RNG seed from its
+	// own coordinates (Config.SweepSeed), so the rendered tables are
+	// byte-identical at any worker count.
+	Workers int
 }
 
 // Quick returns the fast preset used by tests and default CLI runs.

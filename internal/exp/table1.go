@@ -35,10 +35,14 @@ func Table1(s Scale) *Table {
 		{seec.SchemeSEEC, "S", true, true, true},
 		{seec.SchemeMSEEC, "S", true, true, true},
 	}
-	for _, e := range entries {
-		noMis := measureNoMisroute(e.scheme, s)
-		routingFree := measureRoutingDLFree(e.scheme, s)
-		protoFree := measureProtocolDLFree(e.scheme, s)
+	// Three independent measurements per scheme; fan the whole grid out.
+	measures := []func(seec.Scheme, Scale) bool{
+		measureNoMisroute, measureRoutingDLFree, measureProtocolDLFree}
+	verdicts := cells(s, len(entries)*len(measures), func(i int) bool {
+		return measures[i%len(measures)](entries[i/len(measures)].scheme, s)
+	})
+	for i, e := range entries {
+		noMis, routingFree, protoFree := verdicts[3*i], verdicts[3*i+1], verdicts[3*i+2]
 		t.AddRow(string(e.scheme), e.class, yn(e.fullDiv), yn(e.noDetect),
 			yn(noMis), yn(e.noExtra), yn(routingFree), yn(protoFree))
 	}
@@ -60,6 +64,7 @@ func yn(b bool) string {
 func measureNoMisroute(scheme seec.Scheme, s Scale) bool {
 	cfg := synthCfg(scheme, 4, 2, "uniform_random", s.SimCycles)
 	cfg.InjectionRate = 0.30
+	cfg.Seed = cfg.SweepSeed()
 	res, err := seec.RunSynthetic(cfg)
 	if err != nil {
 		return false
@@ -72,6 +77,7 @@ func measureNoMisroute(scheme seec.Scheme, s Scale) bool {
 func measureRoutingDLFree(scheme seec.Scheme, s Scale) bool {
 	cfg := synthCfg(scheme, 4, 2, "uniform_random", s.SimCycles)
 	cfg.InjectionRate = 0.40
+	cfg.Seed = cfg.SweepSeed()
 	sim, err := seec.NewSim(cfg)
 	if err != nil {
 		return false
@@ -107,6 +113,7 @@ func measureProtocolDLFree(scheme seec.Scheme, s Scale) bool {
 	if txns < 4000 {
 		txns = 4000
 	}
+	cfg.Seed = cfg.SweepSeed("stress")
 	res, err := seec.RunApplication(cfg, "stress", txns, s.MaxAppCycles)
 	if err != nil {
 		return false

@@ -43,6 +43,47 @@ func New(seed uint64) *Rand {
 	return r
 }
 
+// SeedHash derives sweep-job seeds: it accumulates a job's coordinates
+// (scheme, pattern, rate, mesh, ...) into a base seed so every point in
+// a parameter sweep gets its own independent, reproducible RNG stream —
+// a pure function of the coordinates, never of execution order. It is
+// FNV-1a over the mixed-in values with a SplitMix64 output finalizer.
+type SeedHash uint64
+
+// NewSeedHash starts a derivation from base.
+func NewSeedHash(base uint64) SeedHash {
+	const fnvOffset = 14695981039346656037
+	return SeedHash(fnvOffset).Uint64(base)
+}
+
+// Uint64 mixes one 64-bit coordinate into the hash.
+func (h SeedHash) Uint64(v uint64) SeedHash {
+	const fnvPrime = 1099511628211
+	for i := 0; i < 8; i++ {
+		h = (h ^ SeedHash(v&0xff)) * fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+// String mixes a string coordinate (length-prefixed, so adjacent
+// strings cannot alias) into the hash.
+func (h SeedHash) String(s string) SeedHash {
+	const fnvPrime = 1099511628211
+	h = h.Uint64(uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		h = (h ^ SeedHash(s[i])) * fnvPrime
+	}
+	return h
+}
+
+// Seed finalizes the derivation with a SplitMix64 avalanche so similar
+// coordinates still land far apart in seed space.
+func (h SeedHash) Seed() uint64 {
+	state := uint64(h)
+	return splitMix64(&state)
+}
+
 // Split returns a new generator whose stream is independent of r's
 // continued use. It is deterministic: the child depends only on r's
 // current state.

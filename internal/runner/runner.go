@@ -1,0 +1,131 @@
+// Package runner is the bounded worker-pool fan-out layer for the
+// experiment harness. Every figure in the paper's evaluation is a sweep
+// over independent simulations, so the natural speedup (the SimBricks
+// recipe) is to run the instances concurrently and synchronize only at
+// result collection. Map and Sweep do exactly that: they execute
+// independent jobs across a bounded pool of workers, preserve input
+// ordering in the output slice, propagate the lowest-index error, and
+// honor context cancellation.
+//
+// Determinism is the callers' side of the contract: a job must derive
+// everything (in particular its RNG seed) from its own inputs, never
+// from shared or ambient state, so that the results are byte-identical
+// at any worker count. The runner's side is that the output slice is
+// indexed by job — scheduling order never leaks into results.
+package runner
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// options collects the knobs shared by Map and Sweep.
+type options struct {
+	workers  int
+	progress func(done, total int)
+}
+
+// Option configures a Map or Sweep call.
+type Option func(*options)
+
+// WithWorkers bounds the worker pool to n. n <= 0 selects
+// runtime.GOMAXPROCS(0), the default.
+func WithWorkers(n int) Option {
+	return func(o *options) { o.workers = n }
+}
+
+// WithProgress registers a callback invoked after each job completes,
+// with the number of finished jobs and the total. Calls are serialized
+// (never concurrent with each other), but arrive from worker
+// goroutines in completion order, not job order.
+func WithProgress(fn func(done, total int)) Option {
+	return func(o *options) { o.progress = fn }
+}
+
+// Map runs fn(ctx, i) for every i in [0, n) across a bounded worker
+// pool and returns the results in input order: out[i] is fn's value
+// for job i.
+//
+// If any job fails, Map cancels the remaining undispatched jobs, waits
+// for in-flight ones, and returns the error from the lowest-index
+// failed job (deterministic regardless of worker count). If ctx is
+// cancelled first, Map stops dispatching and returns ctx's error. In
+// both cases Map returns only after every worker goroutine has exited,
+// so it never leaks goroutines.
+func Map[T any](ctx context.Context, n int, fn func(ctx context.Context, i int) (T, error), opts ...Option) ([]T, error) {
+	o := options{}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	workers := o.workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if n <= 0 {
+		return []T{}, ctx.Err()
+	}
+
+	jobCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	out := make([]T, n)
+	var (
+		next     atomic.Int64 // next job index to dispatch
+		done     atomic.Int64 // completed jobs, for progress
+		mu       sync.Mutex   // guards errIdx/firstErr and progress calls
+		errIdx   = n          // lowest failed job index seen so far
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n || jobCtx.Err() != nil {
+					return
+				}
+				v, err := fn(jobCtx, i)
+				if err != nil {
+					mu.Lock()
+					if i < errIdx {
+						errIdx, firstErr = i, err
+					}
+					mu.Unlock()
+					cancel() // stop dispatching new jobs
+					continue
+				}
+				out[i] = v
+				d := int(done.Add(1))
+				if o.progress != nil {
+					mu.Lock()
+					o.progress(d, n)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Sweep maps fn over jobs and returns the results in input order:
+// out[i] is fn's value for jobs[i]. It is Map with the job values
+// carried for the caller.
+func Sweep[J, T any](ctx context.Context, jobs []J, fn func(ctx context.Context, job J) (T, error), opts ...Option) ([]T, error) {
+	return Map(ctx, len(jobs), func(ctx context.Context, i int) (T, error) {
+		return fn(ctx, jobs[i])
+	}, opts...)
+}

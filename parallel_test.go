@@ -1,0 +1,103 @@
+package seec_test
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"seec"
+)
+
+// The public sweep helpers run their points concurrently but promise
+// results identical to serial execution: every job's RNG seed derives
+// from its own coordinates via Config.SweepSeed, never from shared or
+// ambient state.
+
+func curveCfg() seec.Config {
+	cfg := seec.DefaultConfig()
+	cfg.Rows, cfg.Cols = 4, 4
+	cfg.Scheme = seec.SchemeSEEC
+	cfg.SimCycles = 2000
+	return cfg
+}
+
+// TestLatencyCurveParallelDeterminism: the full CurvePoint slice —
+// every statistic of every point — must match between 1 and 8 workers.
+func TestLatencyCurveParallelDeterminism(t *testing.T) {
+	rates := []float64{0.02, 0.08, 0.14, 0.20, 0.26}
+	serial, err := seec.LatencyCurveCtx(context.Background(), curveCfg(), rates, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range []int{2, 8} {
+		par, err := seec.LatencyCurveCtx(context.Background(), curveCfg(), rates, j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, par) {
+			t.Fatalf("curve differs between workers=1 and workers=%d", j)
+		}
+	}
+}
+
+// TestSaturationThroughputParallelDeterminism: the search's fan-out
+// shape is fixed, so the measured knee must not depend on workers.
+func TestSaturationThroughputParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("saturation search is slow")
+	}
+	cfg := curveCfg()
+	cfg.SimCycles = 4000
+	satSerial, resSerial, err := seec.SaturationThroughputCtx(context.Background(), cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	satPar, resPar, err := seec.SaturationThroughputCtx(context.Background(), cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if satSerial != satPar || !reflect.DeepEqual(resSerial, resPar) {
+		t.Fatalf("saturation differs: serial %.4f vs parallel %.4f", satSerial, satPar)
+	}
+}
+
+// TestLatencyCurveCancellation: a pre-cancelled context must abort the
+// sweep with the context's error, not run it.
+func TestLatencyCurveCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := seec.LatencyCurveCtx(ctx, curveCfg(), []float64{0.02, 0.10, 0.20}, 4)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestSweepSeedCoordinates: derived seeds are stable, and every sweep
+// coordinate — base seed, scheme, pattern, rate, mesh, tag —
+// contributes to the stream identity.
+func TestSweepSeedCoordinates(t *testing.T) {
+	base := curveCfg()
+	if base.SweepSeed() != base.SweepSeed() {
+		t.Fatal("SweepSeed not stable")
+	}
+	seen := map[uint64]string{base.SweepSeed(): "base"}
+	variant := func(name string, mutate func(*seec.Config)) {
+		c := base
+		mutate(&c)
+		s := c.SweepSeed()
+		if prev, dup := seen[s]; dup {
+			t.Errorf("variant %q collides with %q", name, prev)
+		}
+		seen[s] = name
+	}
+	variant("seed", func(c *seec.Config) { c.Seed = 2 })
+	variant("scheme", func(c *seec.Config) { c.Scheme = seec.SchemeMSEEC })
+	variant("pattern", func(c *seec.Config) { c.Pattern = "transpose" })
+	variant("rate", func(c *seec.Config) { c.InjectionRate = 0.06 })
+	variant("mesh", func(c *seec.Config) { c.Rows = 8 })
+	variant("vcs", func(c *seec.Config) { c.VCsPerVNet = 2 })
+	if tagged := base.SweepSeed("canneal"); tagged == base.SweepSeed() {
+		t.Error("tag does not change the derived seed")
+	}
+}

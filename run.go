@@ -1,9 +1,13 @@
 package seec
 
 import (
+	"context"
 	"fmt"
+	"math"
 
 	"seec/internal/area"
+	"seec/internal/rng"
+	"seec/internal/runner"
 )
 
 // Result summarizes one synthetic-traffic run.
@@ -90,6 +94,31 @@ func (s *Sim) Snapshot() Result {
 	return r
 }
 
+// SweepSeed derives the per-job RNG seed for this configuration from
+// (Seed, scheme, routing, pattern, injection rate, mesh size, VC
+// shape), plus any extra tags (e.g. an application name). Sweep
+// helpers (LatencyCurve, SaturationThroughput, the internal/exp
+// generators) seed every job this way rather than from shared or
+// ambient state, so each sweep point owns an independent, reproducible
+// RNG stream and parallel execution at any worker count is
+// byte-identical to serial execution. RunSynthetic itself always uses
+// Config.Seed exactly as given.
+func (c Config) SweepSeed(tags ...string) uint64 {
+	h := rng.NewSeedHash(c.Seed).
+		String(string(c.Scheme)).
+		String(string(c.Routing)).
+		String(c.Pattern).
+		Uint64(math.Float64bits(c.InjectionRate)).
+		Uint64(uint64(c.Rows)).
+		Uint64(uint64(c.Cols)).
+		Uint64(uint64(c.VCsPerVNet)).
+		Uint64(uint64(c.VNets))
+	for _, tag := range tags {
+		h = h.String(tag)
+	}
+	return h.Seed()
+}
+
 // CurvePoint is one point on a latency-throughput curve.
 type CurvePoint struct {
 	Rate   float64
@@ -99,16 +128,25 @@ type CurvePoint struct {
 // LatencyCurve sweeps injection rates and returns the latency curve
 // (Fig. 8's data). Points past severe saturation still return (with
 // saturated latency values), matching how the paper plots its curves.
+// The points run concurrently across runtime.GOMAXPROCS(0) workers;
+// each derives its seed via Config.SweepSeed, so the curve is
+// identical at any parallelism.
 func LatencyCurve(cfg Config, rates []float64) ([]CurvePoint, error) {
-	pts := make([]CurvePoint, 0, len(rates))
-	for _, rate := range rates {
+	return LatencyCurveCtx(context.Background(), cfg, rates, 0)
+}
+
+// LatencyCurveCtx is LatencyCurve with explicit cancellation and
+// worker-count control (workers <= 0 selects runtime.GOMAXPROCS(0)).
+func LatencyCurveCtx(ctx context.Context, cfg Config, rates []float64, workers int) ([]CurvePoint, error) {
+	pts, err := runner.Sweep(ctx, rates, func(_ context.Context, rate float64) (CurvePoint, error) {
 		c := cfg
 		c.InjectionRate = rate
+		c.Seed = c.SweepSeed()
 		res, err := RunSynthetic(c)
-		if err != nil {
-			return nil, err
-		}
-		pts = append(pts, CurvePoint{Rate: rate, Result: res})
+		return CurvePoint{Rate: rate, Result: res}, err
+	}, runner.WithWorkers(workers))
+	if err != nil {
+		return nil, err
 	}
 	return pts, nil
 }
@@ -117,6 +155,7 @@ func LatencyCurve(cfg Config, rates []float64) ([]CurvePoint, error) {
 func ZeroLoadLatency(cfg Config) (float64, error) {
 	c := cfg
 	c.InjectionRate = 0.005
+	c.Seed = c.SweepSeed()
 	if c.SimCycles < 20000 {
 		c.SimCycles = 20000
 	}
@@ -129,38 +168,72 @@ func ZeroLoadLatency(cfg Config) (float64, error) {
 
 // SaturationThroughput returns the highest injection rate (packets/
 // node/cycle) at which average latency stays below 3x the zero-load
-// latency — the standard saturation definition, measured by bisection.
-// The returned Result is from the last sub-saturation run.
+// latency — the standard saturation definition. The returned Result is
+// from the last sub-saturation run.
 func SaturationThroughput(cfg Config) (float64, Result, error) {
+	return SaturationThroughputCtx(context.Background(), cfg, 0)
+}
+
+// SaturationThroughputCtx is SaturationThroughput with explicit
+// cancellation and worker-count control. The search runs a coarse
+// geometric probe phase concurrently, then narrows the bracketing
+// interval with fixed three-point sections whose points also run
+// concurrently. The fan-out shape is fixed — never a function of the
+// worker count — and every run derives its seed via Config.SweepSeed,
+// so the measured saturation point is identical at any parallelism.
+func SaturationThroughputCtx(ctx context.Context, cfg Config, workers int) (float64, Result, error) {
 	zero, err := ZeroLoadLatency(cfg)
 	if err != nil {
 		return 0, Result{}, err
 	}
 	limit := 3 * zero
-	ok := func(rate float64) (bool, Result, error) {
+	type probe struct {
+		good bool
+		res  Result
+	}
+	at := func(_ context.Context, rate float64) (probe, error) {
 		c := cfg
 		c.InjectionRate = rate
+		c.Seed = c.SweepSeed()
 		res, err := RunSynthetic(c)
 		if err != nil {
-			return false, res, err
+			return probe{}, err
 		}
-		return !res.Stalled && res.AvgLatency > 0 && res.AvgLatency <= limit, res, nil
+		return probe{good: !res.Stalled && res.AvgLatency > 0 && res.AvgLatency <= limit, res: res}, nil
+	}
+	// Phase 1: exponential probe up, all points at once, to bracket the
+	// knee between the last good and the first bad grid point.
+	grid := []float64{0.02, 0.05, 0.11, 0.23, 0.47, 1.0}
+	ps, err := runner.Sweep(ctx, grid, at, runner.WithWorkers(workers))
+	if err != nil {
+		return 0, Result{}, err
 	}
 	lo, hi := 0.005, 1.0
 	var last Result
-	// Exponential probe up, then bisect.
+	for i, p := range ps {
+		if !p.good {
+			hi = grid[i]
+			break
+		}
+		lo, last = grid[i], p.res
+	}
+	// Phase 2: shrink the bracket 4x per round by evaluating the three
+	// interior quartile points together.
 	for hi-lo > 0.005 {
-		mid := (lo + hi) / 2
-		good, res, err := ok(mid)
+		mids := []float64{lo + (hi-lo)/4, lo + (hi-lo)/2, lo + 3*(hi-lo)/4}
+		ps, err := runner.Sweep(ctx, mids, at, runner.WithWorkers(workers))
 		if err != nil {
 			return 0, Result{}, err
 		}
-		if good {
-			lo = mid
-			last = res
-		} else {
-			hi = mid
+		newHi := hi
+		for i, p := range ps {
+			if !p.good {
+				newHi = mids[i]
+				break
+			}
+			lo, last = mids[i], p.res
 		}
+		hi = newHi
 	}
 	return lo, last, nil
 }
