@@ -19,8 +19,11 @@ race:
 check:
 	./ci.sh
 
+# Step-benchmark record: machine-readable ns/op + allocs/op for the
+# simulator hot path, for diffing across commits.
 bench:
-	$(GO) test -bench . -benchmem -run '^$$'
+	$(GO) test -bench 'Step|LatencyCurve' -benchmem -run '^$$' ./... | $(GO) run ./cmd/benchjson > BENCH_step.json
+	@cat BENCH_step.json
 
 # Regenerate the checked-in quick-scale results record.
 figures:

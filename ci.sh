@@ -10,4 +10,7 @@ go build ./...
 go vet ./...
 go test -timeout 30m ./...
 go test -race -short -timeout 30m ./...
+# Compile-and-smoke the step benchmarks (one iteration, no -run match):
+# a broken benchmark otherwise only surfaces when someone profiles.
+go test -bench . -benchtime 1x -run XXX ./internal/noc
 echo "ci: all checks passed"

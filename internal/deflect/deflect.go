@@ -241,8 +241,10 @@ func (n *Network) higher(a, b *flit) bool {
 
 // stepRouter performs one router's eject/inject/permute for the cycle.
 func (n *Network) stepRouter(r *router) {
-	// Gather arrivals.
-	var flits []*flit
+	// Gather arrivals. Stack-backed scratch: a router handles at most
+	// links ≤ 4 flits per cycle, so these never escape to the heap.
+	var fbuf [noc.NumPorts]*flit
+	flits := fbuf[:0]
 	for d := noc.North; d <= noc.West; d++ {
 		if r.arrive[d] != nil {
 			flits = append(flits, r.arrive[d])
@@ -250,7 +252,8 @@ func (n *Network) stepRouter(r *router) {
 	}
 	// Count this router's physical links (edge routers have fewer).
 	links := 0
-	var dirs []int
+	var dbuf [noc.NumPorts]int
+	dirs := dbuf[:0]
 	for d := noc.North; d <= noc.West; d++ {
 		if n.Cfg.Neighbor(r.id, d) >= 0 {
 			links++

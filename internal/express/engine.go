@@ -137,10 +137,8 @@ func (e *engine) freeze(m match) {
 		vc := e.n.Routers[m.router].In[m.inport].VCs[m.vc]
 		if vc.OutVC >= 0 {
 			e.n.Routers[m.router].Out[vc.OutPort].VCs[vc.OutVC].Busy = false
-			vc.OutPort = -1
-			vc.OutVC = -1
 		}
-		vc.FFMode = true
+		vc.EnterFF()
 	} else {
 		e.n.NICs[m.router].RemoveQueued(m.pkt.Class, m.vc)
 		m.pkt.Injected = e.n.Cycle

@@ -122,7 +122,7 @@ func (w *worm) hop(n *noc.Network, i, seq int) {
 		// the non-intersecting-paths guarantee of §3.1.
 		panic("express: FF link collision on " + out.Link.Name)
 	}
-	out.FFReserved = true
+	out.ReserveFF()
 	n.Energy.AddDataHop()
 	n.Energy.AddSideband(LookaheadBits)
 	if seq == 0 {
@@ -135,7 +135,7 @@ func (w *worm) hop(n *noc.Network, i, seq int) {
 // destination NIC, preempting any ongoing regular ejection this cycle.
 func (w *worm) eject(n *noc.Network, seq int) {
 	dst := w.routers[len(w.routers)-1]
-	n.Routers[dst].Out[noc.Local].FFReserved = true
+	n.Routers[dst].Out[noc.Local].ReserveFF()
 	n.NICs[dst].ReceiveFF(noc.Flit{Pkt: w.pkt, Seq: seq}, w.ejIdx)
 	n.NoteProgress()
 }

@@ -43,6 +43,8 @@ type unit struct {
 	pending *pendingFF
 
 	claimed [][2]int // directed links claimed by the active worm
+
+	scratch walkScratch // walk buffers, reused across this unit's launches
 }
 
 // pendingFF is a matched (and frozen) packet waiting for its FF
@@ -139,7 +141,7 @@ func (s *MSEEC) tryLaunch(u *unit) {
 		s.nextClass(u)
 		return
 	}
-	walk, searchAt := corridorWalk(&s.n.Cfg, u.col, s.phase, u.target)
+	walk, searchAt := corridorWalk(&s.n.Cfg, u.col, s.phase, u.target, &u.scratch)
 	u.seeker = s.makeSeeker(u.nicID, u.class, ej, walk, searchAt)
 	s.stepSeeker(u)
 }

@@ -31,17 +31,47 @@ func EmbedRing(cfg *noc.Config) []int {
 	return walk
 }
 
+// walkScratch holds reusable backing buffers for walk construction.
+// Each controller (SEEC, one mSEEC unit) owns one: it launches at most
+// one seeker at a time and the previous seeker is always retired before
+// the next launch, so the returned walk/searchAt slices — which alias
+// the scratch — are never reused while still live. A nil scratch makes
+// the builders allocate fresh (tests).
+type walkScratch struct {
+	walk     []int
+	searchAt []bool
+	visited  []bool
+	out      []int
+}
+
+// reset returns the scratch's buffers emptied, with visited cleared and
+// sized for nodes routers.
+func (sc *walkScratch) reset(nodes int) (walk []int, searchAt []bool, visited []bool) {
+	if cap(sc.visited) < nodes {
+		sc.visited = make([]bool, nodes)
+	}
+	visited = sc.visited[:nodes]
+	for i := range visited {
+		visited[i] = false
+	}
+	return sc.walk[:0], sc.searchAt[:0], visited
+}
+
 // buildRingWalk expands the cyclic ring into the explicit route one
 // seeker follows: launch at the initiator, walk the ring, enable
 // searching once startRouter is reached, keep walking until every
 // router has been searched once, then continue around until back at
 // the initiator. Worst case just under two circulations — the QoS
 // rotation of §3.6 trades a longer walk for fairness.
-func buildRingWalk(ring []int, ringIdx map[int][]int, initiator, startRouter, nodes int) (walk []int, searchAt []bool) {
+func buildRingWalk(ring []int, ringIdx map[int][]int, initiator, startRouter, nodes int, sc *walkScratch) (walk []int, searchAt []bool) {
+	if sc == nil {
+		sc = &walkScratch{}
+	}
+	walk, searchAt, visited := sc.reset(nodes)
 	l := len(ring)
 	start := ringIdx[initiator][0]
 	searching := false
-	visited := make(map[int]bool, nodes)
+	seen := 0
 	for j := 0; ; j++ {
 		r := ring[(start+j)%l]
 		search := false
@@ -50,11 +80,13 @@ func buildRingWalk(ring []int, ringIdx map[int][]int, initiator, startRouter, no
 		}
 		if searching && !visited[r] {
 			visited[r] = true
+			seen++
 			search = true
 		}
 		walk = append(walk, r)
 		searchAt = append(searchAt, search)
-		if len(visited) == nodes && r == initiator && j > 0 {
+		if seen == nodes && r == initiator && j > 0 {
+			sc.walk, sc.searchAt = walk, searchAt
 			return walk, searchAt
 		}
 		if j > 3*l+2 {
@@ -84,8 +116,14 @@ func ffPath(cfg *noc.Config, from, to int) []int {
 // assigned to search column tx: along row cy to (tx, cy), then down the
 // column to row 0, then up to the top row, then back the same way.
 // Search is enabled on the first visit to each router of the corridor.
-func corridorWalk(cfg *noc.Config, cx, cy, tx int) (walk []int, searchAt []bool) {
-	var out []int
+func corridorWalk(cfg *noc.Config, cx, cy, tx int, sc *walkScratch) (walk []int, searchAt []bool) {
+	if sc == nil {
+		sc = &walkScratch{}
+	}
+	var searchOn []bool
+	var visited []bool
+	walk, searchOn, visited = sc.reset(cfg.Nodes())
+	out := sc.out[:0]
 	x := cx
 	for x != tx {
 		if tx > x {
@@ -104,6 +142,7 @@ func corridorWalk(cfg *noc.Config, cx, cy, tx int) (walk []int, searchAt []bool)
 		y++
 		out = append(out, cfg.NodeAt(tx, y))
 	}
+	sc.out = out
 	// Outbound from the launch router, then retrace home.
 	walk = append(walk, cfg.NodeAt(cx, cy))
 	walk = append(walk, out...)
@@ -112,8 +151,10 @@ func corridorWalk(cfg *noc.Config, cx, cy, tx int) (walk []int, searchAt []bool)
 	}
 	walk = append(walk, cfg.NodeAt(cx, cy))
 
-	visited := make(map[int]bool, len(walk))
-	searchAt = make([]bool, len(walk))
+	searchAt = searchOn
+	for range walk {
+		searchAt = append(searchAt, false)
+	}
 	for i, r := range walk {
 		// Only corridor routers (own row segment + target column) are
 		// this seeker's partition; they all lie on the outbound leg.
@@ -122,6 +163,7 @@ func corridorWalk(cfg *noc.Config, cx, cy, tx int) (walk []int, searchAt []bool)
 			searchAt[i] = true
 		}
 	}
+	sc.walk, sc.searchAt = walk, searchAt
 	return walk, searchAt
 }
 

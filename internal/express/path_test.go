@@ -49,7 +49,7 @@ func TestBuildRingWalkSearchesEveryRouterOnce(t *testing.T) {
 	idx := ringIndex(ring)
 	for init := 0; init < cfg.Nodes(); init++ {
 		for start := 0; start < cfg.Nodes(); start++ {
-			walk, searchAt := buildRingWalk(ring, idx, init, start, cfg.Nodes())
+			walk, searchAt := buildRingWalk(ring, idx, init, start, cfg.Nodes(), nil)
 			if walk[0] != init {
 				t.Fatalf("walk starts at %d, want initiator %d", walk[0], init)
 			}
@@ -89,7 +89,7 @@ func TestCorridorWalkCoversRowSegmentAndColumn(t *testing.T) {
 	for cy := 0; cy < 5; cy++ {
 		for cx := 0; cx < 5; cx++ {
 			for tx := 0; tx < 5; tx++ {
-				walk, searchAt := corridorWalk(&cfg, cx, cy, tx)
+				walk, searchAt := corridorWalk(&cfg, cx, cy, tx, nil)
 				checkWalkAdjacent(t, &cfg, walk)
 				if walk[0] != cfg.NodeAt(cx, cy) || walk[len(walk)-1] != cfg.NodeAt(cx, cy) {
 					t.Fatalf("corridor walk must start and end at the NIC router")

@@ -84,6 +84,7 @@ type SEEC struct {
 
 	ring    []int
 	ringIdx map[int][]int
+	scratch walkScratch
 
 	turnNIC   int
 	turnClass int
@@ -142,7 +143,7 @@ func (s *SEEC) tryLaunch() {
 	if prev.router >= 0 && !s.opts.DisableQoSRotation {
 		start = prev.router
 	}
-	walk, searchAt := buildRingWalk(s.ring, s.ringIdx, s.turnNIC, start, s.n.Cfg.Nodes())
+	walk, searchAt := buildRingWalk(s.ring, s.ringIdx, s.turnNIC, start, s.n.Cfg.Nodes(), &s.scratch)
 	s.seeker = s.makeSeeker(s.turnNIC, s.turnClass, ej, walk, searchAt)
 	s.stepSeeker() // the launch cycle searches the initiator's router
 }

@@ -38,12 +38,19 @@ type seeker struct {
 	bestOk bool
 }
 
-// match describes a packet found by a seeker.
+// match describes a packet found by a seeker. pktID and created are
+// snapshots taken at match time: a match may be held across cycles
+// (oldest-first circulation) during which the packet can eject and —
+// under packet recycling — its *Packet object be reused for a brand-new
+// packet, so any read through the stale pointer must first establish
+// identity via pktID (IDs are never reused).
 type match struct {
-	router int
-	inport int // noc port index; -1 for a NIC injection-queue hit
-	vc     int // VC index at the inport; queue index for queue hits
-	pkt    *noc.Packet
+	router  int
+	inport  int // noc port index; -1 for a NIC injection-queue hit
+	vc      int // VC index at the inport; queue index for queue hits
+	pkt     *noc.Packet
+	pktID   uint64
+	created int64
 }
 
 // done reports whether the seeker has finished its walk without a
@@ -64,7 +71,7 @@ func (s *seeker) advance(n *noc.Network, prev origin) (match, bool) {
 			if !s.oldest {
 				return m, true
 			}
-			if !s.bestOk || m.pkt.Created < s.best.pkt.Created {
+			if !s.bestOk || m.created < s.best.created {
 				s.best = m
 				s.bestOk = true
 			}
@@ -78,10 +85,15 @@ func (s *seeker) advance(n *noc.Network, prev origin) (match, bool) {
 // upgradeable (it may have moved on or ejected while the seeker
 // finished its circulation).
 func (s *seeker) takeBest(n *noc.Network) (match, bool) {
-	if !s.bestOk || s.best.pkt.FF {
+	if !s.bestOk {
 		return match{}, false
 	}
 	m := s.best
+	if m.pkt.ID != m.pktID || m.pkt.FF {
+		// ID mismatch: the candidate ejected and its object was recycled
+		// — exactly the case the re-validation below would reject.
+		return match{}, false
+	}
 	if m.inport >= 0 {
 		vc := n.Routers[m.router].In[m.inport].VCs[m.vc]
 		if vc.State != noc.VCActive || vc.Pkt != m.pkt || vc.FFMode {
@@ -96,7 +108,8 @@ func (s *seeker) takeBest(n *noc.Network) (match, bool) {
 		}
 		return m, true
 	}
-	// Queue candidate: the index may have shifted; relocate by pointer.
+	// Queue candidate: the index may have shifted; relocate by pointer
+	// (the ID check above established the pointer is still the packet).
 	for qi, pkt := range n.NICs[m.router].QueuedPackets(s.class) {
 		if pkt == m.pkt {
 			m.vc = qi
@@ -120,7 +133,7 @@ func (s *seeker) search(n *noc.Network, r int, prev origin) (match, bool) {
 		if !s.oldest {
 			return m, true
 		}
-		if !localOk || m.pkt.Created < local.pkt.Created {
+		if !localOk || m.created < local.created {
 			local, localOk = m, true
 		}
 		return match{}, false
@@ -156,7 +169,8 @@ func (s *seeker) search(n *noc.Network, r int, prev origin) (match, bool) {
 				// and a later seeker will find them (§3.11).
 				continue
 			}
-			if m, done := note(match{router: r, inport: p, vc: vc.ID, pkt: vc.Pkt}); done {
+			if m, done := note(match{router: r, inport: p, vc: vc.ID,
+				pkt: vc.Pkt, pktID: vc.Pkt.ID, created: vc.Pkt.Created}); done {
 				return m, true
 			}
 		}
@@ -164,7 +178,8 @@ func (s *seeker) search(n *noc.Network, r int, prev origin) (match, bool) {
 	if s.searchNIC {
 		for qi, pkt := range n.NICs[r].QueuedPackets(s.class) {
 			if pkt.Dst == s.nic && !pkt.FF {
-				if m, done := note(match{router: r, inport: -1, vc: qi, pkt: pkt}); done {
+				if m, done := note(match{router: r, inport: -1, vc: qi,
+				pkt: pkt, pktID: pkt.ID, created: pkt.Created}); done {
 					return m, true
 				}
 			}

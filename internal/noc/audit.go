@@ -48,6 +48,102 @@ func (n *Network) CheckInvariants() error {
 			}
 		}
 	}
+	return n.CheckActiveSets()
+}
+
+// CheckActiveSets audits the activity tracking that lets Step skip
+// quiescent routers, NICs and links. The invariant is one-directional:
+// any entity the skipped code path could act on MUST be flagged active
+// (a stale flag merely wastes a visit; a missing one silently freezes
+// real traffic). The occupancy counters must additionally agree exactly
+// with the per-VC flags they aggregate.
+func (n *Network) CheckActiveSets() error {
+	for _, r := range n.Routers {
+		occ := 0
+		for p := 0; p < NumPorts; p++ {
+			in := r.In[p]
+			if in == nil {
+				continue
+			}
+			for _, vc := range in.VCs {
+				buffering := vc.Len() > 0 && !vc.FFMode
+				if vc.occ {
+					occ++
+				}
+				if buffering && !vc.occ {
+					return fmt.Errorf("router %d port %s vc %d: buffering but not counted occupied",
+						r.ID, DirName(p), vc.ID)
+				}
+				vaElig := vc.State == VCActive && !vc.FFMode && vc.OutVC < 0 &&
+					!vc.Empty() && vc.Front().IsHead()
+				if vaElig && !r.vaSet.get(in.vaBase+vc.ID) {
+					return fmt.Errorf("router %d port %s vc %d: VA-eligible but absent from vaSet",
+						r.ID, DirName(p), vc.ID)
+				}
+				saCand := vc.State == VCActive && !vc.FFMode && !vc.Empty() && vc.OutVC >= 0
+				if saCand && !in.saSet.get(vc.ID) {
+					return fmt.Errorf("router %d port %s vc %d: SA candidate but absent from saSet",
+						r.ID, DirName(p), vc.ID)
+				}
+			}
+		}
+		if occ > r.occupied {
+			return fmt.Errorf("router %d: occupied=%d but %d VCs carry the occ flag",
+				r.ID, r.occupied, occ)
+		}
+		if occ < r.occupied {
+			return fmt.Errorf("router %d: occupied=%d overcounts the %d flagged VCs",
+				r.ID, r.occupied, occ)
+		}
+	}
+	for id, nic := range n.NICs {
+		queued := 0
+		for _, q := range nic.Queues {
+			queued += len(q)
+		}
+		if queued != nic.backlog {
+			return fmt.Errorf("nic %d: backlog=%d but %d packets queued", id, nic.backlog, queued)
+		}
+		held := 0
+		for _, ej := range nic.Ej {
+			if ej.Pkt != nil {
+				held++
+			}
+		}
+		if held != nic.ejOccupied {
+			return fmt.Errorf("nic %d: ejOccupied=%d but %d ejection VCs held", id, nic.ejOccupied, held)
+		}
+	}
+	inData := make(map[*DataLink]bool, len(n.activeData))
+	for _, l := range n.activeData {
+		inData[l] = true
+	}
+	for _, l := range n.dataLinks {
+		if l.busy && !inData[l] {
+			return fmt.Errorf("data link %s: staged flit but absent from active list", l.Name)
+		}
+	}
+	inCredit := make(map[*CreditLink]bool, len(n.activeCredit))
+	for _, l := range n.activeCredit {
+		inCredit[l] = true
+	}
+	for _, l := range n.creditLinks {
+		if len(l.pending) > 0 && !inCredit[l] {
+			return fmt.Errorf("credit link with %d staged credits absent from active list", len(l.pending))
+		}
+	}
+	marked := make(map[*OutputPort]bool, len(n.ffMarked))
+	for _, o := range n.ffMarked {
+		marked[o] = true
+	}
+	for _, r := range n.Routers {
+		for _, o := range r.Out {
+			if o != nil && o.FFReserved && !marked[o] {
+				return fmt.Errorf("router %d port %s: FFReserved but absent from clear list",
+					r.ID, DirName(o.Dir))
+			}
+		}
+	}
 	return nil
 }
 

@@ -1,0 +1,80 @@
+package noc_test
+
+import (
+	"fmt"
+	"testing"
+
+	"seec/internal/noc"
+	"seec/internal/rng"
+)
+
+// benchSource is an open-loop uniform-random Bernoulli generator used
+// to load the mesh at a fixed rate. It throttles on the NIC injection
+// queues so the saturated benchmark measures steady-state router work
+// rather than unbounded queue growth, and it retains no delivered
+// packets, so packet recycling is safe.
+type benchSource struct {
+	net     *noc.Network
+	rate    float64
+	streams []*rng.Rand
+	scratch []noc.PacketSpec
+}
+
+func newBenchSource(rate float64, seed uint64, nodes int) *benchSource {
+	root := rng.New(seed)
+	s := &benchSource{rate: rate, streams: make([]*rng.Rand, nodes)}
+	for i := range s.streams {
+		s.streams[i] = root.Split()
+	}
+	return s
+}
+
+func (s *benchSource) Generate(cycle int64, node int) []noc.PacketSpec {
+	s.scratch = s.scratch[:0]
+	r := s.streams[node]
+	if !r.Bool(s.rate) {
+		return nil
+	}
+	if !s.net.NICs[node].CanEnqueue(0) {
+		return nil
+	}
+	size := 1
+	if r.Bool(0.5) {
+		size = 5
+	}
+	dst := r.Intn(s.net.Nodes() - 1)
+	if dst >= node {
+		dst++
+	}
+	s.scratch = append(s.scratch, noc.PacketSpec{Dst: dst, Class: 0, Size: size})
+	return s.scratch
+}
+
+func (s *benchSource) Deliver(int64, *noc.Packet) bool { return true }
+
+// BenchmarkStep measures one Network.Step of an 8x8 mesh at three
+// operating points: near-idle (the active-set fast path), moderate
+// load, and saturation (every router busy — the full-sweep regime the
+// scheduler must not regress).
+func BenchmarkStep(b *testing.B) {
+	for _, rate := range []float64{0.02, 0.20, 0.60} {
+		b.Run(fmt.Sprintf("rate=%.2f", rate), func(b *testing.B) {
+			cfg := noc.DefaultConfig()
+			cfg.Routing = noc.RoutingXY
+			cfg.InjQueueCap = 16
+			src := newBenchSource(rate, 0xbe7c4, cfg.Nodes())
+			n, err := noc.New(cfg, noc.WithTraffic(src))
+			if err != nil {
+				b.Fatal(err)
+			}
+			src.net = n
+			n.SetPacketRecycling(true)
+			n.Run(2000) // reach steady-state occupancy before timing
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n.Step()
+			}
+		})
+	}
+}

@@ -1,0 +1,60 @@
+package noc
+
+import "math/bits"
+
+// bitset is a fixed-capacity bit vector backing the active-set tracking
+// in the router pipeline (which (port, vc) pairs may need VC allocation,
+// which VCs may hold a sendable flit). Bits are an over-approximation:
+// a set bit means "re-check this entry", a clear bit means "provably
+// nothing to do", so scans stay exact while skipping quiescent state.
+type bitset []uint64
+
+// newBitset returns a bitset able to hold n bits.
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+// set sets bit i.
+func (b bitset) set(i int) { b[i>>6] |= 1 << (uint(i) & 63) }
+
+// clear clears bit i.
+func (b bitset) clear(i int) { b[i>>6] &^= 1 << (uint(i) & 63) }
+
+// get reports bit i.
+func (b bitset) get(i int) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// assign sets bit i to v.
+func (b bitset) assign(i int, v bool) {
+	if v {
+		b.set(i)
+	} else {
+		b.clear(i)
+	}
+}
+
+// empty reports whether no bit is set.
+func (b bitset) empty() bool {
+	for _, w := range b {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// next returns the index of the first set bit at or after i, or -1.
+func (b bitset) next(i int) int {
+	w := i >> 6
+	if w >= len(b) {
+		return -1
+	}
+	cur := b[w] & (^uint64(0) << (uint(i) & 63))
+	for {
+		if cur != 0 {
+			return w<<6 + bits.TrailingZeros64(cur)
+		}
+		w++
+		if w >= len(b) {
+			return -1
+		}
+		cur = b[w]
+	}
+}

@@ -16,6 +16,11 @@ type DataLink struct {
 	pending linkPayload
 	busy    bool
 	sink    func(Flit, int)
+
+	// net, when set, receives the link into its active delivery list on
+	// Send; Step then only visits links that actually carry something.
+	// busy doubles as the registration guard (one Send per cycle).
+	net *Network
 }
 
 // NewDataLink returns a link delivering into sink.
@@ -30,6 +35,9 @@ func (l *DataLink) Send(f Flit, vc int) {
 	}
 	l.pending = linkPayload{flit: f, vc: vc}
 	l.busy = true
+	if l.net != nil {
+		l.net.activeData = append(l.net.activeData, l)
+	}
 }
 
 // Busy reports whether a flit was already sent this cycle.
@@ -61,17 +69,26 @@ type Credit struct {
 type CreditLink struct {
 	pending []Credit
 	apply   func(Credit)
+
+	// net, when set, receives the link into its active delivery list on
+	// the first Send of a cycle (len(pending) going 0→1 guards against
+	// double registration).
+	net *Network
 }
 
-// NewCreditLink returns a credit link applying credits via apply.
+// NewCreditLink returns a credit link applying credits via apply. The
+// pending slice is pre-sized so steady-state sends never reallocate.
 func NewCreditLink(apply func(Credit)) *CreditLink {
-	return &CreditLink{apply: apply}
+	return &CreditLink{apply: apply, pending: make([]Credit, 0, 8)}
 }
 
 // Send stages a credit for delivery next cycle. Count may be zero when
 // only the Free signal matters (e.g. consuming a packet that arrived via
 // Free-Flow, which never consumed credits).
 func (l *CreditLink) Send(c Credit) {
+	if len(l.pending) == 0 && l.net != nil {
+		l.net.activeCredit = append(l.net.activeCredit, l)
+	}
 	l.pending = append(l.pending, c)
 }
 

@@ -61,7 +61,31 @@ type Network struct {
 	creditLinks  []*CreditLink
 	lastProgress int64
 	nextPktID    uint64
-	specScratch  []PacketSpec
+
+	// vaRound counts non-frozen cycles; it is the rotation base for every
+	// router's VC-allocation scan (successor of the per-router vaPtr,
+	// which skipping quiescent routers would have let drift).
+	vaRound int
+
+	// activeData/activeCredit hold the links that have something staged
+	// for the next delivery phase; Step drains them instead of sweeping
+	// every link in the mesh. spare* are the retired backing arrays,
+	// swapped back in to avoid per-cycle allocation.
+	activeData   []*DataLink
+	spareData    []*DataLink
+	activeCredit []*CreditLink
+	spareCredit  []*CreditLink
+
+	// ffMarked lists the output ports whose FFReserved flag must be
+	// cleared at the start of the next cycle (set via ReserveFF).
+	ffMarked []*OutputPort
+
+	// recycle enables the Packet free list: consumed packets return to
+	// freePkts and are reused by NIC.Enqueue. Only safe when the traffic
+	// sink does not retain *Packet past Deliver (synthetic traffic);
+	// closed-loop engines keep it off.
+	recycle  bool
+	freePkts []*Packet
 }
 
 // Option mutates a Network during construction (before Attach).
@@ -101,13 +125,17 @@ func New(cfg Config, opts ...Option) (*Network, error) {
 	// Create ports. Every router has local ports; cardinal ports exist
 	// only where the mesh has a neighbor.
 	for id, r := range n.Routers {
+		r.nvcs = nvcs
+		r.vaSet = newBitset(NumPorts * nvcs)
 		for d := 0; d < NumPorts; d++ {
 			if d != Local && cfg.Neighbor(id, d) < 0 {
 				continue
 			}
-			in := &InputPort{Router: r, Dir: d, VCs: make([]*VC, nvcs)}
+			in := &InputPort{Router: r, Dir: d, VCs: make([]*VC, nvcs),
+				saSet: newBitset(nvcs), vaBase: d * nvcs}
 			for v := range in.VCs {
 				in.VCs[v] = NewVC(v, cfg.VCDepth)
+				in.VCs[v].in = in
 			}
 			r.In[d] = in
 			nOut := nvcs
@@ -167,6 +195,19 @@ func New(cfg Config, opts ...Option) (*Network, error) {
 		n.NICs[id] = nic
 	}
 
+	// Register every link with the network so Send can enroll it in the
+	// active delivery lists.
+	for _, l := range n.dataLinks {
+		l.net = n
+	}
+	for _, l := range n.creditLinks {
+		l.net = n
+	}
+	n.spareData = make([]*DataLink, 0, len(n.dataLinks))
+	n.activeData = make([]*DataLink, 0, len(n.dataLinks))
+	n.spareCredit = make([]*CreditLink, 0, len(n.creditLinks))
+	n.activeCredit = make([]*CreditLink, 0, len(n.creditLinks))
+
 	for _, o := range opts {
 		o(n)
 	}
@@ -178,16 +219,31 @@ func New(cfg Config, opts ...Option) (*Network, error) {
 	return n, nil
 }
 
-// Step advances the simulation by one cycle.
+// Step advances the simulation by one cycle. Its cost is proportional
+// to occupancy, not mesh size: only links with staged payloads deliver,
+// only routers with buffered flits run their pipelines, and only NICs
+// with pending work inject or consume. Every skip condition is exact —
+// the skipped code path would provably be a no-op — so results are
+// bit-identical to the full sweep.
 func (n *Network) Step() {
 	n.Cycle++
-	// Phase A: deliver everything staged in the previous cycle.
-	for _, l := range n.dataLinks {
+	// Phase A: deliver everything staged in the previous cycle — data
+	// before credits, as the full sweep ordered them. Swapping the
+	// retired array into spare* keeps this allocation-free; links
+	// re-registering during delivery (credits sent by receiveFlit
+	// sinks... none today, but harmless) append to the fresh list.
+	data := n.activeData
+	n.activeData = n.spareData[:0]
+	for _, l := range data {
 		l.deliver()
 	}
-	for _, l := range n.creditLinks {
+	n.spareData = data
+	credits := n.activeCredit
+	n.activeCredit = n.spareCredit[:0]
+	for _, l := range credits {
 		l.deliver()
 	}
+	n.spareCredit = credits
 	// Traffic generation.
 	if n.Traffic != nil {
 		for node := range n.NICs {
@@ -197,32 +253,40 @@ func (n *Network) Step() {
 		}
 	}
 	// Phase B: scheme, injection, router pipelines, consumption.
-	for _, r := range n.Routers {
-		for _, o := range r.Out {
-			if o != nil {
-				o.FFReserved = false
-			}
-		}
+	for _, o := range n.ffMarked {
+		o.FFReserved = false
 	}
+	n.ffMarked = n.ffMarked[:0]
 	if n.Scheme != nil {
 		n.Scheme.PreRouter(n)
 	}
 	if !n.Frozen {
 		for _, nic := range n.NICs {
-			nic.inject()
+			if nic.cur != nil || nic.backlog > 0 {
+				nic.inject()
+			}
 		}
 		for _, r := range n.Routers {
-			r.step()
+			if r.occupied > 0 {
+				r.step()
+			}
 		}
+		n.vaRound++
 	}
 	for _, nic := range n.NICs {
-		nic.consume()
+		if nic.ejOccupied > 0 {
+			nic.consume()
+		}
 	}
 	if n.Scheme != nil {
 		n.Scheme.PostRouter(n)
 	}
 	n.Energy.Tick()
 }
+
+// SetPacketRecycling toggles the Packet free list. Enable only when the
+// traffic sink does not retain packet pointers past Deliver.
+func (n *Network) SetPacketRecycling(on bool) { n.recycle = on }
 
 // Run advances the simulation by cycles steps.
 func (n *Network) Run(cycles int64) {

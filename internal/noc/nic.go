@@ -46,6 +46,14 @@ type NIC struct {
 	EjCreditOut *CreditLink // NIC -> router local output port (ejection credits)
 
 	Ej []*EjVC // ejection VCs, class-major: Ej[class*E+i]
+
+	// backlog counts packets across all injection queues; while it is
+	// zero and no packet is mid-stream, inject is a provable no-op and
+	// Step skips it.
+	backlog int
+	// ejOccupied counts ejection VCs holding a (possibly partial)
+	// packet; while zero, consume is a provable no-op and Step skips it.
+	ejOccupied int
 }
 
 // EjIndex returns the index in Ej of ejection VC i of the given class.
@@ -70,7 +78,9 @@ func (n *NIC) RemoveQueued(class, i int) *Packet {
 	q := n.Queues[class]
 	p := q[i]
 	copy(q[i:], q[i+1:])
+	q[len(q)-1] = nil
 	n.Queues[class] = q[:len(q)-1]
+	n.backlog--
 	return p
 }
 
@@ -87,7 +97,15 @@ func (n *NIC) Enqueue(spec PacketSpec) *Packet {
 		panic("noc: packet destination out of range")
 	}
 	n.Net.nextPktID++
-	p := &Packet{
+	var p *Packet
+	if free := n.Net.freePkts; n.Net.recycle && len(free) > 0 {
+		p = free[len(free)-1]
+		free[len(free)-1] = nil
+		n.Net.freePkts = free[:len(free)-1]
+	} else {
+		p = new(Packet)
+	}
+	*p = Packet{
 		ID:      n.Net.nextPktID,
 		Src:     n.Node,
 		Dst:     spec.Dst,
@@ -98,6 +116,7 @@ func (n *NIC) Enqueue(spec PacketSpec) *Packet {
 		Tag:     spec.Tag,
 	}
 	n.Queues[spec.Class] = append(n.Queues[spec.Class], p)
+	n.backlog++
 	n.Net.InFlight++
 	n.Net.Collector.NoteInjected(p.Created, p.Size)
 	return p
@@ -150,7 +169,9 @@ func (n *NIC) pickNext() {
 			continue
 		}
 		copy(q, q[1:])
+		q[len(q)-1] = nil
 		n.Queues[c] = q[:len(q)-1]
+		n.backlog--
 		n.LocalMirror[v].Busy = true
 		n.cur = pkt
 		n.curFlit = 0
@@ -193,6 +214,7 @@ func (n *NIC) deposit(f Flit, vcID int, credited bool) {
 		ej.Pkt = f.Pkt
 		ej.Flits = 0
 		ej.creditsUsed = 0
+		n.ejOccupied++
 	}
 	if ej.Pkt != f.Pkt {
 		panic("noc: interleaved flits of different packets in one ejection VC")
@@ -231,11 +253,16 @@ func (n *NIC) consume() {
 			continue
 		}
 		n.EjCreditOut.Send(Credit{VC: id, Count: ej.creditsUsed, Free: true})
+		p := ej.Pkt
 		ej.Pkt = nil
 		ej.Flits = 0
 		ej.creditsUsed = 0
 		ej.Reserved = false
+		n.ejOccupied--
 		n.Net.InFlight--
 		n.Net.noteProgress()
+		if n.Net.recycle {
+			n.Net.freePkts = append(n.Net.freePkts, p)
+		}
 	}
 }

@@ -20,6 +20,13 @@ type InputPort struct {
 	CreditOut *CreditLink
 
 	saPtr int // round-robin pointer for SA stage 1
+
+	// saSet flags VCs that may hold a sendable flit (allocated, non-FF,
+	// non-empty); SA stage 1 scans only these. Maintained by VC.sync.
+	saSet bitset
+	// vaBase is this port's bit offset (Dir * TotalVCs) into the
+	// router-level vaSet.
+	vaBase int
 }
 
 // FreeVCs counts Idle VCs in the half-open index range [lo, hi).
@@ -59,10 +66,25 @@ type OutputPort struct {
 
 	// FFReserved marks that the Free-Flow engine owns this port's link
 	// for the current cycle (lookahead semantics); regular SA must not
-	// grant it. Cleared at the start of every cycle.
+	// grant it. Set via ReserveFF; cleared at the start of every cycle.
 	FFReserved bool
 
 	saPtr int // round-robin pointer for SA stage 2 (over input ports)
+}
+
+// ReserveFF marks the port's link as owned by the Free-Flow engine for
+// the current cycle and registers it for the start-of-cycle clear (the
+// network only visits registered ports instead of sweeping every port
+// of every router). Idempotent within a cycle.
+func (o *OutputPort) ReserveFF() {
+	if o.FFReserved {
+		return
+	}
+	o.FFReserved = true
+	if o.Router != nil && o.Router.Net != nil {
+		n := o.Router.Net
+		n.ffMarked = append(n.ffMarked, o)
+	}
 }
 
 // FreeDownVCs counts non-busy downstream VCs in [lo, hi), the quantity

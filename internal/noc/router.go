@@ -64,7 +64,16 @@ type Router struct {
 	In  [NumPorts]*InputPort  // nil where the mesh has no neighbor
 	Out [NumPorts]*OutputPort // nil where the mesh has no neighbor
 
-	vaPtr int // rotating fairness pointer over (port, vc) pairs for VA
+	nvcs int // cached Cfg.TotalVCs()
+
+	// occupied counts input VCs buffering flits outside Free-Flow mode.
+	// While it is zero neither va nor sa can change any state, so
+	// Network.Step skips the router entirely. Maintained by VC.sync.
+	occupied int
+
+	// vaSet flags (port, vc) pairs that may need VC allocation, bit
+	// index Dir*nvcs + vcID. Maintained by VC.sync.
+	vaSet bitset
 }
 
 // EligibleOutVCs returns the downstream VC index range a packet of the
@@ -86,56 +95,62 @@ func (r *Router) step() {
 }
 
 // va performs VC allocation for every head packet that does not yet
-// hold a downstream VC. Input VCs are visited in a rotating order so no
-// (port, vc) pair is structurally favored. Allocations take effect
-// immediately (mirror marked Busy), so two heads can never win the same
-// downstream VC in one cycle.
+// hold a downstream VC. Candidate VCs come from the router's vaSet and
+// are visited in the same rotating (port, vc) order the full scan used
+// — the rotation base is the network-wide vaRound (one tick per
+// non-frozen cycle, exactly what the old per-router pointer counted) so
+// fairness and therefore every allocation decision is bit-identical.
+// Allocations take effect immediately (mirror marked Busy), so two
+// heads can never win the same downstream VC in one cycle.
 func (r *Router) va() {
-	nvcs := r.Net.Cfg.TotalVCs()
-	total := NumPorts * nvcs
-	for k := 0; k < total; k++ {
-		idx := (r.vaPtr + k) % total
-		in := r.In[idx/nvcs]
-		if in == nil {
-			continue
-		}
-		vc := in.VCs[idx%nvcs]
-		if vc.State != VCActive || vc.FFMode || vc.OutVC >= 0 ||
-			vc.Empty() || !vc.Front().IsHead() {
-			continue
-		}
-		if a, ok := r.Net.VA.Select(r, in, vc); ok {
-			vc.OutPort = a.OutPort
-			vc.OutVC = a.OutVC
-			r.Out[a.OutPort].VCs[a.OutVC].Busy = true
-		}
+	nvcs := r.nvcs
+	base := r.Net.vaRound % (NumPorts * nvcs)
+	// The rotation is two ascending segments: [base, total) then [0, base).
+	for idx := r.vaSet.next(base); idx >= 0; idx = r.vaSet.next(idx + 1) {
+		r.vaTry(idx/nvcs, idx%nvcs)
 	}
-	r.vaPtr++
+	for idx := r.vaSet.next(0); idx >= 0 && idx < base; idx = r.vaSet.next(idx + 1) {
+		r.vaTry(idx/nvcs, idx%nvcs)
+	}
+}
+
+// vaTry re-checks full VA eligibility for one flagged (port, vc) pair
+// (the bit is conservative) and runs the allocation policy on it.
+func (r *Router) vaTry(port, v int) {
+	in := r.In[port]
+	if in == nil {
+		return
+	}
+	vc := in.VCs[v]
+	if vc.State != VCActive || vc.FFMode || vc.OutVC >= 0 ||
+		vc.Empty() || !vc.Front().IsHead() {
+		return
+	}
+	if a, ok := r.Net.VA.Select(r, in, vc); ok {
+		vc.grant(a.OutPort, a.OutVC)
+		r.Out[a.OutPort].VCs[a.OutVC].Busy = true
+	}
 }
 
 // sa is a two-stage separable switch allocator: stage 1 picks one
-// requesting VC per input port (round-robin), stage 2 picks one input
-// port per output port (round-robin), then winners traverse the switch.
+// requesting VC per input port (round-robin over the port's saSet),
+// stage 2 picks one input port per output port (round-robin), then
+// winners traverse the switch.
 func (r *Router) sa() {
 	var reqs [NumPorts]*VC
+	any := false
 	for p := 0; p < NumPorts; p++ {
 		in := r.In[p]
 		if in == nil {
 			continue
 		}
-		n := len(in.VCs)
-		for k := 0; k < n; k++ {
-			vc := in.VCs[(in.saPtr+k)%n]
-			if vc.State != VCActive || vc.FFMode || vc.Empty() || vc.OutVC < 0 {
-				continue
-			}
-			out := r.Out[vc.OutPort]
-			if out.FFReserved || out.Link.Busy() || out.VCs[vc.OutVC].Credits <= 0 {
-				continue
-			}
+		if vc := r.saPick(in); vc != nil {
 			reqs[p] = vc
-			break
+			any = true
 		}
+	}
+	if !any {
+		return
 	}
 	for o := 0; o < NumPorts; o++ {
 		out := r.Out[o]
@@ -155,6 +170,42 @@ func (r *Router) sa() {
 			break
 		}
 	}
+}
+
+// saPick runs SA stage 1 for one input port: the first VC at or after
+// the round-robin pointer that passes the full sendability check wins.
+// Candidates come from the port's saSet; each flagged VC is re-checked
+// exactly as the full scan did, so the winner is bit-identical.
+func (r *Router) saPick(in *InputPort) *VC {
+	if in.saSet.empty() {
+		return nil
+	}
+	n := len(in.VCs)
+	base := in.saPtr % n
+	for idx := in.saSet.next(base); idx >= 0; idx = in.saSet.next(idx + 1) {
+		if vc := r.saCheck(in.VCs[idx]); vc != nil {
+			return vc
+		}
+	}
+	for idx := in.saSet.next(0); idx >= 0 && idx < base; idx = in.saSet.next(idx + 1) {
+		if vc := r.saCheck(in.VCs[idx]); vc != nil {
+			return vc
+		}
+	}
+	return nil
+}
+
+// saCheck re-checks full SA stage-1 eligibility for one flagged VC (the
+// bit is conservative) and returns it if sendable this cycle.
+func (r *Router) saCheck(vc *VC) *VC {
+	if vc.State != VCActive || vc.FFMode || vc.Empty() || vc.OutVC < 0 {
+		return nil
+	}
+	out := r.Out[vc.OutPort]
+	if out.FFReserved || out.Link.Busy() || out.VCs[vc.OutVC].Credits <= 0 {
+		return nil
+	}
+	return vc
 }
 
 // sendFlit moves the front flit of vc across the switch onto its output

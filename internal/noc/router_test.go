@@ -177,7 +177,7 @@ type reservingScheme struct{ router, port int }
 func (r *reservingScheme) Name() string          { return "reserver" }
 func (r *reservingScheme) Attach(*Network) error { return nil }
 func (r *reservingScheme) PostRouter(*Network)   {}
-func (r *reservingScheme) PreRouter(n *Network)  { n.Routers[r.router].Out[r.port].FFReserved = true }
+func (r *reservingScheme) PreRouter(n *Network)  { n.Routers[r.router].Out[r.port].ReserveFF() }
 
 // TestFFReservedBlocksSA: a port reserved by the FF engine (every
 // cycle, via the scheme hook like a real lookahead) must never carry a

@@ -35,6 +35,15 @@ type VC struct {
 	// FFMode marks the VC as owned by the Free-Flow engine: the normal
 	// pipeline must not route, allocate or switch its flits.
 	FFMode bool
+
+	// in is the input port holding this VC, or nil for standalone VCs
+	// constructed outside a Network (unit tests); the active-set
+	// bookkeeping in sync no-ops without it.
+	in *InputPort
+	// occ mirrors this VC's contribution to Router.occupied: the VC
+	// buffers flits the regular pipeline may act on (non-empty, not
+	// Free-Flow).
+	occ bool
 }
 
 // NewVC returns an idle VC with the given identifier and flit capacity.
@@ -75,6 +84,7 @@ func (v *VC) Push(f Flit) {
 	}
 	v.buf[(v.head+v.n)%v.Depth] = f
 	v.n++
+	v.sync()
 }
 
 // Pop removes and returns the front flit. It panics if empty.
@@ -83,6 +93,7 @@ func (v *VC) Pop() Flit {
 	v.buf[v.head] = Flit{}
 	v.head = (v.head + 1) % v.Depth
 	v.n--
+	v.sync()
 	return f
 }
 
@@ -97,6 +108,7 @@ func (v *VC) Activate(pkt *Packet, cycle int64) {
 	v.OutVC = -1
 	v.ActiveSince = cycle
 	v.LastMove = cycle
+	v.sync()
 }
 
 // Release returns the VC to Idle (tail flit departed).
@@ -109,6 +121,59 @@ func (v *VC) Release() {
 	v.OutPort = -1
 	v.OutVC = -1
 	v.FFMode = false
+	v.sync()
+}
+
+// grant records a successful VC allocation: the owner packet now holds
+// downstream VC outVC at output port outPort. The caller marks the
+// downstream mirror Busy.
+func (v *VC) grant(outPort, outVC int) {
+	v.OutPort = outPort
+	v.OutVC = outVC
+	v.sync()
+}
+
+// EnterFF hands the VC to the Free-Flow engine: any downstream grant
+// must already have been returned by the caller; the regular pipeline
+// stops routing, allocating and switching its flits until Release.
+func (v *VC) EnterFF() {
+	v.OutPort = -1
+	v.OutVC = -1
+	v.FFMode = true
+	v.sync()
+}
+
+// sync recomputes this VC's active-set contribution after any state
+// change: the router-level occupancy count that gates stepping the
+// router at all, the VA candidate bit (unallocated head buffered) and
+// the SA candidate bit (allocated packet with flits buffered). Bits are
+// conservative — the pipeline re-checks full eligibility at visit time
+// — but a VC the pipeline could act on must always be flagged, or the
+// scheduler would skip real work (the activity invariant; see
+// CheckActiveSets).
+func (v *VC) sync() {
+	in := v.in
+	if in == nil {
+		return
+	}
+	occ := v.n > 0 && !v.FFMode
+	if occ != v.occ {
+		v.occ = occ
+		if occ {
+			in.Router.occupied++
+		} else {
+			in.Router.occupied--
+		}
+	}
+	if !occ {
+		in.Router.vaSet.clear(in.vaBase + v.ID)
+		in.saSet.clear(v.ID)
+		return
+	}
+	alloc := v.OutVC >= 0
+	in.Router.vaSet.assign(in.vaBase+v.ID,
+		!alloc && v.State == VCActive && v.buf[v.head].IsHead())
+	in.saSet.assign(v.ID, alloc && v.State == VCActive)
 }
 
 // HasWholePacket reports whether every flit of the owner packet is

@@ -166,7 +166,7 @@ func (s *SPIN) stepProbe(pr *probe) bool {
 	// throughput loss and energy spike ("its probes hinder the forward
 	// movement of packets", §4.3).
 	s.n.Energy.AddProbeHop()
-	s.n.Routers[pr.cur.r].Out[d].FFReserved = true
+	s.n.Routers[pr.cur.r].Out[d].ReserveFF()
 	nr := s.n.Cfg.Neighbor(pr.cur.r, d)
 	np := noc.Opposite(d)
 	// The blockers are the packets holding the VCs the waiting packet

@@ -323,6 +323,13 @@ func NewSim(cfg Config) (*Sim, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Synthetic sinks never retain delivered packets, so consumed Packet
+	// objects can be recycled into new injections. Closed-loop traffic
+	// (NewAppSim) keeps recycling off: the coherence engine tracks
+	// transactions past delivery.
+	if s.Net != nil {
+		s.Net.SetPacketRecycling(true)
+	}
 	s.Synthetic = src
 	return s, nil
 }

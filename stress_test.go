@@ -52,13 +52,20 @@ func TestRandomizedStress(t *testing.T) {
 					t.Fatalf("%s: panic: %v", recipe, p)
 				}
 			}()
-			sim.Run(cfg.Warmup + cfg.SimCycles)
-		}()
-		if sim.Net != nil {
-			if err := sim.Net.CheckInvariants(); err != nil {
-				t.Fatalf("%s: %v", recipe, err)
+			// Run in chunks, auditing bookkeeping AND active-set
+			// tracking mid-flight: a quiescence bug (a skipped router
+			// that still held work) shows up here long before it would
+			// distort end-of-run statistics.
+			const chunk = 250
+			for done := int64(0); done < cfg.Warmup+cfg.SimCycles; done += chunk {
+				sim.Run(chunk)
+				if sim.Net != nil {
+					if err := sim.Net.CheckInvariants(); err != nil {
+						t.Fatalf("%s: cycle %d: %v", recipe, done+chunk, err)
+					}
+				}
 			}
-		}
+		}()
 		// Turn-model and express schemes must never misroute.
 		switch cfg.Scheme {
 		case seec.SchemeXY, seec.SchemeWestFirst, seec.SchemeTFC,
@@ -67,5 +74,40 @@ func TestRandomizedStress(t *testing.T) {
 				t.Fatalf("%s: %d misroute hops from a minimal scheme", recipe, m)
 			}
 		}
+	}
+}
+
+// TestMidFlightAuditAllSchemes drives every scheme under identical
+// moderate load and audits flow-control bookkeeping plus the active-set
+// invariant (CheckActiveSets, via CheckInvariants) every 100 cycles.
+// This is the direct regression net for the occupancy-proportional
+// scheduler: each scheme exercises a different out-of-pipeline way of
+// moving packets (FF worms, spins, swaps, drain rotations, deflection),
+// and all of them must keep the activity tracking exact mid-cycle-
+// stream, not just at the end of a run.
+func TestMidFlightAuditAllSchemes(t *testing.T) {
+	for _, scheme := range seec.AllSchemes() {
+		scheme := scheme
+		t.Run(string(scheme), func(t *testing.T) {
+			cfg := seec.DefaultConfig()
+			cfg.Rows, cfg.Cols = 4, 4
+			cfg.Scheme = scheme
+			cfg.Pattern = "uniform_random"
+			cfg.InjectionRate = 0.15
+			cfg.Seed = 7
+			sim, err := seec.NewSim(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sim.Net == nil {
+				t.Skip("deflection network has no credit/active-set audit")
+			}
+			for cycle := 0; cycle < 1500; cycle += 100 {
+				sim.Run(100)
+				if err := sim.Net.CheckInvariants(); err != nil {
+					t.Fatalf("cycle %d: %v", cycle+100, err)
+				}
+			}
+		})
 	}
 }
