@@ -1,14 +1,18 @@
 // Command benchjson converts `go test -bench` output on stdin into a
-// JSON object on stdout, keyed by benchmark name:
+// JSON object on stdout:
 //
 //	go test -bench Step -benchmem -run '^$' ./internal/noc | benchjson
 //
 // yields
 //
-//	{"seec/internal/noc.BenchmarkStep/rate=0.02": {"ns_op": 16096, ...}}
+//	{
+//	  "meta": {"timestamp": "...", "go_version": "go1.x", "gomaxprocs": 8},
+//	  "benchmarks": {"seec/internal/noc.BenchmarkStep/rate=0.02": {"ns_op": 16096, ...}}
+//	}
 //
 // so perf records (BENCH_step.json) can be diffed across commits
-// without parsing the text format again.
+// without parsing the text format again, and a stale record is
+// self-describing about when and where it was taken.
 package main
 
 import (
@@ -16,8 +20,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
+	"time"
 )
 
 // result holds the metrics of one benchmark line.
@@ -28,8 +34,31 @@ type result struct {
 	Iters    int64   `json:"iters"`
 }
 
+// meta records when/where the benchmarks ran. The cpu line of the
+// bench output is folded in when present.
+type meta struct {
+	Timestamp  string `json:"timestamp"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	CPU        string `json:"cpu,omitempty"`
+}
+
+// record is the document benchjson emits.
+type record struct {
+	Meta       meta              `json:"meta"`
+	Benchmarks map[string]result `json:"benchmarks"`
+}
+
 func main() {
-	out := make(map[string]result)
+	doc := record{
+		Meta: meta{
+			Timestamp:  time.Now().UTC().Format(time.RFC3339),
+			GoVersion:  runtime.Version(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+		},
+		Benchmarks: make(map[string]result),
+	}
+	out := doc.Benchmarks
 	pkg := ""
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
@@ -37,6 +66,10 @@ func main() {
 		line := sc.Text()
 		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
 			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "cpu: "); ok {
+			doc.Meta.CPU = strings.TrimSpace(rest)
 			continue
 		}
 		if !strings.HasPrefix(line, "Benchmark") {
@@ -77,7 +110,7 @@ func main() {
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(out); err != nil {
+	if err := enc.Encode(doc); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}

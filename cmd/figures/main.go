@@ -12,10 +12,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"strings"
+	"sync/atomic"
 	"time"
 
+	"seec"
 	"seec/internal/exp"
 )
 
@@ -27,6 +31,12 @@ func main() {
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "simulations to run concurrently (output is identical at any value)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	tracePath := flag.String("trace", "", "per-run Chrome trace_event JSON files based on this path (forces -j 1)")
+	eventsPath := flag.String("trace-events", "", "per-run JSONL flit-event logs based on this path (forces -j 1)")
+	traceBuf := flag.Int("trace-buf", 0, "trace ring-buffer capacity in events (0 = 1Mi)")
+	metricsOut := flag.String("metrics-out", "", "per-run metrics CSVs with this path prefix (forces -j 1)")
+	metricsWin := flag.Int64("metrics-window", 0, "metrics window length in cycles (0 = 1000)")
+	watchdogWin := flag.Int64("watchdog", 0, "dump a network snapshot to stderr after this many cycles without an ejection (works at any -j)")
 	flag.Parse()
 
 	if *cpuprofile != "" {
@@ -71,6 +81,39 @@ func main() {
 	}
 	sc.Workers = *jobs
 
+	inst := seec.InstrumentOptions{
+		TracePath:      *tracePath,
+		EventsPath:     *eventsPath,
+		TraceBuf:       *traceBuf,
+		MetricsPath:    *metricsOut,
+		MetricsWindow:  *metricsWin,
+		WatchdogWindow: *watchdogWin,
+		Tool:           "figures",
+		Args:           os.Args[1:],
+	}
+	if inst.Enabled() {
+		// File-producing instrumentation gets one numbered output set
+		// per simulation; serialize so the numbering is deterministic.
+		// The watchdog alone writes no per-run files (snapshots share
+		// stderr via single atomic writes), so it runs at any -j.
+		if inst.TracePath != "" || inst.EventsPath != "" || inst.MetricsPath != "" {
+			sc.Workers = 1
+			if *jobs > 1 {
+				fmt.Fprintln(os.Stderr, "figures: -trace/-trace-events/-metrics-out force -j 1 for deterministic per-run file numbering")
+			}
+		}
+		var seq atomic.Int64
+		sc.Instrument = func(s *seec.Sim) func() {
+			o := inst
+			label := fmt.Sprintf("%04d_%s_%s_%.3f", seq.Add(1), s.Cfg.Scheme, s.Cfg.Pattern, s.Cfg.InjectionRate)
+			o.TracePath = perRunPath(o.TracePath, label)
+			o.EventsPath = perRunPath(o.EventsPath, label)
+			o.MetricsPath = perRunPath(o.MetricsPath, label)
+			o.Note = "figures " + label
+			return o.Hook()(s)
+		}
+	}
+
 	gens := map[string]func() []*exp.Table{
 		"7":      func() []*exp.Table { return []*exp.Table{exp.Fig7()} },
 		"8":      func() []*exp.Table { return exp.Fig8(sc) },
@@ -112,4 +155,17 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "[fig %s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// perRunPath derives the per-simulation output path from the base flag
+// value by inserting the run label before the extension:
+// traces/t.json + "0007_seec_transpose_0.140" ->
+// traces/t_0007_seec_transpose_0.140.json. Empty base stays empty
+// (that output is disabled).
+func perRunPath(base, label string) string {
+	if base == "" {
+		return ""
+	}
+	ext := filepath.Ext(base)
+	return strings.TrimSuffix(base, ext) + "_" + label + ext
 }

@@ -32,8 +32,15 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "PRNG seed")
 		app       = flag.String("app", "", "run application traffic instead of synthetic (e.g. canneal)")
 		txns      = flag.Int64("txns", 8000, "transactions to complete (application mode)")
-		dlCheck   = flag.Bool("deadlock-check", false, "report whether the run wedged (no progress for 5000 cycles)")
+		dlCheck   = flag.Bool("deadlock-check", false, "report whether the run wedged (no progress for 5000 cycles) and, if so, print the stall diagnosis")
 		satSearch = flag.Bool("saturation", false, "search for the saturation throughput instead of a single run")
+
+		tracePath   = flag.String("trace", "", "write a Chrome trace_event JSON to this file (open in chrome://tracing or Perfetto)")
+		eventsPath  = flag.String("trace-events", "", "write a JSONL flit-event log to this file")
+		traceBuf    = flag.Int("trace-buf", 0, "trace ring-buffer capacity in events (0 = 1Mi; oldest events are overwritten)")
+		metricsOut  = flag.String("metrics-out", "", "write per-router and per-link metrics CSVs with this path prefix")
+		metricsWin  = flag.Int64("metrics-window", 0, "metrics window length in cycles (0 = 1000)")
+		watchdogWin = flag.Int64("watchdog", 0, "dump a network snapshot to stderr after this many cycles without an ejection (0 = off)")
 	)
 	flag.Parse()
 
@@ -54,6 +61,37 @@ func main() {
 	cfg.Warmup = *warmup
 	cfg.Seed = *seed
 
+	inst := seec.InstrumentOptions{
+		TracePath:      *tracePath,
+		EventsPath:     *eventsPath,
+		TraceBuf:       *traceBuf,
+		MetricsPath:    *metricsOut,
+		MetricsWindow:  *metricsWin,
+		WatchdogWindow: *watchdogWin,
+		Tool:           "seecsim",
+		Args:           os.Args[1:],
+	}
+	if *satSearch && inst.Enabled() {
+		fmt.Fprintln(os.Stderr, "seecsim: trace/metrics/watchdog flags apply to single runs, not -saturation searches")
+		os.Exit(2)
+	}
+	// The deadlock diagnosis needs the wedged network's state, which
+	// Result does not carry; capture the Sim on its way through the
+	// standard runner (observation only — the run itself is untouched).
+	// Saturation searches fan runs out concurrently, so the capture is
+	// only installed for single runs.
+	var sim *seec.Sim
+	if !*satSearch {
+		hook := inst.Hook()
+		cfg.Instrument = func(s *seec.Sim) func() {
+			sim = s
+			if hook != nil {
+				return hook(s)
+			}
+			return nil
+		}
+	}
+
 	switch {
 	case *app != "":
 		res, err := seec.RunApplication(cfg, *app, *txns, 50_000_000)
@@ -62,6 +100,10 @@ func main() {
 		fmt.Printf("average_packet_latency=%.3f\n", res.AvgLatency)
 		fmt.Printf("p99_packet_latency=%d\nmax_packet_latency=%d\n", res.P99Latency, res.MaxLatency)
 		fmt.Printf("transactions_completed=%d stalled=%v\n", res.Completed, res.Stalled)
+		if *dlCheck && res.Stalled {
+			fmt.Print(sim.StallReport())
+			os.Exit(1)
+		}
 	case *satSearch:
 		sat, last, err := seec.SaturationThroughput(cfg)
 		fail(err)
@@ -80,6 +122,7 @@ func main() {
 		if *dlCheck {
 			fmt.Printf("stalled=%v\n", res.Stalled)
 			if res.Stalled {
+				fmt.Print(sim.StallReport())
 				os.Exit(1)
 			}
 		}

@@ -22,7 +22,7 @@ func Fig10a(s Scale) *Table {
 		cfg := synthCfg(sc, 8, 4, "uniform_random", s.SimCycles)
 		cfg.InjectionRate = rate
 		cfg.Seed = cfg.SweepSeed()
-		res, err := seec.RunSynthetic(cfg)
+		res, err := s.runSynthetic(cfg)
 		if err != nil {
 			return "err"
 		}
@@ -58,7 +58,7 @@ func Fig10b(s Scale) *Table {
 		cfg := synthCfg(sc, 8, 4, "uniform_random", s.SimCycles)
 		cfg.InjectionRate = rate
 		cfg.Seed = cfg.SweepSeed()
-		res, err := seec.RunSynthetic(cfg)
+		res, err := s.runSynthetic(cfg)
 		if err != nil {
 			return nil
 		}
@@ -116,7 +116,7 @@ func Fig11(s Scale) *Table {
 			cfg := synthCfg(sc, 8, 4, "uniform_random", s.SimCycles)
 			cfg.InjectionRate = rate
 			cfg.Seed = cfg.SweepSeed()
-			return seec.RunSynthetic(cfg)
+			return s.runSynthetic(cfg)
 		}
 		res, err := at(kneeRate)
 		if err != nil {

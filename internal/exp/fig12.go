@@ -55,7 +55,7 @@ func Fig12(s Scale) []*Table {
 		cfg.Routing = c.v.routing
 		cfg.InjectionRate = c.rate
 		cfg.Seed = cfg.SweepSeed()
-		res, err := seec.RunSynthetic(cfg)
+		res, err := s.runSynthetic(cfg)
 		return latencyCell(res, err)
 	})
 	var out []*Table
@@ -123,7 +123,7 @@ func Fig13(s Scale) []*Table {
 		cfg := synthCfg(j.c.sc, 8, j.c.vcs, j.pat, s.SimCycles)
 		cfg.InjectionRate = j.rate
 		cfg.Seed = cfg.SweepSeed()
-		res, err := seec.RunSynthetic(cfg)
+		res, err := s.runSynthetic(cfg)
 		return latencyCell(res, err)
 	})
 	i := 0

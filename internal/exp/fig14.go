@@ -71,7 +71,7 @@ func appResults(s Scale, apps []string, vs []appVariant) []appRun {
 		app, v := apps[i/len(vs)], vs[i%len(vs)]
 		cfg := appConfig(v)
 		cfg.Seed = cfg.SweepSeed(app)
-		res, err := seec.RunApplication(cfg, app, s.AppTxns, s.MaxAppCycles)
+		res, err := s.runApplication(cfg, app, s.AppTxns, s.MaxAppCycles)
 		return appRun{res: res, err: err}
 	})
 }

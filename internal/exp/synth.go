@@ -62,7 +62,7 @@ func Fig8(s Scale) []*Table {
 		cfg := synthCfg(c.sc, c.k, 4, c.pat, s.SimCycles)
 		cfg.InjectionRate = c.rate
 		cfg.Seed = cfg.SweepSeed()
-		res, err := seec.RunSynthetic(cfg)
+		res, err := s.runSynthetic(cfg)
 		return latencyCell(res, err)
 	})
 	var out []*Table

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"seec"
 )
 
 // Table is a rendered experiment result.
@@ -112,6 +114,26 @@ type Scale struct {
 	// own coordinates (Config.SweepSeed), so the rendered tables are
 	// byte-identical at any worker count.
 	Workers int
+
+	// Instrument is copied into the Config of every simulation a
+	// generator launches (see seec.Config.Instrument); cmd/figures uses
+	// it to attach tracers, metrics and watchdogs to figure runs.
+	// Observation only — rendered tables are identical either way.
+	Instrument func(*seec.Sim) func()
+}
+
+// runSynthetic is seec.RunSynthetic with the scale's instrumentation
+// attached. Generators call this instead of seec.RunSynthetic directly.
+func (s Scale) runSynthetic(cfg seec.Config) (seec.Result, error) {
+	cfg.Instrument = s.Instrument
+	return seec.RunSynthetic(cfg)
+}
+
+// runApplication is seec.RunApplication with the scale's
+// instrumentation attached.
+func (s Scale) runApplication(cfg seec.Config, app string, txns, maxCycles int64) (seec.AppResult, error) {
+	cfg.Instrument = s.Instrument
+	return seec.RunApplication(cfg, app, txns, maxCycles)
 }
 
 // Quick returns the fast preset used by tests and default CLI runs.

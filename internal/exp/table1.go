@@ -65,7 +65,7 @@ func measureNoMisroute(scheme seec.Scheme, s Scale) bool {
 	cfg := synthCfg(scheme, 4, 2, "uniform_random", s.SimCycles)
 	cfg.InjectionRate = 0.30
 	cfg.Seed = cfg.SweepSeed()
-	res, err := seec.RunSynthetic(cfg)
+	res, err := s.runSynthetic(cfg)
 	if err != nil {
 		return false
 	}
@@ -114,7 +114,7 @@ func measureProtocolDLFree(scheme seec.Scheme, s Scale) bool {
 		txns = 4000
 	}
 	cfg.Seed = cfg.SweepSeed("stress")
-	res, err := seec.RunApplication(cfg, "stress", txns, s.MaxAppCycles)
+	res, err := s.runApplication(cfg, "stress", txns, s.MaxAppCycles)
 	if err != nil {
 		return false
 	}

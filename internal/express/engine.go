@@ -1,6 +1,9 @@
 package express
 
-import "seec/internal/noc"
+import (
+	"seec/internal/noc"
+	"seec/internal/trace"
+)
 
 // engine holds the machinery shared by SEEC and mSEEC: ejection-VC
 // reservation (including proactive reservation for turns that were
@@ -110,6 +113,10 @@ func (e *engine) acquireEj(nicID, class int) (int, bool) {
 func (e *engine) unreserveEj(nicID, ejIdx int) {
 	e.n.NICs[nicID].Ej[ejIdx].Reserved = false
 	e.n.Routers[nicID].Out[noc.Local].VCs[ejIdx].Busy = false
+	if tr := e.n.Tracer; tr != nil {
+		tr.Record(trace.Event{Cycle: e.n.Cycle, Kind: trace.EvSeekerReturn,
+			Node: int32(nicID), Port: -1, VC: int16(ejIdx)})
+	}
 }
 
 // makeSeeker builds a seeker, arming the NIC-queue search on every
@@ -121,6 +128,10 @@ func (e *engine) makeSeeker(nicID, class, ejIdx int, walk []int, searchAt []bool
 		e.lastNICSearch = e.n.Cycle
 	}
 	e.Stats.SeekersSent++
+	if tr := e.n.Tracer; tr != nil {
+		tr.Record(trace.Event{Cycle: e.n.Cycle, Kind: trace.EvSeekerLaunch,
+			Node: int32(nicID), Port: -1, VC: int16(ejIdx), Arg: int64(class)})
+	}
 	return sk
 }
 
@@ -133,6 +144,14 @@ func (e *engine) makeSeeker(nicID, class, ejIdx int, walk []int, searchAt []bool
 func (e *engine) freeze(m match) {
 	m.pkt.FF = true
 	m.pkt.FFCycle = e.n.Cycle
+	if tr := e.n.Tracer; tr != nil {
+		tr.Record(trace.Event{Cycle: e.n.Cycle, Kind: trace.EvSeekerMatch,
+			Node: int32(m.router), Port: int16(m.inport), VC: int16(m.vc),
+			Pkt: m.pkt.ID, Arg: e.n.Cycle - m.pkt.Created})
+		tr.Record(trace.Event{Cycle: e.n.Cycle, Kind: trace.EvFFUpgrade,
+			Node: int32(m.router), Port: int16(m.inport), VC: int16(m.vc),
+			Pkt: m.pkt.ID, Arg: int64(m.pkt.Dst)})
+	}
 	if m.inport >= 0 {
 		vc := e.n.Routers[m.router].In[m.inport].VCs[m.vc]
 		if vc.OutVC >= 0 {

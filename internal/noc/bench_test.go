@@ -6,6 +6,7 @@ import (
 
 	"seec/internal/noc"
 	"seec/internal/rng"
+	"seec/internal/trace"
 )
 
 // benchSource is an open-loop uniform-random Bernoulli generator used
@@ -52,6 +53,23 @@ func (s *benchSource) Generate(cycle int64, node int) []noc.PacketSpec {
 
 func (s *benchSource) Deliver(int64, *noc.Packet) bool { return true }
 
+// benchNetwork builds the steady-state 8x8 mesh the Step benchmarks
+// and the zero-alloc gate share.
+func benchNetwork(tb testing.TB, rate float64) *noc.Network {
+	cfg := noc.DefaultConfig()
+	cfg.Routing = noc.RoutingXY
+	cfg.InjQueueCap = 16
+	src := newBenchSource(rate, 0xbe7c4, cfg.Nodes())
+	n, err := noc.New(cfg, noc.WithTraffic(src))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	src.net = n
+	n.SetPacketRecycling(true)
+	n.Run(2000) // reach steady-state occupancy before timing
+	return n
+}
+
 // BenchmarkStep measures one Network.Step of an 8x8 mesh at three
 // operating points: near-idle (the active-set fast path), moderate
 // load, and saturation (every router busy — the full-sweep regime the
@@ -59,22 +77,49 @@ func (s *benchSource) Deliver(int64, *noc.Packet) bool { return true }
 func BenchmarkStep(b *testing.B) {
 	for _, rate := range []float64{0.02, 0.20, 0.60} {
 		b.Run(fmt.Sprintf("rate=%.2f", rate), func(b *testing.B) {
-			cfg := noc.DefaultConfig()
-			cfg.Routing = noc.RoutingXY
-			cfg.InjQueueCap = 16
-			src := newBenchSource(rate, 0xbe7c4, cfg.Nodes())
-			n, err := noc.New(cfg, noc.WithTraffic(src))
-			if err != nil {
-				b.Fatal(err)
-			}
-			src.net = n
-			n.SetPacketRecycling(true)
-			n.Run(2000) // reach steady-state occupancy before timing
+			n := benchNetwork(b, rate)
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				n.Step()
 			}
 		})
+	}
+}
+
+// BenchmarkStepTraced is BenchmarkStep with a full instrumentation
+// stack attached (ring-buffer tracer + windowed metrics), quantifying
+// the enabled-path overhead against the plain benchmark above. It must
+// itself stay 0 allocs/op: recording into the ring and bumping metric
+// counters never allocates.
+func BenchmarkStepTraced(b *testing.B) {
+	for _, rate := range []float64{0.02, 0.60} {
+		b.Run(fmt.Sprintf("rate=%.2f", rate), func(b *testing.B) {
+			n := benchNetwork(b, rate)
+			n.Tracer = trace.NewRecorder(trace.DefaultCapacity)
+			n.Metrics = trace.NewMetrics(n.Cfg.Rows, n.Cfg.Cols, 1000)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n.Step()
+			}
+		})
+	}
+}
+
+// TestStepZeroAllocsUntraced is the disabled-tracer gate: with Tracer,
+// Metrics and Watchdog all nil (the default), the Step hot path must
+// not allocate at all, at idle or at saturation. This pins the
+// "instrumentation is free when off" contract independently of the
+// benchmark record in BENCH_step.json.
+func TestStepZeroAllocsUntraced(t *testing.T) {
+	for _, rate := range []float64{0.02, 0.60} {
+		n := benchNetwork(t, rate)
+		if n.Tracer != nil || n.Metrics != nil || n.Watchdog != nil {
+			t.Fatal("default network must be uninstrumented")
+		}
+		if avg := testing.AllocsPerRun(500, func() { n.Step() }); avg != 0 {
+			t.Errorf("rate=%.2f: Step allocates %.2f allocs/op with tracing disabled, want 0", rate, avg)
+		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"seec/internal/energy"
 	"seec/internal/rng"
 	"seec/internal/stats"
+	"seec/internal/trace"
 )
 
 // TrafficSource drives and drains the network. Synthetic generators
@@ -49,6 +50,16 @@ type Network struct {
 	Collector *stats.Collector
 	Energy    *energy.Meter
 
+	// Tracer, Metrics and Watchdog are the observability layer; all
+	// three are nil by default and every touch point guards on that, so
+	// the disabled hot path costs one predictable branch per site and
+	// allocates nothing. Instrumentation only observes — enabling it
+	// never changes routing, arbitration or RNG draws, so results stay
+	// byte-identical either way.
+	Tracer   trace.Tracer
+	Metrics  *trace.Metrics
+	Watchdog *Watchdog
+
 	// InFlight counts packets enqueued but not yet consumed.
 	InFlight int
 
@@ -60,6 +71,7 @@ type Network struct {
 	dataLinks    []*DataLink
 	creditLinks  []*CreditLink
 	lastProgress int64
+	lastConsume  int64 // last cycle a packet left the system (watchdog signal)
 	nextPktID    uint64
 
 	// vaRound counts non-frozen cycles; it is the rotation base for every
@@ -99,6 +111,9 @@ func WithScheme(s Scheme) Option { return func(n *Network) { n.Scheme = s } }
 
 // WithTraffic installs the traffic source.
 func WithTraffic(t TrafficSource) Option { return func(n *Network) { n.Traffic = t } }
+
+// WithTracer installs a flit-level event tracer.
+func WithTracer(t trace.Tracer) Option { return func(n *Network) { n.Tracer = t } }
 
 // New builds a mesh network from cfg.
 func New(cfg Config, opts ...Option) (*Network, error) {
@@ -282,6 +297,16 @@ func (n *Network) Step() {
 		n.Scheme.PostRouter(n)
 	}
 	n.Energy.Tick()
+	// Observability hooks: both nil on the un-instrumented hot path.
+	if n.Metrics != nil {
+		for i, r := range n.Routers {
+			n.Metrics.Occupancy(i, r.occupied)
+		}
+		n.Metrics.Tick()
+	}
+	if n.Watchdog != nil {
+		n.Watchdog.check(n)
+	}
 }
 
 // SetPacketRecycling toggles the Packet free list. Enable only when the

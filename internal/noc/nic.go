@@ -1,6 +1,9 @@
 package noc
 
-import "seec/internal/stats"
+import (
+	"seec/internal/stats"
+	"seec/internal/trace"
+)
 
 // EjVC is one ejection virtual channel at a NIC. The paper's system
 // assumption (§3.3): the NIC has per-message-class ejection VCs even
@@ -145,6 +148,11 @@ func (n *NIC) inject() {
 	n.Net.noteProgress()
 	if f.IsHead() {
 		n.cur.Injected = n.Net.Cycle
+		if tr := n.Net.Tracer; tr != nil {
+			tr.Record(trace.Event{Cycle: n.Net.Cycle, Kind: trace.EvInject,
+				Node: int32(n.Node), Port: -1, VC: int16(n.curVC),
+				Pkt: n.cur.ID, Arg: int64(n.cur.Dst)})
+		}
 	}
 	n.curFlit++
 	if n.curFlit == n.cur.Size {
@@ -261,6 +269,12 @@ func (n *NIC) consume() {
 		n.ejOccupied--
 		n.Net.InFlight--
 		n.Net.noteProgress()
+		n.Net.lastConsume = n.Net.Cycle
+		if tr := n.Net.Tracer; tr != nil {
+			tr.Record(trace.Event{Cycle: n.Net.Cycle, Kind: trace.EvEject,
+				Node: int32(n.Node), Port: -1, VC: int16(id), Pkt: p.ID,
+				Arg: n.Net.Cycle - p.Created})
+		}
 		if n.Net.recycle {
 			n.Net.freePkts = append(n.Net.freePkts, p)
 		}

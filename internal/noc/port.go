@@ -1,5 +1,7 @@
 package noc
 
+import "seec/internal/trace"
+
 // OutVC mirrors the state of one downstream virtual channel, as tracked
 // by the upstream sender (credit-based flow control, §2.1). Busy means
 // the downstream VC is allocated to a packet; Credits counts free flit
@@ -44,11 +46,22 @@ func (p *InputPort) FreeVCs(lo, hi int) int {
 // activation on head arrival.
 func (p *InputPort) receiveFlit(f Flit, vcID int) {
 	vc := p.VCs[vcID]
+	net := p.Router.Net
 	if f.IsHead() {
-		vc.Activate(f.Pkt, p.Router.Net.Cycle)
+		vc.Activate(f.Pkt, net.Cycle)
 	}
 	vc.Push(f)
-	p.Router.Net.Energy.BufferWrites++
+	net.Energy.BufferWrites++
+	if tr := net.Tracer; tr != nil {
+		tr.Record(trace.Event{Cycle: net.Cycle, Kind: trace.EvLink,
+			Node: int32(p.Router.ID), Port: int16(p.Dir), VC: int16(vcID),
+			Pkt: f.Pkt.ID, Arg: int64(f.Seq)})
+		if f.IsHead() {
+			tr.Record(trace.Event{Cycle: net.Cycle, Kind: trace.EvVCAlloc,
+				Node: int32(p.Router.ID), Port: int16(p.Dir), VC: int16(vcID),
+				Pkt: f.Pkt.ID})
+		}
+	}
 }
 
 // OutputPort is one router output: the data link to the downstream

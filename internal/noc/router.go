@@ -1,5 +1,7 @@
 package noc
 
+import "seec/internal/trace"
+
 // Assign is a VC-allocation decision: which output port and which
 // downstream VC a head packet gets.
 type Assign struct {
@@ -129,6 +131,16 @@ func (r *Router) vaTry(port, v int) {
 	if a, ok := r.Net.VA.Select(r, in, vc); ok {
 		vc.grant(a.OutPort, a.OutVC)
 		r.Out[a.OutPort].VCs[a.OutVC].Busy = true
+		if tr := r.Net.Tracer; tr != nil {
+			tr.Record(trace.Event{Cycle: r.Net.Cycle, Kind: trace.EvRoute,
+				Node: int32(r.ID), Port: int16(port), VC: int16(v),
+				Pkt: vc.Pkt.ID, Arg: int64(a.OutPort)})
+			tr.Record(trace.Event{Cycle: r.Net.Cycle, Kind: trace.EvVA,
+				Node: int32(r.ID), Port: int16(a.OutPort), VC: int16(a.OutVC),
+				Pkt: vc.Pkt.ID, Arg: int64(port)})
+		}
+	} else if m := r.Net.Metrics; m != nil {
+		m.Stall(r.ID, trace.StallVA)
 	}
 }
 
@@ -203,9 +215,32 @@ func (r *Router) saCheck(vc *VC) *VC {
 	}
 	out := r.Out[vc.OutPort]
 	if out.FFReserved || out.Link.Busy() || out.VCs[vc.OutVC].Credits <= 0 {
+		if net := r.Net; net.Metrics != nil || net.Tracer != nil {
+			r.noteSAStall(vc, out)
+		}
 		return nil
 	}
 	return vc
+}
+
+// noteSAStall classifies and records a failed SA check: out of
+// downstream credits vs. output link taken (by another winner or a
+// Free-Flow lookahead). Only called when instrumentation is installed.
+func (r *Router) noteSAStall(vc *VC, out *OutputPort) {
+	cause := trace.StallLink
+	kind := trace.EvLinkStall
+	if out.VCs[vc.OutVC].Credits <= 0 {
+		cause = trace.StallCredit
+		kind = trace.EvCreditStall
+	}
+	if m := r.Net.Metrics; m != nil {
+		m.Stall(r.ID, cause)
+	}
+	if tr := r.Net.Tracer; tr != nil {
+		tr.Record(trace.Event{Cycle: r.Net.Cycle, Kind: kind,
+			Node: int32(r.ID), Port: int16(vc.OutPort), VC: int16(vc.OutVC),
+			Pkt: vc.Pkt.ID, Arg: int64(out.VCs[vc.OutVC].Credits)})
+	}
 }
 
 // sendFlit moves the front flit of vc across the switch onto its output
@@ -223,8 +258,21 @@ func (r *Router) sendFlit(in *InputPort, vc *VC) {
 		if f.IsHead() {
 			f.Pkt.Hops++
 		}
+		if m := r.Net.Metrics; m != nil {
+			m.LinkFlit(r.ID, out.Dir)
+		}
 	}
 	r.Net.noteProgress()
+	if tr := r.Net.Tracer; tr != nil {
+		tr.Record(trace.Event{Cycle: r.Net.Cycle, Kind: trace.EvSA,
+			Node: int32(r.ID), Port: int16(vc.OutPort), VC: int16(vc.OutVC),
+			Pkt: f.Pkt.ID, Arg: int64(f.Seq)})
+		if f.IsTail() {
+			tr.Record(trace.Event{Cycle: r.Net.Cycle, Kind: trace.EvVCRelease,
+				Node: int32(r.ID), Port: int16(in.Dir), VC: int16(vc.ID),
+				Pkt: f.Pkt.ID})
+		}
+	}
 	if in.CreditOut != nil {
 		in.CreditOut.Send(Credit{VC: vc.ID, Count: 1, Free: f.IsTail()})
 	}

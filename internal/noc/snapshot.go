@@ -1,0 +1,380 @@
+package noc
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+
+	"seec/internal/trace"
+)
+
+// Watchdog fires when the network holds traffic but has not ejected a
+// packet for Window cycles — the observable symptom of a deadlock (or
+// total livelock) — and dumps a full network snapshot to Out: per-VC
+// states, credit counts and the blocked-packet wait-for chain. While
+// the wedge persists it re-fires every Window cycles up to MaxDumps.
+// The snapshot is rendered into a private buffer and written with a
+// single Write call, so concurrent runs can share one (locked) writer.
+type Watchdog struct {
+	Window   int64     // cycles without ejection progress before firing
+	Out      io.Writer // snapshot destination
+	MaxDumps int       // dump budget per run (<=0 selects 3)
+
+	Fired int // how many times the watchdog has fired
+
+	lastFire int64
+	buf      bytes.Buffer
+}
+
+// check runs once per cycle from Network.Step (only when installed).
+func (w *Watchdog) check(n *Network) {
+	if n.InFlight == 0 || w.Window <= 0 {
+		return
+	}
+	since := n.lastConsume
+	if w.lastFire > since {
+		since = w.lastFire
+	}
+	if n.Cycle-since < w.Window {
+		return
+	}
+	max := w.MaxDumps
+	if max <= 0 {
+		max = 3
+	}
+	w.lastFire = n.Cycle
+	if w.Fired >= max {
+		return
+	}
+	w.Fired++
+	if tr := n.Tracer; tr != nil {
+		tr.Record(trace.Event{Cycle: n.Cycle, Kind: trace.EvWatchdog,
+			Node: -1, Port: -1, VC: -1, Arg: n.Cycle - n.lastConsume})
+	}
+	if w.Out != nil {
+		w.buf.Reset()
+		n.WriteSnapshot(&w.buf)
+		w.Out.Write(w.buf.Bytes())
+	}
+}
+
+// LastConsume returns the last cycle a packet was consumed at a NIC
+// (left the system), the watchdog's progress signal.
+func (n *Network) LastConsume() int64 { return n.lastConsume }
+
+// WriteSnapshot dumps the full network state: every active input VC
+// with its owner packet, grant and blocked age; output-side credit
+// counts for exhausted or busy downstream VCs; NIC ejection/injection
+// state; and the wait-for chains from the three most-blocked VCs —
+// exactly the evidence a deadlock-freedom bug needs.
+func (n *Network) WriteSnapshot(w io.Writer) {
+	sum := n.StallSummary()
+	fmt.Fprintf(w, "=== network snapshot @ cycle %d ===\n", n.Cycle)
+	fmt.Fprintf(w, "in-flight=%d since-last-ejection=%d since-last-movement=%d\n",
+		n.InFlight, n.Cycle-n.lastConsume, n.Cycle-n.lastProgress)
+
+	fmt.Fprintf(w, "--- active input VCs ---\n")
+	for _, r := range n.Routers {
+		for p := 0; p < NumPorts; p++ {
+			in := r.In[p]
+			if in == nil {
+				continue
+			}
+			for _, vc := range in.VCs {
+				if vc.State != VCActive {
+					continue
+				}
+				grant := "out=?"
+				if vc.FFMode {
+					grant = "out=FF"
+				} else if vc.OutVC >= 0 {
+					out := r.Out[vc.OutPort]
+					grant = fmt.Sprintf("out=%s.vc%d credits=%d linkbusy=%v",
+						DirName(vc.OutPort), vc.OutVC, out.VCs[vc.OutVC].Credits, out.Link.Busy())
+				}
+				fmt.Fprintf(w, "r%d(%d,%d).%s vc%d: %v flits=%d/%d %s blocked=%d\n",
+					r.ID, r.X, r.Y, DirName(p), vc.ID, vc.Pkt, vc.Len(), vc.Pkt.Size,
+					grant, vc.BlockedFor(n.Cycle))
+			}
+		}
+	}
+
+	fmt.Fprintf(w, "--- ejection VCs (held or reserved) ---\n")
+	for id, nic := range n.NICs {
+		for v, ej := range nic.Ej {
+			if ej.Pkt == nil && !ej.Reserved {
+				continue
+			}
+			credits := n.Routers[id].Out[Local].VCs[v].Credits
+			if ej.Pkt != nil {
+				fmt.Fprintf(w, "nic%d ej%d: %v flits=%d/%d credits=%d reserved=%v\n",
+					id, v, ej.Pkt, ej.Flits, ej.Pkt.Size, credits, ej.Reserved)
+			} else {
+				fmt.Fprintf(w, "nic%d ej%d: reserved (SEEC) credits=%d\n", id, v, credits)
+			}
+		}
+	}
+
+	fmt.Fprintf(w, "--- NIC injection backlogs ---\n")
+	for id, nic := range n.NICs {
+		if nic.backlog == 0 && nic.cur == nil {
+			continue
+		}
+		fmt.Fprintf(w, "nic%d: backlog=%d", id, nic.backlog)
+		if nic.cur != nil {
+			fmt.Fprintf(w, " streaming=%v flit=%d/%d vc=%d", nic.cur, nic.curFlit, nic.cur.Size, nic.curVC)
+		}
+		fmt.Fprintln(w)
+	}
+
+	fmt.Fprintf(w, "--- wait-for chains ---\n")
+	if len(sum.Chains) == 0 {
+		fmt.Fprintln(w, "(no blocked whole packets to chase)")
+	}
+	for i, ch := range sum.Chains {
+		status := "open"
+		if ch.Closed {
+			status = "CYCLE"
+		}
+		fmt.Fprintf(w, "chain %d [%s]: %s\n", i+1, status, ch.Text)
+	}
+	if sum.OldestAge > 0 {
+		fmt.Fprintf(w, "oldest in-flight packet: %s age=%d\n", sum.Oldest, sum.OldestAge)
+	}
+	fmt.Fprintln(w)
+}
+
+// RouterStall summarizes one router's contribution to a stall.
+type RouterStall struct {
+	Router, X, Y int
+	BlockedVCs   int   // active VCs whose front flit has not moved
+	MaxAge       int64 // largest blocked-for among them
+}
+
+// WaitChain is one walked wait-for dependency chain.
+type WaitChain struct {
+	Text   string // "r5.N.vc2 pkt#88 -> r6.W.vc1 pkt#92 -> ..."
+	Closed bool   // the chain revisited a VC: a genuine cycle
+}
+
+// StallSummary is the condensed stall diagnosis: who is blocked where,
+// how old the oldest stuck packet is, and representative wait-for
+// chains. It is what `seecsim -deadlock-check` prints for a wedged run.
+type StallSummary struct {
+	Cycle      int64
+	InFlight   int
+	SinceEject int64 // cycles since a packet last left the system
+	SinceMove  int64 // cycles since any flit moved
+
+	TopBlocked []RouterStall // routers sorted by blocked VCs, then age
+	Oldest     string        // oldest in-flight packet and its location
+	OldestAge  int64         // its age in cycles (0 when nothing in flight)
+	Chains     []WaitChain   // wait-for chains from the most-blocked VCs
+}
+
+// String renders the summary as the multi-line diagnosis `seecsim
+// -deadlock-check` prints for a wedged run.
+func (s StallSummary) String() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "deadlock diagnosis @ cycle %d: %d packets in flight, no ejection for %d cycles, no movement for %d cycles\n",
+		s.Cycle, s.InFlight, s.SinceEject, s.SinceMove)
+	fmt.Fprintf(&b, "top blocked routers:\n")
+	for _, rs := range s.TopBlocked {
+		fmt.Fprintf(&b, "  r%d (%d,%d): %d blocked VCs, oldest blocked %d cycles\n",
+			rs.Router, rs.X, rs.Y, rs.BlockedVCs, rs.MaxAge)
+	}
+	if len(s.TopBlocked) == 0 {
+		fmt.Fprintf(&b, "  (none: packets are queued at NICs, not blocked in-network)\n")
+	}
+	if s.OldestAge > 0 {
+		fmt.Fprintf(&b, "oldest in-flight packet: %s, age %d cycles\n", s.Oldest, s.OldestAge)
+	}
+	for i, ch := range s.Chains {
+		status := "open"
+		if ch.Closed {
+			status = "CYCLE"
+		}
+		fmt.Fprintf(&b, "wait-for chain %d [%s]: %s\n", i+1, status, ch.Text)
+	}
+	return b.String()
+}
+
+// StallSummary computes the summary from current state. It is
+// read-only and deterministic (no RNG draws), so calling it never
+// perturbs the simulation.
+func (n *Network) StallSummary() StallSummary {
+	sum := StallSummary{
+		Cycle:      n.Cycle,
+		InFlight:   n.InFlight,
+		SinceEject: n.Cycle - n.lastConsume,
+		SinceMove:  n.Cycle - n.lastProgress,
+	}
+	type blocked struct {
+		r, p, v int
+		age     int64
+	}
+	var worst []blocked
+	perRouter := make(map[int]*RouterStall)
+	for _, r := range n.Routers {
+		for p := 0; p < NumPorts; p++ {
+			in := r.In[p]
+			if in == nil {
+				continue
+			}
+			for _, vc := range in.VCs {
+				age := vc.BlockedFor(n.Cycle)
+				if vc.State != VCActive || age <= 0 {
+					continue
+				}
+				rs := perRouter[r.ID]
+				if rs == nil {
+					rs = &RouterStall{Router: r.ID, X: r.X, Y: r.Y}
+					perRouter[r.ID] = rs
+				}
+				rs.BlockedVCs++
+				if age > rs.MaxAge {
+					rs.MaxAge = age
+				}
+				worst = append(worst, blocked{r.ID, p, vc.ID, age})
+				pkt := vc.Pkt
+				if pktAge := n.Cycle - pkt.Created; pktAge > sum.OldestAge {
+					sum.OldestAge = pktAge
+					sum.Oldest = fmt.Sprintf("%v at r%d.%s.vc%d", pkt, r.ID, DirName(p), vc.ID)
+				}
+			}
+		}
+	}
+	// Queued-but-never-injected packets can be the oldest evidence of a
+	// wedge (injection starvation); check NIC queue heads too.
+	for id, nic := range n.NICs {
+		for class, q := range nic.Queues {
+			if len(q) == 0 {
+				continue
+			}
+			if age := n.Cycle - q[0].Created; age > sum.OldestAge {
+				sum.OldestAge = age
+				sum.Oldest = fmt.Sprintf("%v queued at nic%d class %d", q[0], id, class)
+			}
+		}
+	}
+	for _, rs := range perRouter {
+		sum.TopBlocked = append(sum.TopBlocked, *rs)
+	}
+	sort.Slice(sum.TopBlocked, func(i, j int) bool {
+		a, b := sum.TopBlocked[i], sum.TopBlocked[j]
+		if a.BlockedVCs != b.BlockedVCs {
+			return a.BlockedVCs > b.BlockedVCs
+		}
+		if a.MaxAge != b.MaxAge {
+			return a.MaxAge > b.MaxAge
+		}
+		return a.Router < b.Router
+	})
+	if len(sum.TopBlocked) > 5 {
+		sum.TopBlocked = sum.TopBlocked[:5]
+	}
+	sort.Slice(worst, func(i, j int) bool {
+		if worst[i].age != worst[j].age {
+			return worst[i].age > worst[j].age
+		}
+		if worst[i].r != worst[j].r {
+			return worst[i].r < worst[j].r
+		}
+		if worst[i].p != worst[j].p {
+			return worst[i].p < worst[j].p
+		}
+		return worst[i].v < worst[j].v
+	})
+	seen := map[[3]int]bool{}
+	for _, b := range worst {
+		if len(sum.Chains) >= 3 {
+			break
+		}
+		if seen[[3]int{b.r, b.p, b.v}] {
+			continue // already on an earlier chain
+		}
+		ch := n.walkWaitChain(b.r, b.p, b.v, seen)
+		sum.Chains = append(sum.Chains, ch)
+	}
+	return sum
+}
+
+// walkWaitChain follows the wait-for dependency from one blocked VC:
+// a packet holding a downstream grant waits on that VC's occupant; an
+// unallocated packet waits on the occupants of its desired port's VCs
+// (DesiredPort is deterministic, so the edge is stable). The walk stops
+// at an ejection wait, a moving packet, a dead end, a revisit (cycle)
+// or a length cap. Visited slots are added to seen so later chains
+// don't re-walk them.
+func (n *Network) walkWaitChain(r, p, v int, seen map[[3]int]bool) WaitChain {
+	var buf bytes.Buffer
+	var ch WaitChain
+	local := map[[3]int]bool{}
+	for hop := 0; hop < 64; hop++ {
+		key := [3]int{r, p, v}
+		if local[key] {
+			buf.WriteString(" -> [cycle closed]")
+			ch.Closed = true
+			break
+		}
+		local[key] = true
+		seen[key] = true
+		vc := n.Routers[r].In[p].VCs[v]
+		if hop > 0 {
+			buf.WriteString(" -> ")
+		}
+		fmt.Fprintf(&buf, "r%d.%s.vc%d", r, DirName(p), v)
+		if vc.State != VCActive {
+			buf.WriteString(" (idle)")
+			break
+		}
+		fmt.Fprintf(&buf, " pkt#%d", vc.Pkt.ID)
+		if vc.BlockedFor(n.Cycle) <= 0 {
+			buf.WriteString(" (moving)")
+			break
+		}
+		var port int
+		if vc.FFMode {
+			buf.WriteString(" (free-flow)")
+			break
+		}
+		if vc.OutVC >= 0 {
+			port = vc.OutPort
+		} else {
+			port = n.DesiredPort(n.Routers[r], vc.Pkt)
+		}
+		if port == Local {
+			buf.WriteString(" -> ejection")
+			break
+		}
+		next := n.Cfg.Neighbor(r, port)
+		np := Opposite(port)
+		if vc.OutVC >= 0 {
+			// Granted: waiting on exactly that downstream VC.
+			r, p, v = next, np, vc.OutVC
+			continue
+		}
+		// Ungranted: waiting on every VC of its class range downstream;
+		// follow the most-blocked occupant.
+		lo, hi := n.Cfg.VCRange(vc.Pkt.Class)
+		bestV, bestAge := -1, int64(-1)
+		in := n.Routers[next].In[np]
+		for dv := lo; dv < hi && dv < len(in.VCs); dv++ {
+			dvc := in.VCs[dv]
+			if dvc.State != VCActive {
+				continue
+			}
+			if age := dvc.BlockedFor(n.Cycle); age > bestAge {
+				bestV, bestAge = dv, age
+			}
+		}
+		if bestV < 0 {
+			fmt.Fprintf(&buf, " -> r%d.%s (VCs free: transient)", next, DirName(np))
+			break
+		}
+		r, p, v = next, np, bestV
+	}
+	ch.Text = buf.String()
+	return ch
+}

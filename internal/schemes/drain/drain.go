@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"seec/internal/noc"
+	"seec/internal/trace"
 )
 
 // Stats counts DRAIN activity.
@@ -103,6 +104,10 @@ func (d *DRAIN) PreRouter(n *noc.Network) {
 		d.draining = d.opts.Duration
 		n.Frozen = true
 		d.Stats.Drains++
+		if tr := n.Tracer; tr != nil {
+			tr.Record(trace.Event{Cycle: n.Cycle, Kind: trace.EvScheme,
+				Node: -1, Port: -1, VC: -1, Arg: int64(d.opts.Duration)})
+		}
 		d.rotate()
 		d.draining--
 		if d.draining == 0 {

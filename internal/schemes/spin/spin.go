@@ -10,7 +10,10 @@
 // energy spike Fig. 11 of the SEEC paper charges SPIN for.
 package spin
 
-import "seec/internal/noc"
+import (
+	"seec/internal/noc"
+	"seec/internal/trace"
+)
 
 // Stats counts SPIN activity.
 type Stats struct {
@@ -251,4 +254,9 @@ func (s *SPIN) spin(ring []slot) {
 		s.Stats.PacketsSpun++
 	}
 	s.Stats.Spins++
+	if tr := s.n.Tracer; tr != nil {
+		tr.Record(trace.Event{Cycle: s.n.Cycle, Kind: trace.EvScheme,
+			Node: int32(ring[0].r), Port: int16(ring[0].p), VC: int16(ring[0].v),
+			Arg: int64(len(ring))})
+	}
 }

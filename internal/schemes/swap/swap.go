@@ -10,7 +10,10 @@
 // progresses, so any routing deadlock dissolves without detection.
 package swap
 
-import "seec/internal/noc"
+import (
+	"seec/internal/noc"
+	"seec/internal/trace"
+)
 
 // Stats counts SWAP activity.
 type Stats struct {
@@ -135,6 +138,11 @@ func (s *SWAP) swapAt(r int, touched map[[3]int]bool) {
 		touched[[3]int{r, bp, bv}] = true
 		touched[[3]int{nr, np, v}] = true
 		s.Stats.Swaps++
+		if tr := n.Tracer; tr != nil {
+			tr.Record(trace.Event{Cycle: n.Cycle, Kind: trace.EvScheme,
+				Node: int32(r), Port: int16(d), VC: int16(bv), Pkt: pkt.ID,
+				Arg: int64(nr)})
+		}
 		return
 	}
 	// No swappable occupant: if an idle VC exists the packet will move

@@ -1,0 +1,102 @@
+package stats
+
+import "testing"
+
+func TestWindowMaxWindowOne(t *testing.T) {
+	// window=1: the peak is simply the largest single sample.
+	w := NewWindowMax(1)
+	for _, v := range []float64{2, 7, 3} {
+		w.Push(v)
+	}
+	if w.PeakPerCycle() != 7 {
+		t.Fatalf("peak=%f want 7", w.PeakPerCycle())
+	}
+	if w.AvgPerCycle() != 4 {
+		t.Fatalf("avg=%f want 4", w.AvgPerCycle())
+	}
+}
+
+func TestWindowMaxClampsWindow(t *testing.T) {
+	// window<1 is clamped to 1 rather than panicking on the ring buffer.
+	for _, win := range []int{0, -3} {
+		w := NewWindowMax(win)
+		w.Push(5)
+		if w.PeakPerCycle() != 5 {
+			t.Fatalf("window %d: peak=%f want 5", win, w.PeakPerCycle())
+		}
+	}
+}
+
+func TestWindowMaxPartialFillBoundary(t *testing.T) {
+	// Before the first full window PeakPerCycle falls back to the
+	// average; the very sample that completes the window switches it to
+	// the true windowed peak.
+	w := NewWindowMax(3)
+	w.Push(6)
+	w.Push(0)
+	if w.PeakPerCycle() != w.AvgPerCycle() || w.PeakPerCycle() != 3 {
+		t.Fatalf("partial fill: peak=%f avg=%f", w.PeakPerCycle(), w.AvgPerCycle())
+	}
+	w.Push(0) // first full window: sum 6 over 3 cycles
+	if w.PeakPerCycle() != 2 {
+		t.Fatalf("full window peak=%f want 2", w.PeakPerCycle())
+	}
+}
+
+func TestWindowMaxNegativeSamples(t *testing.T) {
+	// Negative per-cycle quantities (e.g. energy deltas) are legal; the
+	// windowed sum must track them exactly as the window slides.
+	w := NewWindowMax(2)
+	for _, v := range []float64{-1, -2, 4, -3} {
+		w.Push(v)
+	}
+	// Window sums: [-1,-2]=-3, [-2,4]=2, [4,-3]=1 -> peak 2/2=1.
+	if w.PeakPerCycle() != 1 {
+		t.Fatalf("peak=%f want 1", w.PeakPerCycle())
+	}
+	if w.AvgPerCycle() != -0.5 {
+		t.Fatalf("avg=%f want -0.5", w.AvgPerCycle())
+	}
+}
+
+func TestCollectorClassLatencyGrowsOnDemand(t *testing.T) {
+	c := NewCollector(0)
+	if len(c.ClassLatency) != 0 {
+		t.Fatalf("fresh collector has %d class histograms", len(c.ClassLatency))
+	}
+	c.Record(PacketRecord{Created: 0, Received: 20, Class: 3, Flits: 1})
+	if len(c.ClassLatency) != 4 {
+		t.Fatalf("after class-3 record len=%d want 4", len(c.ClassLatency))
+	}
+	// The skipped-over classes are allocated (no nil holes) but empty.
+	for class := 0; class < 3; class++ {
+		if c.ClassLatency[class] == nil {
+			t.Fatalf("class %d histogram is nil", class)
+		}
+		if n := c.ClassLatency[class].Count(); n != 0 {
+			t.Fatalf("class %d count=%d want 0", class, n)
+		}
+	}
+	if got := c.ClassAvgLatency(3); got != 20 {
+		t.Fatalf("class 3 avg %f want 20", got)
+	}
+	// A lower class reuses the existing slice without shrinking it.
+	c.Record(PacketRecord{Created: 0, Received: 10, Class: 1, Flits: 1})
+	if len(c.ClassLatency) != 4 {
+		t.Fatalf("len=%d after low-class record, want 4", len(c.ClassLatency))
+	}
+	if got := c.ClassAvgLatency(1); got != 10 {
+		t.Fatalf("class 1 avg %f want 10", got)
+	}
+}
+
+func TestCollectorClassAvgLatencyOutOfRange(t *testing.T) {
+	c := NewCollector(0)
+	c.Record(PacketRecord{Created: 0, Received: 10, Class: 0, Flits: 1})
+	if got := c.ClassAvgLatency(-1); got != 0 {
+		t.Fatalf("negative class avg %f want 0", got)
+	}
+	if got := c.ClassAvgLatency(len(c.ClassLatency)); got != 0 {
+		t.Fatalf("past-end class avg %f want 0", got)
+	}
+}

@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// Manifest is the machine-readable record written alongside every
+// instrumentation output, so a trace or metrics file is reproducible
+// and self-describing: what ran, with which configuration and seed, on
+// which code revision, and how long it took. The gem5 standardization
+// argument: results without run metadata cannot be compared or
+// reproduced.
+type Manifest struct {
+	Tool        string    `json:"tool"`           // producing command, e.g. "seecsim"
+	Args        []string  `json:"args"`           // full command line
+	Config      any       `json:"config"`         // the run's Config struct
+	Seed        uint64    `json:"seed"`           // PRNG seed actually used
+	GitDescribe string    `json:"git_describe"`   // `git describe --always --dirty`, "" outside a repo
+	GoVersion   string    `json:"go_version"`     // runtime.Version()
+	GOMAXPROCS  int       `json:"gomaxprocs"`     // worker ceiling during the run
+	Started     time.Time `json:"started"`        // wall-clock start
+	WallSeconds float64   `json:"wall_seconds"`   // run duration
+	Output      string    `json:"output"`         // the file this manifest describes
+	Note        string    `json:"note,omitempty"` // free-form context (e.g. figure id)
+}
+
+// NewManifest seeds a manifest with the ambient environment (git
+// revision, go version, GOMAXPROCS, start time). The caller fills in
+// tool/config/seed and calls Write when the run finishes.
+func NewManifest(tool string, args []string) Manifest {
+	return Manifest{
+		Tool:        tool,
+		Args:        args,
+		GitDescribe: GitDescribe(),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Started:     time.Now(),
+	}
+}
+
+// Write finalizes the wall time and writes the manifest as indented
+// JSON to path+".manifest.json", recording path as the described
+// output.
+func (m Manifest) Write(path string) error {
+	m.Output = path
+	if m.WallSeconds == 0 {
+		m.WallSeconds = time.Since(m.Started).Seconds()
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path+".manifest.json", append(data, '\n'), 0o644)
+}
+
+// GitDescribe returns `git describe --always --dirty` for the current
+// working tree, or "" when git or the repository is unavailable — the
+// manifest is still useful without it.
+func GitDescribe() string {
+	out, err := exec.Command("git", "describe", "--always", "--dirty").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}

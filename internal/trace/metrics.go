@@ -1,0 +1,159 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// StallCause classifies why a flit that wanted to move this cycle did
+// not. VA: a head packet could not get a downstream VC; Credit: an
+// allocated packet's downstream VC is out of buffer slots; Link: the
+// output link was taken (by another winner or a Free-Flow lookahead).
+type StallCause uint8
+
+const (
+	StallVA StallCause = iota
+	StallCredit
+	StallLink
+	numCauses
+)
+
+// Metrics accumulates per-router and per-link time series over fixed
+// windows of cycles: stall cycles by cause, input-VC occupancy, and
+// flits carried per directed link. Rendered as long-format CSV, each
+// window x router (or window x link) is one row — the shape heatmap
+// tooling ingests directly. All methods are O(1) and allocation-free
+// except at window boundaries.
+type Metrics struct {
+	rows, cols int
+	window     int64
+	links      int // directed cardinal links per router (4; index by dir-1)
+
+	cur        []routerAcc
+	curStart   int64
+	curCycles  int64
+	flushed    []routerRow
+	totalFlits int64
+}
+
+// routerAcc accumulates one router's counters within the open window.
+type routerAcc struct {
+	stalls [numCauses]int64
+	occSum int64    // sum over cycles of occupied input VCs
+	out    [4]int64 // flits sent per cardinal output (index dir-1)
+}
+
+// routerRow is one flushed (window, router) sample.
+type routerRow struct {
+	start  int64
+	cycles int64
+	router int
+	acc    routerAcc
+}
+
+// NewMetrics returns a metrics collector for a rows x cols mesh with
+// the given window length in cycles (<=0 selects 1000).
+func NewMetrics(rows, cols int, window int64) *Metrics {
+	if window <= 0 {
+		window = 1000
+	}
+	return &Metrics{rows: rows, cols: cols, window: window,
+		cur: make([]routerAcc, rows*cols)}
+}
+
+// Window returns the configured window length in cycles.
+func (m *Metrics) Window() int64 { return m.window }
+
+// Stall records one stall cycle at a router, by cause.
+func (m *Metrics) Stall(router int, cause StallCause) {
+	m.cur[router].stalls[cause]++
+}
+
+// LinkFlit records one flit leaving router on cardinal output dir
+// (1..4, the noc port indices North..West).
+func (m *Metrics) LinkFlit(router, dir int) {
+	m.cur[router].out[dir-1]++
+	m.totalFlits++
+}
+
+// Occupancy records a router's occupied-input-VC count for one cycle.
+func (m *Metrics) Occupancy(router, occ int) {
+	m.cur[router].occSum += int64(occ)
+}
+
+// Tick closes out the current cycle and flushes the window at
+// boundaries. Call exactly once per simulated cycle while enabled.
+func (m *Metrics) Tick() {
+	m.curCycles++
+	if m.curCycles >= m.window {
+		m.flush()
+	}
+}
+
+// Flush force-closes the current partial window (end of run).
+func (m *Metrics) Flush() {
+	if m.curCycles > 0 {
+		m.flush()
+	}
+}
+
+func (m *Metrics) flush() {
+	for r := range m.cur {
+		m.flushed = append(m.flushed, routerRow{
+			start: m.curStart, cycles: m.curCycles, router: r, acc: m.cur[r]})
+		m.cur[r] = routerAcc{}
+	}
+	m.curStart += m.curCycles
+	m.curCycles = 0
+}
+
+// WriteRouterCSV renders the per-router time series. Columns:
+//
+//	window_start,cycles,router,x,y,stall_va,stall_credit,stall_link,avg_vc_occupancy,flits_out
+//
+// Pivot on (x, y) with window_start as the animation axis for a mesh
+// heatmap of any column.
+func (m *Metrics) WriteRouterCSV(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	fmt.Fprintln(bw, "window_start,cycles,router,x,y,stall_va,stall_credit,stall_link,avg_vc_occupancy,flits_out")
+	for _, row := range m.flushed {
+		a := row.acc
+		occ := 0.0
+		if row.cycles > 0 {
+			occ = float64(a.occSum) / float64(row.cycles)
+		}
+		total := a.out[0] + a.out[1] + a.out[2] + a.out[3]
+		fmt.Fprintf(bw, "%d,%d,%d,%d,%d,%d,%d,%d,%.3f,%d\n",
+			row.start, row.cycles, row.router, row.router%m.cols, row.router/m.cols,
+			a.stalls[StallVA], a.stalls[StallCredit], a.stalls[StallLink], occ, total)
+	}
+	return bw.Flush()
+}
+
+// WriteLinkCSV renders the per-directed-link time series. Columns:
+//
+//	window_start,cycles,from,to,dir,flits,utilization
+//
+// where utilization is flits/cycles (a one-cycle link carries at most
+// one flit per cycle, so this is already normalized).
+func (m *Metrics) WriteLinkCSV(w io.Writer, neighbor func(router, dir int) int, dirName func(dir int) string) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	fmt.Fprintln(bw, "window_start,cycles,from,to,dir,flits,utilization")
+	for _, row := range m.flushed {
+		for d := 0; d < 4; d++ {
+			dir := d + 1
+			to := neighbor(row.router, dir)
+			if to < 0 {
+				continue // mesh edge: no link in this direction
+			}
+			util := 0.0
+			if row.cycles > 0 {
+				util = float64(row.acc.out[d]) / float64(row.cycles)
+			}
+			fmt.Fprintf(bw, "%d,%d,%d,%d,%s,%d,%.4f\n",
+				row.start, row.cycles, row.router, to, dirName(dir), row.acc.out[d], util)
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,74 @@
+package trace
+
+// Recorder is the default Tracer: a fixed-capacity ring buffer that
+// keeps the most recent events. Record is allocation-free and O(1); a
+// full ring silently overwrites the oldest events (Dropped counts how
+// many were lost), which is exactly the right behavior for "the run
+// wedged — what were the last N things that happened?" debugging.
+type Recorder struct {
+	buf   []Event
+	total uint64 // events ever recorded
+}
+
+// DefaultCapacity is the recorder size used when a caller passes a
+// non-positive capacity: 1<<20 events (~48 MB) keeps several hundred
+// thousand cycles of a quiet mesh or a few thousand cycles near
+// saturation.
+const DefaultCapacity = 1 << 20
+
+// NewRecorder returns a recorder retaining the last capacity events.
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Recorder{buf: make([]Event, capacity)}
+}
+
+// Record implements Tracer.
+func (r *Recorder) Record(ev Event) {
+	r.buf[r.total%uint64(len(r.buf))] = ev
+	r.total++
+}
+
+// Len returns the number of events currently retained.
+func (r *Recorder) Len() int {
+	if r.total < uint64(len(r.buf)) {
+		return int(r.total)
+	}
+	return len(r.buf)
+}
+
+// Total returns the number of events ever recorded.
+func (r *Recorder) Total() uint64 { return r.total }
+
+// Dropped returns how many events were overwritten by ring wrap.
+func (r *Recorder) Dropped() uint64 {
+	if r.total < uint64(len(r.buf)) {
+		return 0
+	}
+	return r.total - uint64(len(r.buf))
+}
+
+// Reset clears the recorder for reuse across runs without reallocating.
+func (r *Recorder) Reset() { r.total = 0 }
+
+// Do calls f for every retained event in chronological (recording)
+// order without copying the ring.
+func (r *Recorder) Do(f func(Event)) {
+	n := uint64(len(r.buf))
+	start := uint64(0)
+	if r.total > n {
+		start = r.total - n
+	}
+	for i := start; i < r.total; i++ {
+		f(r.buf[i%n])
+	}
+}
+
+// Events returns the retained events in chronological order as a fresh
+// slice (test/sink convenience; Do avoids the copy).
+func (r *Recorder) Events() []Event {
+	out := make([]Event, 0, r.Len())
+	r.Do(func(ev Event) { out = append(out, ev) })
+	return out
+}

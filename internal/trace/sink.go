@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// WriteJSONL renders the recording as one JSON object per line, in
+// chronological order — the grep/jq-friendly format. Schema per line:
+//
+//	{"cycle":123,"kind":"sa","node":12,"port":1,"vc":3,"pkt":88,"arg":2}
+//
+// Fields that do not apply to the event kind are omitted (port/vc when
+// negative, pkt when zero).
+func WriteJSONL(w io.Writer, r *Recorder) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var err error
+	r.Do(func(ev Event) {
+		if err != nil {
+			return
+		}
+		_, err = fmt.Fprintf(bw, `{"cycle":%d,"kind":%q,"node":%d`, ev.Cycle, ev.Kind.String(), ev.Node)
+		if err != nil {
+			return
+		}
+		if ev.Port >= 0 {
+			fmt.Fprintf(bw, `,"port":%d`, ev.Port)
+		}
+		if ev.VC >= 0 {
+			fmt.Fprintf(bw, `,"vc":%d`, ev.VC)
+		}
+		if ev.Pkt != 0 {
+			fmt.Fprintf(bw, `,"pkt":%d`, ev.Pkt)
+		}
+		_, err = fmt.Fprintf(bw, ",\"arg\":%d}\n", ev.Arg)
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteChromeTrace renders the recording in the Chrome trace_event JSON
+// object format, loadable by chrome://tracing and Perfetto's legacy
+// JSON importer. The mapping:
+//
+//   - every event becomes a thread-scoped instant ("ph":"i") with
+//     pid 0 ("mesh"), tid = router/NIC id, and ts = cycle (the viewer's
+//     microsecond unit stands in for a cycle);
+//   - each packet's network lifetime (first inject -> eject) becomes an
+//     async span ("ph":"b"/"e", id = packet id) under pid 1
+//     ("packets"), so per-packet latency is visible as a bar;
+//   - process/thread metadata events name the rows.
+//
+// One simulation cycle maps to one microsecond of viewer time.
+func WriteChromeTrace(w io.Writer, r *Recorder) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := fmt.Fprint(bw, "{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(format string, args ...any) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		fmt.Fprintf(bw, format, args...)
+	}
+	emit(`{"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"mesh"}}`)
+	emit(`{"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"packets"}}`)
+	seen := map[int32]bool{}
+	r.Do(func(ev Event) {
+		if !seen[ev.Node] {
+			seen[ev.Node] = true
+			emit(`{"name":"thread_name","ph":"M","pid":0,"tid":%d,"args":{"name":"node %d"}}`,
+				ev.Node, ev.Node)
+		}
+		emit(`{"name":%q,"ph":"i","s":"t","pid":0,"tid":%d,"ts":%d,"args":{"pkt":%d,"port":%d,"vc":%d,"arg":%d}}`,
+			ev.Kind.String(), ev.Node, ev.Cycle, ev.Pkt, ev.Port, ev.VC, ev.Arg)
+		switch ev.Kind {
+		case EvInject:
+			emit(`{"name":"pkt#%d","cat":"packet","ph":"b","id":%d,"pid":1,"tid":0,"ts":%d,"args":{"src":%d,"dst":%d}}`,
+				ev.Pkt, ev.Pkt, ev.Cycle, ev.Node, ev.Arg)
+		case EvEject:
+			emit(`{"name":"pkt#%d","cat":"packet","ph":"e","id":%d,"pid":1,"tid":0,"ts":%d,"args":{"latency":%d}}`,
+				ev.Pkt, ev.Pkt, ev.Cycle, ev.Arg)
+		}
+	})
+	if _, err := fmt.Fprintf(bw, "\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":\"%d\"}}\n",
+		r.Dropped()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,127 @@
+// Package trace is the simulator's instrumentation layer: a flit-level
+// event taxonomy, an allocation-free ring-buffered recorder behind a
+// nil-checked Tracer interface, sinks that render a recording as JSONL
+// or Chrome trace_event JSON (openable in Perfetto / chrome://tracing),
+// windowed per-router and per-link metrics exported as CSV heatmaps,
+// and a machine-readable run manifest.
+//
+// The layer is designed to be zero-overhead when disabled: every emit
+// site in the simulator guards on a nil Tracer/Metrics pointer, event
+// structs are passed by value (no allocation), and the recorder
+// overwrites its ring in place. Enabling it never changes simulation
+// behavior — instrumentation only observes, so golden outputs stay
+// byte-identical with tracing on or off.
+package trace
+
+import "fmt"
+
+// Kind identifies one event type in the taxonomy. The flit lifecycle is
+// inject -> (route/VA -> SA -> link)* -> eject; VC alloc/release bracket
+// a packet's ownership of an input VC; stall kinds record why a
+// sendable flit did not move; seeker/FF kinds cover the SEEC express
+// channel; EvScheme covers the reactive baselines' recovery actions.
+type Kind uint8
+
+const (
+	// EvInject: a head flit left its NIC into the router's local input
+	// port (Pkt = packet, Node = source, Arg = destination node).
+	EvInject Kind = iota
+	// EvRoute: the routing function committed to an output port for a
+	// head packet (Port = chosen output port).
+	EvRoute
+	// EvVA: VC allocation granted a downstream VC (VC = downstream VC
+	// index at the chosen output port, Arg = output port).
+	EvVA
+	// EvSA: switch allocation won — one flit crossed the crossbar onto
+	// its output link (Port = output port, VC = downstream VC, Arg =
+	// flit sequence number).
+	EvSA
+	// EvLink: a flit was delivered across a link into an input VC
+	// (Node = receiving router, Port = input port, VC = input VC).
+	EvLink
+	// EvEject: a tail flit arrived at the destination NIC — the packet
+	// is fully received (Node = destination, Arg = end-to-end latency).
+	EvEject
+	// EvVCAlloc: an input VC was activated by a head-flit arrival
+	// (Port = input port, VC = input VC).
+	EvVCAlloc
+	// EvVCRelease: an input VC returned to idle on tail departure.
+	EvVCRelease
+	// EvCreditStall: a sendable flit was held back because the
+	// downstream VC is out of credits (Port = desired output port,
+	// VC = granted downstream VC).
+	EvCreditStall
+	// EvLinkStall: a sendable flit was held back because the output
+	// link is busy or reserved by a Free-Flow lookahead.
+	EvLinkStall
+	// EvSeekerLaunch: a SEEC seeker token started circulating (Node =
+	// initiating NIC, Arg = message class).
+	EvSeekerLaunch
+	// EvSeekerMatch: a seeker found a packet to upgrade (Node = router
+	// where the match was found, Pkt = matched packet).
+	EvSeekerMatch
+	// EvSeekerReturn: a seeker finished its circulation empty-handed
+	// (Node = initiating NIC, Arg = message class).
+	EvSeekerReturn
+	// EvFFUpgrade: a packet was frozen out of the regular pipeline and
+	// handed to the Free-Flow engine (Node = router or NIC holding it,
+	// Arg = packet age in cycles at upgrade).
+	EvFFUpgrade
+	// EvScheme: a recovery action by a reactive/subactive scheme — a
+	// SPIN ring rotation, a SWAP exchange, a DRAIN rotation (Node =
+	// router, Arg = scheme-specific magnitude, e.g. ring length).
+	EvScheme
+	// EvWatchdog: the stall watchdog fired and dumped a snapshot
+	// (Arg = cycles since the last ejection).
+	EvWatchdog
+
+	numKinds
+)
+
+// String returns the short lower-case event name used by the sinks.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+var kindNames = [numKinds]string{
+	EvInject:       "inject",
+	EvRoute:        "route",
+	EvVA:           "va",
+	EvSA:           "sa",
+	EvLink:         "link",
+	EvEject:        "eject",
+	EvVCAlloc:      "vc_alloc",
+	EvVCRelease:    "vc_release",
+	EvCreditStall:  "credit_stall",
+	EvLinkStall:    "link_stall",
+	EvSeekerLaunch: "seeker_launch",
+	EvSeekerMatch:  "seeker_match",
+	EvSeekerReturn: "seeker_return",
+	EvFFUpgrade:    "ff_upgrade",
+	EvScheme:       "scheme",
+	EvWatchdog:     "watchdog",
+}
+
+// Event is one recorded occurrence. The struct is fixed-size and held
+// by value in the recorder's ring, so recording never allocates. Field
+// meaning varies slightly by Kind (see the Kind constants); unused
+// fields are zero.
+type Event struct {
+	Cycle int64  // simulation cycle
+	Pkt   uint64 // packet ID, 0 when no packet is involved
+	Arg   int64  // kind-specific argument
+	Node  int32  // router / NIC id
+	Port  int16  // port index at Node (-1 when not applicable)
+	VC    int16  // VC index (-1 when not applicable)
+	Kind  Kind
+}
+
+// Tracer receives events from the simulator. Emit sites hold a Tracer
+// and guard every Record call with a nil check, so a disabled tracer
+// costs one predictable branch and nothing else.
+type Tracer interface {
+	Record(Event)
+}

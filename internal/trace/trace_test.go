@@ -1,0 +1,209 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestRecorderOrderAndWrap(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 6; i++ {
+		r.Record(Event{Cycle: int64(i), Kind: EvSA})
+	}
+	if r.Total() != 6 || r.Len() != 4 || r.Dropped() != 2 {
+		t.Fatalf("total=%d len=%d dropped=%d, want 6/4/2", r.Total(), r.Len(), r.Dropped())
+	}
+	evs := r.Events()
+	for i, ev := range evs {
+		if want := int64(i + 2); ev.Cycle != want {
+			t.Fatalf("event %d: cycle %d, want %d (oldest two overwritten)", i, ev.Cycle, want)
+		}
+	}
+	r.Reset()
+	if r.Len() != 0 || r.Total() != 0 {
+		t.Fatalf("reset recorder not empty: len=%d total=%d", r.Len(), r.Total())
+	}
+}
+
+func TestRecorderBelowCapacity(t *testing.T) {
+	r := NewRecorder(8)
+	r.Record(Event{Cycle: 1, Kind: EvInject, Pkt: 7})
+	r.Record(Event{Cycle: 2, Kind: EvEject, Pkt: 7})
+	if r.Dropped() != 0 || r.Len() != 2 {
+		t.Fatalf("dropped=%d len=%d, want 0/2", r.Dropped(), r.Len())
+	}
+	evs := r.Events()
+	if evs[0].Kind != EvInject || evs[1].Kind != EvEject {
+		t.Fatalf("order wrong: %v %v", evs[0].Kind, evs[1].Kind)
+	}
+}
+
+// Record must never allocate — it runs inside the simulator hot path.
+func TestRecordZeroAlloc(t *testing.T) {
+	r := NewRecorder(1024)
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Record(Event{Cycle: 1, Kind: EvSA, Node: 3, Port: 1, VC: 2, Pkt: 9})
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocates %.1f per call, want 0", allocs)
+	}
+}
+
+func TestKindNamesComplete(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if k.String() == "" {
+			t.Fatalf("kind %d has no name", k)
+		}
+		if strings.HasPrefix(k.String(), "kind(") {
+			t.Fatalf("kind %d falls through to the fallback name", k)
+		}
+	}
+}
+
+func TestWriteJSONLParses(t *testing.T) {
+	r := NewRecorder(16)
+	r.Record(Event{Cycle: 5, Kind: EvInject, Node: 3, Port: -1, VC: -1, Pkt: 1, Arg: 12})
+	r.Record(Event{Cycle: 9, Kind: EvSA, Node: 3, Port: 2, VC: 1, Pkt: 1, Arg: 0})
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	for sc.Scan() {
+		var obj map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &obj); err != nil {
+			t.Fatalf("line %d not valid JSON: %v\n%s", lines, err, sc.Text())
+		}
+		if _, ok := obj["cycle"]; !ok {
+			t.Fatalf("line %d missing cycle: %s", lines, sc.Text())
+		}
+		lines++
+	}
+	if lines != 2 {
+		t.Fatalf("got %d JSONL lines, want 2", lines)
+	}
+	// The inject event carries no port/vc (negative indices omitted).
+	if strings.Contains(strings.SplitN(buf.String(), "\n", 2)[0], `"port"`) {
+		t.Fatal("negative port should be omitted from JSONL")
+	}
+}
+
+// The Chrome sink must emit a single valid JSON object with the
+// traceEvents array chrome://tracing expects, including the async
+// packet span derived from an inject/eject pair.
+func TestWriteChromeTraceParses(t *testing.T) {
+	r := NewRecorder(16)
+	r.Record(Event{Cycle: 5, Kind: EvInject, Node: 3, Port: -1, VC: -1, Pkt: 1, Arg: 12})
+	r.Record(Event{Cycle: 30, Kind: EvEject, Node: 12, Port: -1, VC: 0, Pkt: 1, Arg: 25})
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	var begins, ends, instants int
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "b":
+			begins++
+		case "e":
+			ends++
+		case "i":
+			instants++
+		}
+		if _, ok := ev["ph"]; !ok {
+			t.Fatalf("trace event missing ph: %v", ev)
+		}
+	}
+	if begins != 1 || ends != 1 || instants != 2 {
+		t.Fatalf("begins=%d ends=%d instants=%d, want 1/1/2", begins, ends, instants)
+	}
+}
+
+func TestMetricsWindowsAndCSV(t *testing.T) {
+	m := NewMetrics(2, 2, 10)
+	// Cycle 0..9: router 1 stalls on credits 3x, sends 5 flits north,
+	// averages 2 occupied VCs.
+	for c := 0; c < 10; c++ {
+		m.Occupancy(1, 2)
+		if c < 3 {
+			m.Stall(1, StallCredit)
+		}
+		if c < 5 {
+			m.LinkFlit(1, 1) // North
+		}
+		m.Tick()
+	}
+	// Partial second window: one VA stall at router 0.
+	m.Stall(0, StallVA)
+	m.Occupancy(0, 1)
+	m.Tick()
+	m.Flush()
+
+	var buf bytes.Buffer
+	if err := m.WriteRouterCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+8 { // header + 2 windows x 4 routers
+		t.Fatalf("got %d router CSV lines, want 9:\n%s", len(lines), buf.String())
+	}
+	if want := "0,10,1,1,0,0,3,0,2.000,5"; lines[2] != want {
+		t.Fatalf("router 1 window 0 row = %q, want %q", lines[2], want)
+	}
+	if want := "10,1,0,0,0,1,0,0,1.000,0"; lines[5] != want {
+		t.Fatalf("router 0 window 1 row = %q, want %q", lines[5], want)
+	}
+
+	buf.Reset()
+	neighbor := func(r, dir int) int {
+		if r == 1 && dir == 1 {
+			return 3
+		}
+		return -1
+	}
+	if err := m.WriteLinkCSV(&buf, neighbor, func(int) string { return "N" }); err != nil {
+		t.Fatal(err)
+	}
+	lk := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lk) != 1+2 { // header + router1 north link in both windows
+		t.Fatalf("got %d link CSV lines, want 3:\n%s", len(lk), buf.String())
+	}
+	if want := "0,10,1,3,N,5,0.5000"; lk[1] != want {
+		t.Fatalf("link row = %q, want %q", lk[1], want)
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	m := NewManifest("seecsim", []string{"-scheme", "seec"})
+	m.Seed = 42
+	m.Note = "unit test"
+	out := dir + "/trace.json"
+	if err := m.Write(out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out + ".manifest.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Manifest
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("manifest not valid JSON: %v", err)
+	}
+	if got.Seed != 42 || got.Tool != "seecsim" || got.Output != out {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if got.GoVersion == "" || got.GOMAXPROCS < 1 {
+		t.Fatalf("environment fields missing: %+v", got)
+	}
+}

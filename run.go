@@ -61,11 +61,19 @@ func RunSynthetic(cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	var done func()
+	if cfg.Instrument != nil {
+		done = cfg.Instrument(s)
+	}
 	total := cfg.Warmup + cfg.SimCycles
 	for s.Cycle() < total {
 		s.Step()
 	}
-	return s.Snapshot(), nil
+	res := s.Snapshot()
+	if done != nil {
+		done()
+	}
+	return res, nil
 }
 
 // Snapshot summarizes the run so far.
@@ -262,8 +270,15 @@ func RunApplication(cfg Config, app string, txns, maxCycles int64) (AppResult, e
 	if err != nil {
 		return AppResult{}, err
 	}
+	var done func()
+	if cfg.Instrument != nil {
+		done = cfg.Instrument(s)
+	}
 	for !s.App.Done() && s.Cycle() < maxCycles {
 		s.Step()
+	}
+	if done != nil {
+		done()
 	}
 	c := s.Collector()
 	perClass := make([]float64, len(c.ClassLatency))

@@ -139,6 +139,16 @@ type Config struct {
 	// OldestFirst switches SEEC/mSEEC seekers from first-match to
 	// oldest-packet selection — the QoS extension §4.3 points at.
 	OldestFirst bool
+
+	// Instrument, when non-nil, is called on the freshly built Sim
+	// before the first cycle; runner helpers (RunSynthetic,
+	// RunApplication) invoke it and call the returned function (if any)
+	// after the last cycle. It is how the CLIs attach tracers, metrics
+	// and watchdogs to runs that go through the sweep machinery.
+	// Instrumentation must only observe — it never changes results.
+	// Excluded from JSON (run manifests embed Config) and from
+	// SweepSeed, so enabling it cannot perturb seeding.
+	Instrument func(*Sim) func() `json:"-"`
 }
 
 // DefaultConfig mirrors Table 4 for synthetic traffic on an 8x8 mesh.
