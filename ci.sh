@@ -13,4 +13,10 @@ go test -race -short -timeout 30m ./...
 # Compile-and-smoke the step benchmarks (one iteration, no -run match):
 # a broken benchmark otherwise only surfaces when someone profiles.
 go test -bench . -benchtime 1x -run XXX ./internal/noc
+# Fuzz smoke: ten seconds per fuzzer over the parsers and invariants
+# that take arbitrary input (fault specs, histograms, traffic
+# destinations). Regressions found here land in testdata/ corpora.
+go test -fuzz FuzzFaultSpec -fuzztime 10s -run XXX ./internal/fault
+go test -fuzz FuzzHistogram -fuzztime 10s -run XXX ./internal/stats
+go test -fuzz FuzzDestInRange -fuzztime 10s -run XXX ./internal/traffic
 echo "ci: all checks passed"

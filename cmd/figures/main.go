@@ -24,7 +24,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "which figure/table: table1, 7, 8, 9, 10a, 10b, 11, 12, 13, 14, 15, table3, all")
+	fig := flag.String("fig", "all", "which figure/table: table1, 7, 8, 9, 10a, 10b, 11, 12, 13, 14, 15, table3, resilience, all")
 	scale := flag.String("scale", "quick", "experiment scale: quick, medium or full")
 	csv := flag.Bool("csv", false, "emit CSV instead of aligned text")
 	chart := flag.Bool("chart", false, "also draw latency-curve figures (8, 12, 13) as ASCII charts")
@@ -37,7 +37,24 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "per-run metrics CSVs with this path prefix (forces -j 1)")
 	metricsWin := flag.Int64("metrics-window", 0, "metrics window length in cycles (0 = 1000)")
 	watchdogWin := flag.Int64("watchdog", 0, "dump a network snapshot to stderr after this many cycles without an ejection (works at any -j)")
+	jobTimeout := flag.Duration("job-timeout", 0, "wall-time budget per simulation cell; cells past it render as error cells (0 = unbounded)")
+	maxFailures := flag.Int("max-failures", 0, "cancel a figure's remaining cells after this many failures (0 = drain everything, report at the end)")
 	flag.Parse()
+
+	switch {
+	case *jobs < 0:
+		usage("-j %d: worker count must be non-negative", *jobs)
+	case *jobTimeout < 0:
+		usage("-job-timeout %v: must be non-negative", *jobTimeout)
+	case *maxFailures < 0:
+		usage("-max-failures %d: must be non-negative", *maxFailures)
+	case *traceBuf < 0:
+		usage("-trace-buf %d: must be non-negative", *traceBuf)
+	case *metricsWin < 0:
+		usage("-metrics-window %d: must be non-negative", *metricsWin)
+	case *watchdogWin < 0:
+		usage("-watchdog %d: the stall threshold must be non-negative", *watchdogWin)
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -76,10 +93,11 @@ func main() {
 	case "full":
 		sc = exp.Full()
 	default:
-		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
-		os.Exit(2)
+		usage("unknown scale %q", *scale)
 	}
 	sc.Workers = *jobs
+	sc.JobTimeout = *jobTimeout
+	sc.MaxFailures = *maxFailures
 
 	inst := seec.InstrumentOptions{
 		TracePath:      *tracePath,
@@ -115,20 +133,21 @@ func main() {
 	}
 
 	gens := map[string]func() []*exp.Table{
-		"7":      func() []*exp.Table { return []*exp.Table{exp.Fig7()} },
-		"8":      func() []*exp.Table { return exp.Fig8(sc) },
-		"9":      func() []*exp.Table { return []*exp.Table{exp.Fig9(sc)} },
-		"10a":    func() []*exp.Table { return []*exp.Table{exp.Fig10a(sc)} },
-		"10b":    func() []*exp.Table { return []*exp.Table{exp.Fig10b(sc)} },
-		"11":     func() []*exp.Table { return []*exp.Table{exp.Fig11(sc)} },
-		"12":     func() []*exp.Table { return exp.Fig12(sc) },
-		"13":     func() []*exp.Table { return exp.Fig13(sc) },
-		"14":     func() []*exp.Table { return []*exp.Table{exp.Fig14(sc)} },
-		"15":     func() []*exp.Table { return []*exp.Table{exp.Fig15(sc)} },
-		"table1": func() []*exp.Table { return []*exp.Table{exp.Table1(sc)} },
-		"table3": func() []*exp.Table { return []*exp.Table{exp.Table3(sc)} },
+		"7":          func() []*exp.Table { return []*exp.Table{exp.Fig7()} },
+		"8":          func() []*exp.Table { return exp.Fig8(sc) },
+		"9":          func() []*exp.Table { return []*exp.Table{exp.Fig9(sc)} },
+		"10a":        func() []*exp.Table { return []*exp.Table{exp.Fig10a(sc)} },
+		"10b":        func() []*exp.Table { return []*exp.Table{exp.Fig10b(sc)} },
+		"11":         func() []*exp.Table { return []*exp.Table{exp.Fig11(sc)} },
+		"12":         func() []*exp.Table { return exp.Fig12(sc) },
+		"13":         func() []*exp.Table { return exp.Fig13(sc) },
+		"14":         func() []*exp.Table { return []*exp.Table{exp.Fig14(sc)} },
+		"15":         func() []*exp.Table { return []*exp.Table{exp.Fig15(sc)} },
+		"table1":     func() []*exp.Table { return []*exp.Table{exp.Table1(sc)} },
+		"table3":     func() []*exp.Table { return []*exp.Table{exp.Table3(sc)} },
+		"resilience": func() []*exp.Table { return []*exp.Table{exp.Resilience(sc)} },
 	}
-	order := []string{"table1", "7", "8", "9", "10a", "10b", "11", "12", "13", "14", "15", "table3"}
+	order := []string{"table1", "7", "8", "9", "10a", "10b", "11", "12", "13", "14", "15", "table3", "resilience"}
 
 	var picked []string
 	if *fig == "all" {
@@ -136,8 +155,7 @@ func main() {
 	} else if _, ok := gens[*fig]; ok {
 		picked = []string{*fig}
 	} else {
-		fmt.Fprintf(os.Stderr, "unknown figure %q (valid: %v, all)\n", *fig, order)
-		os.Exit(2)
+		usage("unknown figure %q (valid: %v, all)", *fig, order)
 	}
 
 	for _, id := range picked {
@@ -155,6 +173,13 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "[fig %s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// usage reports a command-line validation failure and exits with the
+// conventional usage status.
+func usage(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "figures: "+format+"\n", args...)
+	os.Exit(2)
 }
 
 // perRunPath derives the per-simulation output path from the base flag

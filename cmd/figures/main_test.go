@@ -96,6 +96,12 @@ func TestCLIRejectsBadFlags(t *testing.T) {
 	for _, args := range [][]string{
 		{"-fig", "nope"},
 		{"-scale", "nope"},
+		{"-fig", "7", "-j", "-2"},
+		{"-fig", "7", "-job-timeout", "-1s"},
+		{"-fig", "7", "-max-failures", "-1"},
+		{"-fig", "7", "-trace-buf", "-1"},
+		{"-fig", "7", "-metrics-window", "-5"},
+		{"-fig", "7", "-watchdog", "-5"},
 	} {
 		cmd := exec.Command(exe, args...)
 		cmd.Env = append(os.Environ(), mainEnv+"=1")

@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"seec"
+	"seec/internal/fault"
 )
 
 func main() {
@@ -34,6 +35,7 @@ func main() {
 		txns      = flag.Int64("txns", 8000, "transactions to complete (application mode)")
 		dlCheck   = flag.Bool("deadlock-check", false, "report whether the run wedged (no progress for 5000 cycles) and, if so, print the stall diagnosis")
 		satSearch = flag.Bool("saturation", false, "search for the saturation throughput instead of a single run")
+		faults    = flag.String("faults", "", `fault-injection spec, e.g. "link:0.001,router:2@5000,corrupt:1e-5" (synthetic credit-flow schemes only)`)
 
 		tracePath   = flag.String("trace", "", "write a Chrome trace_event JSON to this file (open in chrome://tracing or Perfetto)")
 		eventsPath  = flag.String("trace-events", "", "write a JSONL flit-event log to this file")
@@ -46,8 +48,43 @@ func main() {
 
 	var rows, cols int
 	if _, err := fmt.Sscanf(strings.ToLower(*topology), "%dx%d", &rows, &cols); err != nil {
-		fmt.Fprintf(os.Stderr, "bad -topology %q: %v\n", *topology, err)
-		os.Exit(2)
+		usage("bad -topology %q: %v", *topology, err)
+	}
+
+	// Validate the flag combination up front: a bad command line is a
+	// usage error (exit 2) before any simulation state is built, so AE
+	// scripts fail loudly instead of half-running.
+	switch {
+	case rows < 2 || cols < 2:
+		usage("-topology %q: both dimensions must be at least 2", *topology)
+	case *vcs < 1:
+		usage("-vcs-per-vnet %d: need at least one VC per VNet", *vcs)
+	case *rate < 0 || *rate > 1:
+		usage("-injectionrate %g: must be in [0, 1] packets/node/cycle", *rate)
+	case *cycles < 0:
+		usage("-sim-cycles %d: must be non-negative", *cycles)
+	case *warmup < 0:
+		usage("-warmup %d: must be non-negative", *warmup)
+	case *txns < 1 && *app != "":
+		usage("-txns %d: application mode needs a positive transaction target", *txns)
+	case *traceBuf < 0:
+		usage("-trace-buf %d: must be non-negative", *traceBuf)
+	case *metricsWin < 0:
+		usage("-metrics-window %d: must be non-negative", *metricsWin)
+	case *watchdogWin < 0:
+		usage("-watchdog %d: the stall threshold must be non-negative", *watchdogWin)
+	}
+	if *faults != "" {
+		if _, err := fault.ParseSpec(*faults); err != nil {
+			usage("bad -faults spec: %v", err)
+		}
+		switch seec.Scheme(*scheme) {
+		case seec.SchemeCHIPPER, seec.SchemeMinBD:
+			usage("-faults is not supported on deflection scheme %s (no credit-flow NICs to retransmit from)", *scheme)
+		}
+		if *app != "" {
+			usage("-faults applies to synthetic traffic only, not -app runs")
+		}
 	}
 
 	cfg := seec.DefaultConfig()
@@ -60,6 +97,7 @@ func main() {
 	cfg.SimCycles = *cycles
 	cfg.Warmup = *warmup
 	cfg.Seed = *seed
+	cfg.Faults = *faults
 
 	inst := seec.InstrumentOptions{
 		TracePath:      *tracePath,
@@ -119,6 +157,10 @@ func main() {
 			res.ThroughputFlits, res.ThroughputPackets, res.ReceivedPackets)
 		fmt.Printf("ff_fraction=%.4f misroute_hops=%d\n", res.FFFraction, res.MisrouteHops)
 		fmt.Printf("link_energy_avg=%.3f link_energy_peak=%.3f\n", res.AvgLinkEnergy, res.PeakLinkEnergy)
+		if *faults != "" {
+			fmt.Printf("faults=%q retransmits=%d fault_discards=%d dead_links=%d\n",
+				*faults, res.Retransmits, res.FaultDiscards, res.DeadLinks)
+		}
 		if *dlCheck {
 			fmt.Printf("stalled=%v\n", res.Stalled)
 			if res.Stalled {
@@ -134,4 +176,11 @@ func fail(err error) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+}
+
+// usage reports a command-line validation failure and exits with the
+// conventional usage status.
+func usage(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "seecsim: "+format+"\n", args...)
+	os.Exit(2)
 }

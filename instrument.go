@@ -64,6 +64,10 @@ func (o InstrumentOptions) Hook() func(*Sim) func() {
 		man.Config = s.Cfg
 		man.Seed = s.Cfg.Seed
 		man.Note = o.Note
+		if fi := s.Faults; fi != nil {
+			man.FaultSpec = fi.Spec().String()
+			man.FaultSeed = fi.Seed()
+		}
 
 		var rec *trace.Recorder
 		if o.TracePath != "" || o.EventsPath != "" {

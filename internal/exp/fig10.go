@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"seec"
@@ -17,16 +18,16 @@ func Fig10a(s Scale) *Table {
 		Header: []string{"rate", "seec %FF", "mseec %FF"},
 	}
 	schemes := []seec.Scheme{seec.SchemeSEEC, seec.SchemeMSEEC}
-	vals := cells(s, len(s.Rates)*len(schemes), func(i int) string {
+	vals := cells(s, len(s.Rates)*len(schemes), func(ctx context.Context, i int) (string, error) {
 		rate, sc := s.Rates[i/len(schemes)], schemes[i%len(schemes)]
 		cfg := synthCfg(sc, 8, 4, "uniform_random", s.SimCycles)
 		cfg.InjectionRate = rate
 		cfg.Seed = cfg.SweepSeed()
-		res, err := s.runSynthetic(cfg)
+		res, err := s.runSynthetic(ctx, cfg)
 		if err != nil {
-			return "err"
+			return "err", err
 		}
-		return fmt.Sprintf("%.1f", 100*res.FFFraction)
+		return fmt.Sprintf("%.1f", 100*res.FFFraction), nil
 	})
 	for ri, rate := range s.Rates {
 		row := []any{fmt.Sprintf("%.2f", rate)}
@@ -53,14 +54,14 @@ func Fig10b(s Scale) *Table {
 	}
 	rates := []float64{s.Rates[0], s.Rates[len(s.Rates)/2], s.Rates[len(s.Rates)-1]}
 	schemes := []seec.Scheme{seec.SchemeSEEC, seec.SchemeMSEEC}
-	rows := cells(s, len(schemes)*len(rates), func(i int) []any {
+	rows := cells(s, len(schemes)*len(rates), func(ctx context.Context, i int) ([]any, error) {
 		sc, rate := schemes[i/len(rates)], rates[i%len(rates)]
 		cfg := synthCfg(sc, 8, 4, "uniform_random", s.SimCycles)
 		cfg.InjectionRate = rate
 		cfg.Seed = cfg.SweepSeed()
-		res, err := s.runSynthetic(cfg)
+		res, err := s.runSynthetic(ctx, cfg)
 		if err != nil {
-			return nil
+			return nil, err
 		}
 		ffLat := res.FFBufferedAvg + res.FFFreeAvg
 		return []any{string(sc), fmt.Sprintf("%.2f", rate),
@@ -68,7 +69,7 @@ func Fig10b(s Scale) *Table {
 			fmt.Sprintf("%.1f", ffLat),
 			fmt.Sprintf("%.1f", res.FFBufferedAvg),
 			fmt.Sprintf("%.1f", res.FFFreeAvg),
-			fmt.Sprintf("%.1f", 100*res.FFFraction)}
+			fmt.Sprintf("%.1f", 100*res.FFFraction)}, nil
 	})
 	for _, row := range rows {
 		if row != nil {
@@ -111,12 +112,12 @@ func Fig11(s Scale) *Table {
 		avg, peakKnee, peakOver float64
 		err                     error
 	}
-	measure := func(sc seec.Scheme) pt {
+	measure := func(ctx context.Context, sc seec.Scheme) pt {
 		at := func(rate float64) (seec.Result, error) {
 			cfg := synthCfg(sc, 8, 4, "uniform_random", s.SimCycles)
 			cfg.InjectionRate = rate
 			cfg.Seed = cfg.SweepSeed()
-			return s.runSynthetic(cfg)
+			return s.runSynthetic(ctx, cfg)
 		}
 		res, err := at(kneeRate)
 		if err != nil {
@@ -130,7 +131,10 @@ func Fig11(s Scale) *Table {
 		p.peakOver = res.PeakLinkEnergy
 		return p
 	}
-	pts := cells(s, len(schemes), func(i int) pt { return measure(schemes[i]) })
+	pts := cells(s, len(schemes), func(ctx context.Context, i int) (pt, error) {
+		p := measure(ctx, schemes[i])
+		return p, p.err
+	})
 	var base pt
 	for _, p := range pts {
 		if p.sc == seec.SchemeWestFirst && p.err == nil {

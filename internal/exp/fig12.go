@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"seec"
@@ -49,14 +50,14 @@ func Fig12(s Scale) []*Table {
 			}
 		}
 	}
-	vals := cells(s, len(coords), func(i int) string {
+	vals := cells(s, len(coords), func(ctx context.Context, i int) (string, error) {
 		c := coords[i]
 		cfg := synthCfg(c.v.scheme, 8, 2, c.pat, s.SimCycles)
 		cfg.Routing = c.v.routing
 		cfg.InjectionRate = c.rate
 		cfg.Seed = cfg.SweepSeed()
-		res, err := s.runSynthetic(cfg)
-		return latencyCell(res, err)
+		res, err := s.runSynthetic(ctx, cfg)
+		return latencyCell(res, err), err
 	})
 	var out []*Table
 	i := 0
@@ -118,13 +119,13 @@ func Fig13(s Scale) []*Table {
 			}
 		}
 	}
-	vals := cells(s, len(coords), func(i int) string {
+	vals := cells(s, len(coords), func(ctx context.Context, i int) (string, error) {
 		j := coords[i]
 		cfg := synthCfg(j.c.sc, 8, j.c.vcs, j.pat, s.SimCycles)
 		cfg.InjectionRate = j.rate
 		cfg.Seed = cfg.SweepSeed()
-		res, err := s.runSynthetic(cfg)
-		return latencyCell(res, err)
+		res, err := s.runSynthetic(ctx, cfg)
+		return latencyCell(res, err), err
 	})
 	i := 0
 	for ti := range pats {

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"seec"
@@ -67,12 +68,12 @@ type appRun struct {
 // returning results in row-major (app, variant) order. Each run's seed
 // derives from its variant coordinates plus the application name.
 func appResults(s Scale, apps []string, vs []appVariant) []appRun {
-	return cells(s, len(apps)*len(vs), func(i int) appRun {
+	return cells(s, len(apps)*len(vs), func(ctx context.Context, i int) (appRun, error) {
 		app, v := apps[i/len(vs)], vs[i%len(vs)]
 		cfg := appConfig(v)
 		cfg.Seed = cfg.SweepSeed(app)
-		res, err := s.runApplication(cfg, app, s.AppTxns, s.MaxAppCycles)
-		return appRun{res: res, err: err}
+		res, err := s.runApplication(ctx, cfg, app, s.AppTxns, s.MaxAppCycles)
+		return appRun{res: res, err: err}, err
 	})
 }
 

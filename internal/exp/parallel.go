@@ -2,6 +2,8 @@ package exp
 
 import (
 	"context"
+	"fmt"
+	"os"
 
 	"seec/internal/runner"
 )
@@ -9,11 +11,28 @@ import (
 // cells fans n independent simulation cells out across the scale's
 // worker pool and returns the results in cell order. Generators render
 // per-cell failures into the cell text (a table should show "err", not
-// abort), so fn returns a plain value; with no error path and no
-// cancellation, the runner call cannot fail.
-func cells[T any](s Scale, n int, fn func(i int) T) []T {
-	out, _ := runner.Map(context.Background(), n, func(_ context.Context, i int) (T, error) {
-		return fn(i), nil
-	}, runner.WithWorkers(s.Workers))
+// abort), so a failing fn returns BOTH a rendered placeholder value and
+// the error: the value lands in the table, the error feeds the runner's
+// failure accounting. The pool drains by default (MaxFailures 0 means
+// "collect everything, never trip"); a positive Scale.MaxFailures arms
+// the circuit breaker, cancelling outstanding cells — those render as
+// their zero value. Panicking cells are recovered by the runner and
+// surface here the same way. The aggregate *SweepError, if any, is
+// reported on stderr; the rendered table is the product either way.
+func cells[T any](s Scale, n int, fn func(ctx context.Context, i int) (T, error)) []T {
+	out := make([]T, n)
+	mf := s.MaxFailures
+	if mf <= 0 {
+		mf = n + 1 // drain everything; report failures only at the end
+	}
+	_, err := runner.Map(context.Background(), n, func(ctx context.Context, i int) (struct{}, error) {
+		v, err := fn(ctx, i)
+		out[i] = v // kept even on error: fn renders its own failure cell
+		return struct{}{}, err
+	}, runner.WithWorkers(s.Workers), runner.WithJobTimeout(s.JobTimeout),
+		runner.WithMaxFailures(mf))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "exp:", err)
+	}
 	return out
 }

@@ -57,13 +57,13 @@ func Fig8(s Scale) []*Table {
 			}
 		}
 	}
-	vals := cells(s, len(coords), func(i int) string {
+	vals := cells(s, len(coords), func(ctx context.Context, i int) (string, error) {
 		c := coords[i]
 		cfg := synthCfg(c.sc, c.k, 4, c.pat, s.SimCycles)
 		cfg.InjectionRate = c.rate
 		cfg.Seed = cfg.SweepSeed()
-		res, err := s.runSynthetic(cfg)
-		return latencyCell(res, err)
+		res, err := s.runSynthetic(ctx, cfg)
+		return latencyCell(res, err), err
 	})
 	var out []*Table
 	i := 0
@@ -144,17 +144,17 @@ func Fig9(s Scale) *Table {
 	// Parallelism lives at the cell level; each cell's saturation
 	// search runs its probes serially (workers=1) so the pool is not
 	// oversubscribed. The search result is identical either way.
-	vals := cells(s, len(coords), func(i int) string {
+	vals := cells(s, len(coords), func(ctx context.Context, i int) (string, error) {
 		c := coords[i]
 		if c.sc == seec.SchemeEscape && c.vcs < 2 {
-			return "n/a"
+			return "n/a", nil
 		}
 		cfg := synthCfg(c.sc, c.k, c.vcs, c.pat, s.SatCycles)
-		sat, _, err := seec.SaturationThroughputCtx(context.Background(), cfg, 1)
+		sat, _, err := seec.SaturationThroughputCtx(ctx, cfg, 1)
 		if err != nil {
-			return "err"
+			return "err", err
 		}
-		return fmt.Sprintf("%.3f", sat)
+		return fmt.Sprintf("%.3f", sat), nil
 	})
 	i := 0
 	for _, pat := range []string{"bit_rotation", "transpose"} {

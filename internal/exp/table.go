@@ -6,9 +6,11 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
+	"time"
 
 	"seec"
 )
@@ -115,6 +117,17 @@ type Scale struct {
 	// byte-identical at any worker count.
 	Workers int
 
+	// JobTimeout bounds each simulation cell's wall time; a cell past
+	// its deadline is cancelled (the simulator polls its context) and
+	// renders as an error cell. 0 leaves cells unbounded.
+	JobTimeout time.Duration
+
+	// MaxFailures arms the sweep circuit breaker: after this many
+	// failed cells the remaining ones are cancelled and render as empty
+	// cells. 0 (the default) drains every cell regardless of failures,
+	// reporting the aggregate on stderr at the end.
+	MaxFailures int
+
 	// Instrument is copied into the Config of every simulation a
 	// generator launches (see seec.Config.Instrument); cmd/figures uses
 	// it to attach tracers, metrics and watchdogs to figure runs.
@@ -122,18 +135,20 @@ type Scale struct {
 	Instrument func(*seec.Sim) func()
 }
 
-// runSynthetic is seec.RunSynthetic with the scale's instrumentation
-// attached. Generators call this instead of seec.RunSynthetic directly.
-func (s Scale) runSynthetic(cfg seec.Config) (seec.Result, error) {
+// runSynthetic is seec.RunSyntheticCtx with the scale's instrumentation
+// attached. Generators call this instead of seec.RunSynthetic directly;
+// the context comes from the cell's runner slot, so per-job deadlines
+// and the circuit breaker can interrupt a run between cycles.
+func (s Scale) runSynthetic(ctx context.Context, cfg seec.Config) (seec.Result, error) {
 	cfg.Instrument = s.Instrument
-	return seec.RunSynthetic(cfg)
+	return seec.RunSyntheticCtx(ctx, cfg)
 }
 
-// runApplication is seec.RunApplication with the scale's
+// runApplication is seec.RunApplicationCtx with the scale's
 // instrumentation attached.
-func (s Scale) runApplication(cfg seec.Config, app string, txns, maxCycles int64) (seec.AppResult, error) {
+func (s Scale) runApplication(ctx context.Context, cfg seec.Config, app string, txns, maxCycles int64) (seec.AppResult, error) {
 	cfg.Instrument = s.Instrument
-	return seec.RunApplication(cfg, app, txns, maxCycles)
+	return seec.RunApplicationCtx(ctx, cfg, app, txns, maxCycles)
 }
 
 // Quick returns the fast preset used by tests and default CLI runs.

@@ -1,6 +1,10 @@
 package exp
 
-import "seec"
+import (
+	"context"
+
+	"seec"
+)
 
 // Table1 regenerates the paper's qualitative comparison of
 // deadlock-freedom mechanisms — but empirically: each property is
@@ -36,10 +40,10 @@ func Table1(s Scale) *Table {
 		{seec.SchemeMSEEC, "S", true, true, true},
 	}
 	// Three independent measurements per scheme; fan the whole grid out.
-	measures := []func(seec.Scheme, Scale) bool{
+	measures := []func(context.Context, seec.Scheme, Scale) bool{
 		measureNoMisroute, measureRoutingDLFree, measureProtocolDLFree}
-	verdicts := cells(s, len(entries)*len(measures), func(i int) bool {
-		return measures[i%len(measures)](entries[i/len(measures)].scheme, s)
+	verdicts := cells(s, len(entries)*len(measures), func(ctx context.Context, i int) (bool, error) {
+		return measures[i%len(measures)](ctx, entries[i/len(measures)].scheme, s), nil
 	})
 	for i, e := range entries {
 		noMis, routingFree, protoFree := verdicts[3*i], verdicts[3*i+1], verdicts[3*i+2]
@@ -61,11 +65,11 @@ func yn(b bool) string {
 
 // measureNoMisroute runs a saturated workload and checks whether any
 // delivered packet exceeded its minimal hop count.
-func measureNoMisroute(scheme seec.Scheme, s Scale) bool {
+func measureNoMisroute(ctx context.Context, scheme seec.Scheme, s Scale) bool {
 	cfg := synthCfg(scheme, 4, 2, "uniform_random", s.SimCycles)
 	cfg.InjectionRate = 0.30
 	cfg.Seed = cfg.SweepSeed()
-	res, err := s.runSynthetic(cfg)
+	res, err := s.runSynthetic(ctx, cfg)
 	if err != nil {
 		return false
 	}
@@ -74,7 +78,7 @@ func measureNoMisroute(scheme seec.Scheme, s Scale) bool {
 
 // measureRoutingDLFree drives the scheme's own routing configuration
 // far past saturation and checks for liveness.
-func measureRoutingDLFree(scheme seec.Scheme, s Scale) bool {
+func measureRoutingDLFree(ctx context.Context, scheme seec.Scheme, s Scale) bool {
 	cfg := synthCfg(scheme, 4, 2, "uniform_random", s.SimCycles)
 	cfg.InjectionRate = 0.40
 	cfg.Seed = cfg.SweepSeed()
@@ -83,6 +87,9 @@ func measureRoutingDLFree(scheme seec.Scheme, s Scale) bool {
 		return false
 	}
 	for sim.Cycle() < cfg.Warmup+s.SimCycles {
+		if sim.Cycle()&1023 == 0 && ctx.Err() != nil {
+			return false
+		}
 		sim.Step()
 		if sim.Stalled(4000) {
 			return false
@@ -96,7 +103,7 @@ func measureRoutingDLFree(scheme seec.Scheme, s Scale) bool {
 // protocol-deadlock-free by construction but run synthetic-only in
 // this repo (as in the paper); they inherit a Y from the bufferless
 // argument.
-func measureProtocolDLFree(scheme seec.Scheme, s Scale) bool {
+func measureProtocolDLFree(ctx context.Context, scheme seec.Scheme, s Scale) bool {
 	switch scheme {
 	case seec.SchemeMinBD, seec.SchemeCHIPPER:
 		return true
@@ -114,7 +121,7 @@ func measureProtocolDLFree(scheme seec.Scheme, s Scale) bool {
 		txns = 4000
 	}
 	cfg.Seed = cfg.SweepSeed("stress")
-	res, err := s.runApplication(cfg, "stress", txns, s.MaxAppCycles)
+	res, err := s.runApplication(ctx, cfg, "stress", txns, s.MaxAppCycles)
 	if err != nil {
 		return false
 	}

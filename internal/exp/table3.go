@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 
 	"seec"
@@ -25,20 +26,23 @@ func Table3(s Scale) *Table {
 		sizes = sizes[:2]
 	}
 	schemes := []seec.Scheme{seec.SchemeSEEC, seec.SchemeMSEEC}
-	rows := cells(s, len(sizes)*len(schemes), func(i int) []any {
+	rows := cells(s, len(sizes)*len(schemes), func(ctx context.Context, i int) ([]any, error) {
 		k, sc := sizes[i/len(schemes)], schemes[i%len(schemes)]
 		cfg := synthCfg(sc, k, 1, "uniform_random", s.SimCycles)
 		cfg.InjectionRate = 0.5 // drive deep into saturation: deadlocks form
 		cfg.Seed = cfg.SweepSeed()
 		sim, err := seec.NewSim(cfg)
 		if err != nil {
-			return []any{fmt.Sprintf("%dx%d", k, k), string(sc), "err", err.Error(), "", "", ""}
+			return []any{fmt.Sprintf("%dx%d", k, k), string(sc), "err", err.Error(), "", "", ""}, err
 		}
 		sim.Run(cfg.Warmup + 3000)
 		sim.Synthetic.Pause()
 		start := sim.Cycle()
 		deadline := start + 5_000_000
 		for !sim.Drained() && sim.Cycle() < deadline {
+			if sim.Cycle()&1023 == 0 && ctx.Err() != nil {
+				break
+			}
 			sim.Step()
 		}
 		drain := sim.Cycle() - start
@@ -57,7 +61,7 @@ func Table3(s Scale) *Table {
 			drainBound = fmt.Sprintf("O(m*k^3)=%d", k*k*k)
 		}
 		return []any{fmt.Sprintf("%dx%d", k, k), string(sc),
-			fmt.Sprintf("%.1f", avgSeek), maxSeek, seekBound, drain, drainBound}
+			fmt.Sprintf("%.1f", avgSeek), maxSeek, seekBound, drain, drainBound}, nil
 	})
 	for _, row := range rows {
 		t.AddRow(row...)

@@ -122,6 +122,16 @@ func (w *worm) hop(n *noc.Network, i, seq int) {
 		// the non-intersecting-paths guarantee of §3.1.
 		panic("express: FF link collision on " + out.Link.Name)
 	}
+	if !n.LinkAlive(from, to) {
+		// The link died after the worm launched (paths are checked alive
+		// at launch). The flit still traverses — FF has no buffering to
+		// hold it — but arrives damaged; the end-to-end protocol
+		// retransmits the packet if it is tracked.
+		w.pkt.FaultLost = true
+		if fi := n.Faults; fi != nil {
+			fi.NoteDeadTraversal()
+		}
+	}
 	out.ReserveFF()
 	n.Energy.AddDataHop()
 	n.Energy.AddSideband(LookaheadBits)

@@ -152,9 +152,16 @@ func (s *MSEEC) stepSeeker(u *unit) {
 	if m, ok := sk.advance(s.n, s.prevOrigin[sk.nic]); ok {
 		u.seeker = nil
 		s.Stats.noteSeekEnd(s.n.Cycle - sk.launch)
-		s.freeze(m)
 		cx, cy := s.n.Cfg.XY(u.nicID)
 		path := ffCorridorPath(&s.n.Cfg, m.router, cx, cy)
+		if !s.n.PathAlive(path) {
+			// Dead link on the corridor: abandon the class turn before
+			// freezing — the packet stays in its VC/queue.
+			s.unreserveEj(sk.nic, sk.ejIdx)
+			s.nextClass(u)
+			return
+		}
+		s.freeze(m)
 		if s.tryClaim(u, path) {
 			u.worm = s.launchWorm(sk, m, path)
 		} else {
@@ -166,9 +173,14 @@ func (s *MSEEC) stepSeeker(u *unit) {
 		s.Stats.noteSeekEnd(s.n.Cycle - sk.launch)
 		u.seeker = nil
 		if m, ok := sk.takeBest(s.n); ok {
-			s.freeze(m)
 			cx, cy := s.n.Cfg.XY(u.nicID)
 			path := ffCorridorPath(&s.n.Cfg, m.router, cx, cy)
+			if !s.n.PathAlive(path) {
+				s.unreserveEj(sk.nic, sk.ejIdx)
+				s.nextClass(u)
+				return
+			}
+			s.freeze(m)
 			if s.tryClaim(u, path) {
 				u.worm = s.launchWorm(sk, m, path)
 			} else {

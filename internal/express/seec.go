@@ -156,8 +156,17 @@ func (s *SEEC) stepSeeker() {
 		// first lookahead (§3.5).
 		s.seeker = nil
 		s.Stats.noteSeekEnd(s.n.Cycle - sk.launch)
+		path := ffPath(&s.n.Cfg, m.router, m.pkt.Dst)
+		if !s.n.PathAlive(path) {
+			// A dead link sits on the express path: launching would
+			// stream flits into it. Abandon the turn (freeze has not
+			// happened, so the packet stays where it is).
+			s.unreserveEj(sk.nic, sk.ejIdx)
+			s.advanceTurn()
+			return
+		}
 		s.freeze(m)
-		s.worm = s.launchWorm(sk, m, ffPath(&s.n.Cfg, m.router, m.pkt.Dst))
+		s.worm = s.launchWorm(sk, m, path)
 		return
 	}
 	if sk.done() {
@@ -166,8 +175,14 @@ func (s *SEEC) stepSeeker() {
 		if m, ok := sk.takeBest(s.n); ok {
 			// Oldest-first policy: the circulation is complete and the
 			// most senior candidate is still there — upgrade it.
+			path := ffPath(&s.n.Cfg, m.router, m.pkt.Dst)
+			if !s.n.PathAlive(path) {
+				s.unreserveEj(sk.nic, sk.ejIdx)
+				s.advanceTurn()
+				return
+			}
 			s.freeze(m)
-			s.worm = s.launchWorm(sk, m, ffPath(&s.n.Cfg, m.router, m.pkt.Dst))
+			s.worm = s.launchWorm(sk, m, path)
 			return
 		}
 		s.Stats.SeekersReturned++

@@ -1,0 +1,475 @@
+package fault
+
+import (
+	"container/heap"
+	"sort"
+
+	"seec/internal/rng"
+)
+
+// FlitFault classifies the outcome of one per-flit fault draw.
+type FlitFault uint8
+
+const (
+	// FaultNone: the flit traversed the link intact.
+	FaultNone FlitFault = iota
+	// FaultGlitch: a transient link glitch damaged the flit beyond
+	// recognition; the packet arrives unattributable and is recovered
+	// by the source's retransmission timeout.
+	FaultGlitch
+	// FaultCorrupt: the flit's payload was corrupted; the destination
+	// NIC's checksum catches it and NACKs for a fast retransmit.
+	FaultCorrupt
+	// FaultDrop: the flit was silently dropped; recovered by timeout.
+	FaultDrop
+)
+
+// Outcome is the destination NIC's verdict on a fully arrived packet.
+type Outcome uint8
+
+const (
+	// Accept: intact first delivery; the packet is handed to the sink
+	// and an ACK is scheduled back to the source.
+	Accept Outcome = iota
+	// DiscardLost: the packet arrived damaged beyond recognition
+	// (glitch/drop/dead link); discarded silently, timeout recovers.
+	DiscardLost
+	// DiscardCorrupt: the checksum failed; discarded and a NACK is
+	// scheduled so the source retransmits without waiting for timeout.
+	DiscardCorrupt
+	// DiscardDup: an intact duplicate of an already-delivered
+	// transaction (a spurious retransmit); discarded silently.
+	DiscardDup
+)
+
+// Retx describes one retransmission the source NIC must enqueue: a new
+// physical packet for an existing transaction. Created is the original
+// enqueue cycle, so latency statistics stay honest under faults.
+type Retx struct {
+	Txn                   uint64
+	Src, Dst, Class, Size int
+	Created               int64
+	Attempt               int
+}
+
+// Stats counts injector activity for one run.
+type Stats struct {
+	Tracked   int64 // transactions entered into retry buffers
+	Delivered int64 // transactions accepted at their destination
+
+	Retransmits int64 // retransmissions issued (timeout + NACK)
+	Timeouts    int64 // retransmissions triggered by timeout
+	Nacks       int64 // retransmissions triggered by NACK
+	Acks        int64 // ACKs processed (transaction retired)
+
+	GlitchedFlits  int64 // per-flit transient glitches drawn
+	CorruptFlits   int64 // per-flit corruptions drawn
+	DroppedFlits   int64 // per-flit drops drawn
+	DeadTraversals int64 // flits that crossed a permanently dead link
+
+	LostDiscards    int64 // packets discarded as damaged-beyond-recognition
+	CorruptDiscards int64 // packets discarded on checksum failure
+	DupDiscards     int64 // duplicate packets discarded
+
+	UnprotectedLost int64 // damaged packets with no tracked transaction (cannot be recovered)
+
+	LinksKilled  int // permanent link deaths committed
+	KillsSkipped int // kills vetoed by the connectivity guard
+}
+
+// Discards sums all packets discarded at destination NICs.
+func (s Stats) Discards() int64 { return s.LostDiscards + s.CorruptDiscards + s.DupDiscards }
+
+// linkInfo is one registered directed data link.
+type linkInfo struct {
+	name     string
+	from, to int // router ids
+}
+
+// txnState is one tracked transaction in a source's retry buffer.
+type txnState struct {
+	src, dst, class, size int
+	created               int64
+	minHops               int
+	attempt               int  // retransmissions issued so far
+	inFlight              bool // current attempt's head has been injected (timer armed)
+}
+
+// ackEvent is an ACK or NACK in flight on the reliable sideband.
+type ackEvent struct {
+	txn     uint64
+	attempt int
+	nack    bool
+}
+
+// timer is one armed retransmission timeout.
+type timer struct {
+	deadline int64
+	txn      uint64
+	attempt  int
+}
+
+// timerHeap orders timers by (deadline, txn) — a total order, so
+// timeout processing is deterministic.
+type timerHeap []timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if h[i].deadline != h[j].deadline {
+		return h[i].deadline < h[j].deadline
+	}
+	return h[i].txn < h[j].txn
+}
+func (h timerHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x any)   { *h = append(*h, x.(timer)) }
+func (h *timerHeap) Pop() any     { old := *h; n := len(old); v := old[n-1]; *h = old[:n-1]; return v }
+
+// Injector is one run's fault state: the private RNG stream, the link
+// registry with permanent-death flags, and the end-to-end recovery
+// endpoint (retry buffers, ACK/NACK sideband, timeout heap).
+type Injector struct {
+	spec Spec
+	seed uint64
+	rng  *rng.Rand
+
+	nodes  int
+	links  []linkInfo
+	byEdge map[[2]int]int // (from,to) -> link id
+	dead   []bool
+	ndead  int
+
+	nextTxn   uint64
+	tracked   map[uint64]*txnState
+	perNode   []int // retry-buffer occupancy per source node
+	delivered map[uint64]bool
+
+	events map[int64][]ackEvent // sideband arrivals by cycle
+	timers timerHeap
+
+	stats Stats
+}
+
+// NewInjector builds an injector for spec with its own RNG stream
+// seeded from seed (callers derive it from the run seed plus
+// spec.Seed, and record it in the run manifest).
+func NewInjector(spec Spec, seed uint64) *Injector {
+	return &Injector{
+		spec:      spec,
+		seed:      seed,
+		rng:       rng.New(seed),
+		byEdge:    map[[2]int]int{},
+		tracked:   map[uint64]*txnState{},
+		delivered: map[uint64]bool{},
+		events:    map[int64][]ackEvent{},
+	}
+}
+
+// Spec returns the parsed specification.
+func (inj *Injector) Spec() Spec { return inj.spec }
+
+// Seed returns the injector's RNG seed (for run manifests).
+func (inj *Injector) Seed() uint64 { return inj.seed }
+
+// Stats returns a copy of the activity counters.
+func (inj *Injector) Stats() Stats { return inj.stats }
+
+// SetNodes declares the mesh size (for per-node retry buffers and the
+// connectivity guard). Must be called before the first Track.
+func (inj *Injector) SetNodes(n int) {
+	inj.nodes = n
+	inj.perNode = make([]int, n)
+}
+
+// RegisterLink registers one directed router-to-router data link and
+// returns its id. NIC links are never registered: injection and
+// ejection wiring is local to the node and exempt from faults.
+func (inj *Injector) RegisterLink(name string, from, to int) int {
+	id := len(inj.links)
+	inj.links = append(inj.links, linkInfo{name: name, from: from, to: to})
+	inj.dead = append(inj.dead, false)
+	inj.byEdge[[2]int{from, to}] = id
+	return id
+}
+
+// LinkDead reports whether a registered link is permanently dead.
+func (inj *Injector) LinkDead(id int) bool { return inj.dead[id] }
+
+// HasDead reports whether any link has died; routing uses it as the
+// fast-path gate before per-candidate death checks.
+func (inj *Injector) HasDead() bool { return inj.ndead > 0 }
+
+// DeadLinkID looks up the link id of the directed edge from->to,
+// returning -1 if alive or unregistered.
+func (inj *Injector) DeadLinkID(from, to int) int {
+	if id, ok := inj.byEdge[[2]int{from, to}]; ok && inj.dead[id] {
+		return id
+	}
+	return -1
+}
+
+// LinkName returns the registered name of a link id.
+func (inj *Injector) LinkName(id int) string { return inj.links[id].name }
+
+// DeadLinkNames returns the names of all dead links, sorted.
+func (inj *Injector) DeadLinkNames() []string {
+	var names []string
+	for id, d := range inj.dead {
+		if d {
+			names = append(names, inj.links[id].name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Outstanding returns the number of transactions still tracked in
+// retry buffers (injected or awaiting retransmission, ACK not yet
+// processed). The network is drained only when this reaches zero.
+func (inj *Injector) Outstanding() int { return len(inj.tracked) }
+
+// DrawFlit draws the transient fault outcome for one flit traversing
+// an alive link. Exactly one RNG draw per traversal when any rate is
+// nonzero; none otherwise, so a zero-rate spec leaves the stream
+// untouched.
+func (inj *Injector) DrawFlit() FlitFault {
+	s := &inj.spec
+	if s.LinkRate == 0 && s.CorruptRate == 0 && s.DropRate == 0 {
+		return FaultNone
+	}
+	u := inj.rng.Float64()
+	if u < s.LinkRate {
+		inj.stats.GlitchedFlits++
+		return FaultGlitch
+	}
+	u -= s.LinkRate
+	if u < s.CorruptRate {
+		inj.stats.CorruptFlits++
+		return FaultCorrupt
+	}
+	u -= s.CorruptRate
+	if u < s.DropRate {
+		inj.stats.DroppedFlits++
+		return FaultDrop
+	}
+	return FaultNone
+}
+
+// NoteDeadTraversal counts a flit crossing a permanently dead link.
+func (inj *Injector) NoteDeadTraversal() { inj.stats.DeadTraversals++ }
+
+// CanTrack reports whether node's retry buffer has room for a new
+// transaction. The NIC holds new packets back while it is full —
+// bounded-buffer backpressure, not silent unprotection.
+func (inj *Injector) CanTrack(node int) bool {
+	return inj.perNode[node] < inj.spec.retryCap()
+}
+
+// Track enters a new transaction into src's retry buffer and returns
+// its transaction id (never 0).
+func (inj *Injector) Track(src, dst, class, size int, created int64, minHops int) uint64 {
+	inj.nextTxn++
+	inj.tracked[inj.nextTxn] = &txnState{
+		src: src, dst: dst, class: class, size: size,
+		created: created, minHops: minHops,
+	}
+	inj.perNode[src]++
+	inj.stats.Tracked++
+	return inj.nextTxn
+}
+
+// SentHead arms the retransmission timer for a transaction whose head
+// flit just left the source NIC: deadline = now + base << attempt,
+// capped. Stale calls (the attempt was already superseded) are ignored.
+func (inj *Injector) SentHead(txn uint64, attempt int, cycle int64) {
+	t := inj.tracked[txn]
+	if t == nil || t.attempt != attempt {
+		return
+	}
+	t.inFlight = true
+	shift := attempt
+	if shift > maxBackoffShift {
+		shift = maxBackoffShift
+	}
+	heap.Push(&inj.timers, timer{deadline: cycle + inj.spec.timeoutBase()<<uint(shift), txn: txn, attempt: attempt})
+}
+
+// Arrived is the destination NIC's verdict call for a fully buffered
+// packet: txn 0 marks an untracked packet (e.g. an express queue
+// upgrade that bypassed the injection path), damaged marks
+// glitch/drop/dead-link damage, corrupt marks a checksum failure.
+// ACK/NACK responses travel the reliable sideband and arrive
+// minHops+1 cycles later.
+func (inj *Injector) Arrived(txn uint64, attempt int, damaged, corrupt bool, cycle int64) Outcome {
+	if txn == 0 {
+		if damaged || corrupt {
+			inj.stats.UnprotectedLost++
+			inj.stats.LostDiscards++
+			return DiscardLost
+		}
+		return Accept
+	}
+	t := inj.tracked[txn]
+	if corrupt && !damaged && t != nil {
+		// The checksum failure is attributable to a transaction:
+		// schedule the NACK for a fast retransmit.
+		inj.schedule(cycle+int64(t.minHops)+1, ackEvent{txn: txn, attempt: attempt, nack: true})
+		inj.stats.CorruptDiscards++
+		return DiscardCorrupt
+	}
+	if damaged || corrupt {
+		inj.stats.LostDiscards++
+		return DiscardLost
+	}
+	if inj.delivered[txn] {
+		inj.stats.DupDiscards++
+		return DiscardDup
+	}
+	inj.delivered[txn] = true
+	inj.stats.Delivered++
+	if t != nil {
+		inj.schedule(cycle+int64(t.minHops)+1, ackEvent{txn: txn})
+	}
+	return Accept
+}
+
+func (inj *Injector) schedule(cycle int64, e ackEvent) {
+	inj.events[cycle] = append(inj.events[cycle], e)
+}
+
+// Tick advances the endpoint layer and the permanent-fault schedule by
+// one cycle. Retransmissions to enqueue at source NICs are appended to
+// retx; ids of links that died this cycle are appended to died. Both
+// lists are deterministically ordered.
+func (inj *Injector) Tick(cycle int64, retx []Retx, died []int) ([]Retx, []int) {
+	if inj.spec.RouterN > 0 && cycle == inj.spec.RouterAt {
+		died = inj.killLinks(inj.spec.RouterN, true, died)
+	}
+	if inj.spec.LinkN > 0 && cycle == inj.spec.LinkAt {
+		died = inj.killLinks(inj.spec.LinkN, false, died)
+	}
+	// Sideband arrivals first: a NACK bumps the attempt, invalidating
+	// any timer armed for the attempt it refers to.
+	if evs, ok := inj.events[cycle]; ok {
+		for _, e := range evs {
+			t := inj.tracked[e.txn]
+			if t == nil {
+				continue
+			}
+			if e.nack {
+				if t.attempt == e.attempt {
+					t.attempt++
+					t.inFlight = false
+					inj.stats.Nacks++
+					inj.stats.Retransmits++
+					retx = append(retx, inj.mkRetx(e.txn, t))
+				}
+				continue
+			}
+			inj.stats.Acks++
+			inj.perNode[t.src]--
+			delete(inj.tracked, e.txn)
+		}
+		delete(inj.events, cycle)
+	}
+	// Timeouts: pop every due timer; stale entries (ACKed, or
+	// superseded by a NACK retransmit) validate against the tracked
+	// attempt and are skipped.
+	for len(inj.timers) > 0 && inj.timers[0].deadline <= cycle {
+		tm := heap.Pop(&inj.timers).(timer)
+		t := inj.tracked[tm.txn]
+		if t == nil || t.attempt != tm.attempt || !t.inFlight {
+			continue
+		}
+		t.attempt++
+		t.inFlight = false
+		inj.stats.Timeouts++
+		inj.stats.Retransmits++
+		retx = append(retx, inj.mkRetx(tm.txn, t))
+	}
+	return retx, died
+}
+
+func (inj *Injector) mkRetx(txn uint64, t *txnState) Retx {
+	return Retx{Txn: txn, Src: t.src, Dst: t.dst, Class: t.class, Size: t.size,
+		Created: t.created, Attempt: t.attempt}
+}
+
+// killLinks commits n permanent link deaths drawn from the fault
+// stream. pairs kills both directions of the chosen link (a router
+// port fault). Every kill is vetoed if it would break the mesh's
+// strong connectivity — a disconnected destination could never be
+// reached and end-to-end recovery would retry forever — and vetoed
+// draws are recounted against a bounded attempt budget.
+func (inj *Injector) killLinks(n int, pairs bool, died []int) []int {
+	if len(inj.links) == 0 {
+		return died
+	}
+	for killed, attempts := 0, 0; killed < n && attempts < 20*n; attempts++ {
+		id := inj.rng.Intn(len(inj.links))
+		if inj.dead[id] {
+			continue
+		}
+		rev := -1
+		if pairs {
+			if r, ok := inj.byEdge[[2]int{inj.links[id].to, inj.links[id].from}]; ok && !inj.dead[r] {
+				rev = r
+			}
+		}
+		inj.dead[id] = true
+		if rev >= 0 {
+			inj.dead[rev] = true
+		}
+		if !inj.stronglyConnected() {
+			inj.dead[id] = false
+			if rev >= 0 {
+				inj.dead[rev] = false
+			}
+			inj.stats.KillsSkipped++
+			continue
+		}
+		inj.ndead++
+		inj.stats.LinksKilled++
+		died = append(died, id)
+		if rev >= 0 {
+			inj.ndead++
+			inj.stats.LinksKilled++
+			died = append(died, rev)
+		}
+		killed++
+	}
+	return died
+}
+
+// stronglyConnected checks that every node can still reach every other
+// over alive links (forward and reverse BFS from node 0).
+func (inj *Injector) stronglyConnected() bool {
+	if inj.nodes == 0 {
+		return true
+	}
+	reach := func(reverse bool) int {
+		seen := make([]bool, inj.nodes)
+		queue := []int{0}
+		seen[0] = true
+		count := 1
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for id, l := range inj.links {
+				if inj.dead[id] {
+					continue
+				}
+				from, to := l.from, l.to
+				if reverse {
+					from, to = to, from
+				}
+				if from == cur && !seen[to] {
+					seen[to] = true
+					count++
+					queue = append(queue, to)
+				}
+			}
+		}
+		return count
+	}
+	return reach(false) == inj.nodes && reach(true) == inj.nodes
+}

@@ -1,0 +1,307 @@
+package fault
+
+import "testing"
+
+// drainTick runs Tick over [from, to] and returns every retransmission
+// and link death produced, tagged with the cycle it fired at.
+func drainTick(inj *Injector, from, to int64) (retx []Retx, retxAt []int64, died []int) {
+	for c := from; c <= to; c++ {
+		r, d := inj.Tick(c, nil, nil)
+		for range r {
+			retxAt = append(retxAt, c)
+		}
+		retx = append(retx, r...)
+		died = append(died, d...)
+	}
+	return retx, retxAt, died
+}
+
+func TestTrackAckRetires(t *testing.T) {
+	inj := NewInjector(Spec{Timeout: 100}, 1)
+	inj.SetNodes(4)
+	txn := inj.Track(0, 3, 0, 5, 10, 2)
+	if txn == 0 {
+		t.Fatal("Track returned the reserved txn id 0")
+	}
+	inj.SentHead(txn, 0, 12)
+	if out := inj.Arrived(txn, 0, false, false, 20); out != Accept {
+		t.Fatalf("first intact arrival: got %v, want Accept", out)
+	}
+	// The ACK travels minHops+1 = 3 cycles; the transaction retires when
+	// it lands, well before the timeout at 112.
+	retx, _, _ := drainTick(inj, 13, 200)
+	if len(retx) != 0 {
+		t.Fatalf("ACKed transaction retransmitted: %+v", retx)
+	}
+	if inj.Outstanding() != 0 {
+		t.Fatalf("Outstanding = %d after ACK, want 0", inj.Outstanding())
+	}
+	s := inj.Stats()
+	if s.Tracked != 1 || s.Delivered != 1 || s.Acks != 1 {
+		t.Fatalf("stats = %+v, want Tracked=Delivered=Acks=1", s)
+	}
+}
+
+func TestTimeoutBackoff(t *testing.T) {
+	inj := NewInjector(Spec{Timeout: 16}, 1)
+	inj.SetNodes(2)
+	txn := inj.Track(0, 1, 0, 1, 0, 1)
+
+	// Attempt 0 armed at cycle 0: deadline 0 + 16<<0 = 16.
+	inj.SentHead(txn, 0, 0)
+	retx, at, _ := drainTick(inj, 1, 16)
+	if len(retx) != 1 || at[0] != 16 || retx[0].Attempt != 1 {
+		t.Fatalf("attempt 0: got retx %+v at %v, want one attempt-1 retx at cycle 16", retx, at)
+	}
+	if retx[0].Txn != txn || retx[0].Created != 0 {
+		t.Fatalf("retx %+v lost its transaction identity", retx[0])
+	}
+
+	// Attempt 1 armed at cycle 20: deadline 20 + 16<<1 = 52.
+	inj.SentHead(txn, 1, 20)
+	retx, at, _ = drainTick(inj, 21, 60)
+	if len(retx) != 1 || at[0] != 52 || retx[0].Attempt != 2 {
+		t.Fatalf("attempt 1: got retx %+v at %v, want one attempt-2 retx at cycle 52", retx, at)
+	}
+
+	// Each attempt doubles the deadline until the cap at
+	// base << maxBackoffShift = 16<<6 = 1024.
+	for i := retx[0].Attempt; i < 10; i++ {
+		shift := i
+		if shift > maxBackoffShift {
+			shift = maxBackoffShift
+		}
+		want := int64(1000 + 16<<shift)
+		inj.SentHead(txn, i, 1000)
+		r, a, _ := drainTick(inj, 1001, want)
+		if len(r) != 1 || a[0] != want {
+			t.Fatalf("attempt %d: got retx at %v, want deadline %d", i, a, want)
+		}
+	}
+	if inj.Stats().Timeouts == 0 {
+		t.Fatal("no timeouts counted")
+	}
+}
+
+func TestNackFastRetransmit(t *testing.T) {
+	inj := NewInjector(Spec{Timeout: 1000}, 1)
+	inj.SetNodes(2)
+	txn := inj.Track(0, 1, 0, 1, 0, 3)
+	inj.SentHead(txn, 0, 5)
+	if out := inj.Arrived(txn, 0, false, true, 50); out != DiscardCorrupt {
+		t.Fatalf("corrupt arrival: got %v, want DiscardCorrupt", out)
+	}
+	// The NACK lands minHops+1 = 4 cycles later and must retransmit long
+	// before the 1005-cycle timeout.
+	retx, at, _ := drainTick(inj, 6, 100)
+	if len(retx) != 1 || at[0] != 54 || retx[0].Attempt != 1 {
+		t.Fatalf("got retx %+v at %v, want one attempt-1 retx at cycle 54", retx, at)
+	}
+	s := inj.Stats()
+	if s.Nacks != 1 || s.CorruptDiscards != 1 {
+		t.Fatalf("stats = %+v, want Nacks=CorruptDiscards=1", s)
+	}
+	// The superseded attempt-0 timer must not fire a second retransmit.
+	retx, _, _ = drainTick(inj, 101, 1200)
+	if len(retx) != 0 {
+		t.Fatalf("stale attempt-0 timer fired: %+v", retx)
+	}
+}
+
+func TestDuplicateSuppression(t *testing.T) {
+	inj := NewInjector(Spec{}, 1)
+	inj.SetNodes(2)
+	txn := inj.Track(0, 1, 0, 1, 0, 1)
+	if out := inj.Arrived(txn, 0, false, false, 10); out != Accept {
+		t.Fatalf("first arrival: got %v", out)
+	}
+	if out := inj.Arrived(txn, 1, false, false, 12); out != DiscardDup {
+		t.Fatalf("duplicate arrival: got %v, want DiscardDup", out)
+	}
+	if s := inj.Stats(); s.Delivered != 1 || s.DupDiscards != 1 {
+		t.Fatalf("stats = %+v, want Delivered=1 DupDiscards=1", s)
+	}
+}
+
+func TestDamagedAndUntrackedArrivals(t *testing.T) {
+	inj := NewInjector(Spec{}, 1)
+	inj.SetNodes(2)
+	txn := inj.Track(0, 1, 0, 1, 0, 1)
+	if out := inj.Arrived(txn, 0, true, false, 10); out != DiscardLost {
+		t.Fatalf("damaged tracked arrival: got %v, want DiscardLost", out)
+	}
+	if out := inj.Arrived(0, 0, true, false, 11); out != DiscardLost {
+		t.Fatalf("damaged untracked arrival: got %v, want DiscardLost", out)
+	}
+	if out := inj.Arrived(0, 0, false, false, 12); out != Accept {
+		t.Fatalf("intact untracked arrival: got %v, want Accept", out)
+	}
+	s := inj.Stats()
+	if s.UnprotectedLost != 1 {
+		t.Fatalf("UnprotectedLost = %d, want 1 (only the untracked damaged packet)", s.UnprotectedLost)
+	}
+	if s.LostDiscards != 2 {
+		t.Fatalf("LostDiscards = %d, want 2", s.LostDiscards)
+	}
+}
+
+func TestRetryBufferBackpressure(t *testing.T) {
+	inj := NewInjector(Spec{Retry: 2}, 1)
+	inj.SetNodes(2)
+	if !inj.CanTrack(0) {
+		t.Fatal("empty retry buffer refused a transaction")
+	}
+	t1 := inj.Track(0, 1, 0, 1, 0, 1)
+	inj.Track(0, 1, 0, 1, 0, 1)
+	if inj.CanTrack(0) {
+		t.Fatal("full retry buffer accepted a third transaction")
+	}
+	if !inj.CanTrack(1) {
+		t.Fatal("backpressure leaked to another node")
+	}
+	// Retiring one transaction frees its slot.
+	inj.Arrived(t1, 0, false, false, 10)
+	drainTick(inj, 11, 13) // ACK arrives at minHops+1 = 2 cycles
+	if !inj.CanTrack(0) {
+		t.Fatal("retired transaction did not free its retry-buffer slot")
+	}
+}
+
+// registerMesh registers both directions of every cardinal link of a
+// k x k mesh, mirroring what noc.SetFaults does.
+func registerMesh(inj *Injector, k int) {
+	inj.SetNodes(k * k)
+	id := func(x, y int) int { return y*k + x }
+	for y := 0; y < k; y++ {
+		for x := 0; x < k; x++ {
+			if x+1 < k {
+				inj.RegisterLink("E", id(x, y), id(x+1, y))
+				inj.RegisterLink("W", id(x+1, y), id(x, y))
+			}
+			if y+1 < k {
+				inj.RegisterLink("S", id(x, y), id(x, y+1))
+				inj.RegisterLink("N", id(x, y+1), id(x, y))
+			}
+		}
+	}
+}
+
+func TestKillLinksKeepsConnectivity(t *testing.T) {
+	inj := NewInjector(Spec{LinkN: 10, LinkAt: 5}, 99)
+	registerMesh(inj, 4)
+	_, died := inj.Tick(5, nil, nil)
+	if len(died) == 0 {
+		t.Fatal("no links died")
+	}
+	if !inj.stronglyConnected() {
+		t.Fatal("kills broke strong connectivity")
+	}
+	if !inj.HasDead() {
+		t.Fatal("HasDead false after kills")
+	}
+	for _, id := range died {
+		if !inj.LinkDead(id) {
+			t.Fatalf("died link %d not marked dead", id)
+		}
+	}
+	s := inj.Stats()
+	if s.LinksKilled != len(died) {
+		t.Fatalf("LinksKilled = %d, want %d", s.LinksKilled, len(died))
+	}
+	if len(inj.DeadLinkNames()) == 0 {
+		t.Fatal("DeadLinkNames empty after kills")
+	}
+}
+
+func TestKillLinksVetoesDisconnection(t *testing.T) {
+	// A 2-node ring: killing either directed link breaks strong
+	// connectivity, so every kill must be vetoed.
+	inj := NewInjector(Spec{LinkN: 1, LinkAt: 0}, 7)
+	inj.SetNodes(2)
+	inj.RegisterLink("ab", 0, 1)
+	inj.RegisterLink("ba", 1, 0)
+	_, died := inj.Tick(0, nil, nil)
+	if len(died) != 0 {
+		t.Fatalf("kill committed on a minimal ring: %v", died)
+	}
+	if inj.HasDead() {
+		t.Fatal("HasDead true after vetoed kills")
+	}
+	if inj.Stats().KillsSkipped == 0 {
+		t.Fatal("vetoes not counted")
+	}
+}
+
+func TestRouterFaultKillsBothDirections(t *testing.T) {
+	inj := NewInjector(Spec{RouterN: 1, RouterAt: 3}, 12345)
+	registerMesh(inj, 4)
+	_, died := inj.Tick(3, nil, nil)
+	if len(died) != 2 {
+		t.Fatalf("router port fault killed %d links, want the pair", len(died))
+	}
+	a, b := died[0], died[1]
+	if inj.links[a].from != inj.links[b].to || inj.links[a].to != inj.links[b].from {
+		t.Fatalf("killed links %+v and %+v are not a direction pair", inj.links[a], inj.links[b])
+	}
+}
+
+func TestZeroRateDrawsNothing(t *testing.T) {
+	inj := NewInjector(Spec{LinkN: 1, LinkAt: 1000}, 1)
+	registerMesh(inj, 2)
+	for i := 0; i < 1000; i++ {
+		if f := inj.DrawFlit(); f != FaultNone {
+			t.Fatalf("zero-rate spec drew fault %v", f)
+		}
+	}
+	if s := inj.Stats(); s.GlitchedFlits+s.CorruptFlits+s.DroppedFlits != 0 {
+		t.Fatalf("zero-rate spec counted flit faults: %+v", s)
+	}
+}
+
+func TestDrawFlitRespectsRates(t *testing.T) {
+	inj := NewInjector(Spec{LinkRate: 0.2, CorruptRate: 0.1, DropRate: 0.1}, 42)
+	inj.SetNodes(1)
+	const n = 20000
+	var counts [4]int
+	for i := 0; i < n; i++ {
+		counts[inj.DrawFlit()]++
+	}
+	check := func(name string, got int, p float64) {
+		want := p * n
+		if float64(got) < want*0.8 || float64(got) > want*1.2 {
+			t.Errorf("%s: %d draws, want about %.0f", name, got, want)
+		}
+	}
+	check("glitch", counts[FaultGlitch], 0.2)
+	check("corrupt", counts[FaultCorrupt], 0.1)
+	check("drop", counts[FaultDrop], 0.1)
+	check("none", counts[FaultNone], 0.6)
+}
+
+func TestInjectorDeterminism(t *testing.T) {
+	run := func() ([]FlitFault, []int) {
+		inj := NewInjector(Spec{LinkRate: 0.05, CorruptRate: 0.02, LinkN: 3, LinkAt: 50}, 777)
+		registerMesh(inj, 4)
+		var draws []FlitFault
+		for i := 0; i < 500; i++ {
+			draws = append(draws, inj.DrawFlit())
+		}
+		_, died := inj.Tick(50, nil, nil)
+		return draws, died
+	}
+	d1, k1 := run()
+	d2, k2 := run()
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("draw %d differs between identical runs", i)
+		}
+	}
+	if len(k1) != len(k2) {
+		t.Fatalf("kill counts differ: %v vs %v", k1, k2)
+	}
+	for i := range k1 {
+		if k1[i] != k2[i] {
+			t.Fatalf("killed links differ: %v vs %v", k1, k2)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+// Package fault is the deterministic fault-injection layer: a
+// seed-driven injector that damages flits in flight (transient link
+// glitches, payload corruption, silent drops), kills links and router
+// ports permanently at scheduled cycles, and implements the end-to-end
+// recovery protocol the NICs use to survive it — per-transaction
+// tracking, ACK/NACK over a reliable sideband, retransmission timeouts
+// with capped exponential backoff, and duplicate suppression — all from
+// a bounded per-node retry buffer.
+//
+// The package is simulator-agnostic: internal/noc imports fault, never
+// the reverse. Determinism is structural: the injector owns a private
+// rng stream (derived from the run seed and the spec's seed field), all
+// per-flit draws happen in the network's deterministic link-delivery
+// order, and ACK/NACK/timeout processing iterates cycle buckets and a
+// deadline heap with total orderings — so a faulted run is
+// byte-identical when repeated.
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Defaults for the protocol knobs a spec leaves at zero.
+const (
+	// DefaultTimeout is the base retransmission timeout in cycles.
+	// Generous on purpose: a spurious timeout injects a duplicate, so
+	// the base must exceed the round-trip time at moderate load.
+	DefaultTimeout = 2048
+	// DefaultRetryCap bounds the per-node retry buffer (transactions a
+	// source tracks for possible retransmission). A full buffer
+	// backpressures new injections at that NIC.
+	DefaultRetryCap = 64
+	// maxBackoffShift caps the exponential backoff at base << 6.
+	maxBackoffShift = 6
+)
+
+// Spec is a parsed fault specification. The zero value means "no
+// faults". Comparable, so specs can be tested for round-trip equality.
+type Spec struct {
+	// Per-flit transient fault probabilities, drawn once per link
+	// traversal. Their sum must stay below 1.
+	LinkRate    float64 // "link:p" — transient glitch: the flit's packet arrives damaged beyond recognition
+	CorruptRate float64 // "corrupt:p" — payload corruption: the checksum fails at the destination NIC
+	DropRate    float64 // "drop:p" — silent drop: like a glitch, recovered by timeout only
+
+	// Scheduled permanent faults.
+	RouterN  int   // "router:N@C" — kill N router port pairs (both link directions)
+	RouterAt int64 // cycle of the router-port kills
+	LinkN    int   // "linkdown:N@C" — kill N directed links
+	LinkAt   int64 // cycle of the link kills
+
+	// Protocol knobs. Zero selects the package default.
+	Seed    uint64 // "seed:u" — extra entropy mixed into the injector stream
+	Timeout int64  // "timeout:c" — base retransmission timeout in cycles
+	Retry   int    // "retry:n" — retry-buffer entries per source node
+}
+
+// ParseSpec parses and validates a fault-spec string: comma-separated
+// key:value entries, e.g. "link:0.001,router:2@5000,corrupt:1e-5".
+// Rate keys (link, corrupt, drop) take probabilities in [0, 1);
+// schedule keys (router, linkdown) take "N@C" with N >= 1 faults at
+// cycle C >= 0; seed takes a uint64; timeout and retry take positive
+// integers. An empty string parses to the zero Spec.
+func ParseSpec(s string) (Spec, error) {
+	var spec Spec
+	if strings.TrimSpace(s) == "" {
+		return spec, nil
+	}
+	seen := map[string]bool{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			return Spec{}, fmt.Errorf("fault: empty entry in spec %q", s)
+		}
+		key, val, ok := strings.Cut(part, ":")
+		if !ok {
+			return Spec{}, fmt.Errorf("fault: entry %q is not key:value", part)
+		}
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		if seen[key] {
+			return Spec{}, fmt.Errorf("fault: duplicate key %q", key)
+		}
+		seen[key] = true
+		var err error
+		switch key {
+		case "link":
+			spec.LinkRate, err = parseRate(val)
+		case "corrupt":
+			spec.CorruptRate, err = parseRate(val)
+		case "drop":
+			spec.DropRate, err = parseRate(val)
+		case "router":
+			spec.RouterN, spec.RouterAt, err = parseSchedule(val)
+		case "linkdown":
+			spec.LinkN, spec.LinkAt, err = parseSchedule(val)
+		case "seed":
+			spec.Seed, err = strconv.ParseUint(val, 10, 64)
+		case "timeout":
+			spec.Timeout, err = strconv.ParseInt(val, 10, 64)
+			if err == nil && spec.Timeout < 1 {
+				err = fmt.Errorf("must be positive")
+			}
+		case "retry":
+			spec.Retry, err = strconv.Atoi(val)
+			if err == nil && spec.Retry < 1 {
+				err = fmt.Errorf("must be positive")
+			}
+		default:
+			return Spec{}, fmt.Errorf("fault: unknown key %q (valid: link corrupt drop router linkdown seed timeout retry)", key)
+		}
+		if err != nil {
+			return Spec{}, fmt.Errorf("fault: bad %s value %q: %v", key, val, err)
+		}
+	}
+	if sum := spec.LinkRate + spec.CorruptRate + spec.DropRate; sum >= 1 {
+		return Spec{}, fmt.Errorf("fault: per-flit rates sum to %g, must stay below 1", sum)
+	}
+	return spec, nil
+}
+
+// parseRate parses a per-flit probability in [0, 1).
+func parseRate(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, err
+	}
+	if !(v >= 0) || !(v < 1) {
+		return 0, fmt.Errorf("rate must be in [0, 1)")
+	}
+	return v, nil
+}
+
+// parseSchedule parses "N@C": N faults scheduled at cycle C.
+func parseSchedule(s string) (int, int64, error) {
+	ns, cs, ok := strings.Cut(s, "@")
+	if !ok {
+		return 0, 0, fmt.Errorf("want N@CYCLE")
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(ns))
+	if err != nil {
+		return 0, 0, err
+	}
+	if n < 1 {
+		return 0, 0, fmt.Errorf("fault count must be positive")
+	}
+	c, err := strconv.ParseInt(strings.TrimSpace(cs), 10, 64)
+	if err != nil {
+		return 0, 0, err
+	}
+	if c < 0 {
+		return 0, 0, fmt.Errorf("fault cycle must not be negative")
+	}
+	return n, c, nil
+}
+
+// String renders the spec in canonical form: ParseSpec(s.String())
+// reproduces s exactly. The zero Spec renders as "".
+func (s Spec) String() string {
+	var parts []string
+	add := func(key, val string) { parts = append(parts, key+":"+val) }
+	if s.LinkRate != 0 {
+		add("link", strconv.FormatFloat(s.LinkRate, 'g', -1, 64))
+	}
+	if s.CorruptRate != 0 {
+		add("corrupt", strconv.FormatFloat(s.CorruptRate, 'g', -1, 64))
+	}
+	if s.DropRate != 0 {
+		add("drop", strconv.FormatFloat(s.DropRate, 'g', -1, 64))
+	}
+	if s.RouterN != 0 {
+		add("router", fmt.Sprintf("%d@%d", s.RouterN, s.RouterAt))
+	}
+	if s.LinkN != 0 {
+		add("linkdown", fmt.Sprintf("%d@%d", s.LinkN, s.LinkAt))
+	}
+	if s.Seed != 0 {
+		add("seed", strconv.FormatUint(s.Seed, 10))
+	}
+	if s.Timeout != 0 {
+		add("timeout", strconv.FormatInt(s.Timeout, 10))
+	}
+	if s.Retry != 0 {
+		add("retry", strconv.Itoa(s.Retry))
+	}
+	return strings.Join(parts, ",")
+}
+
+// timeoutBase resolves the retransmission-timeout default.
+func (s Spec) timeoutBase() int64 {
+	if s.Timeout > 0 {
+		return s.Timeout
+	}
+	return DefaultTimeout
+}
+
+// retryCap resolves the retry-buffer default.
+func (s Spec) retryCap() int {
+	if s.Retry > 0 {
+		return s.Retry
+	}
+	return DefaultRetryCap
+}

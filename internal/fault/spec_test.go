@@ -1,0 +1,128 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseSpecValid(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Spec
+	}{
+		{"", Spec{}},
+		{"  ", Spec{}},
+		{"link:0.001", Spec{LinkRate: 0.001}},
+		{"link:0.001,router:2@5000,corrupt:1e-5",
+			Spec{LinkRate: 0.001, CorruptRate: 1e-5, RouterN: 2, RouterAt: 5000}},
+		{"drop:0.25,linkdown:1@0", Spec{DropRate: 0.25, LinkN: 1}},
+		{" link : 0.5 , seed : 42 ", Spec{LinkRate: 0.5, Seed: 42}},
+		{"timeout:64,retry:8", Spec{Timeout: 64, Retry: 8}},
+		{"link:0", Spec{}}, // explicit zero rate is the zero spec
+	}
+	for _, c := range cases {
+		got, err := ParseSpec(c.in)
+		if err != nil {
+			t.Errorf("ParseSpec(%q): unexpected error %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseSpec(%q) = %+v, want %+v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	bad := []string{
+		"nope",                      // not key:value
+		"wat:1",                     // unknown key
+		"link:",                     // empty value
+		"link:x",                    // not a number
+		"link:-0.1",                 // negative rate
+		"link:1",                    // rate must stay below 1
+		"link:nan",                  // NaN sneaks past naive range checks
+		"link:0.5,drop:0.5",         // rates sum to 1
+		"link:0.1,link:0.1",         // duplicate key
+		"router:2",                  // schedule without @cycle
+		"router:0@10",               // zero faults
+		"router:2@-1",               // negative cycle
+		"linkdown:x@1",              // bad count
+		"timeout:0",                 // must be positive
+		"retry:-3",                  // must be positive
+		"seed:-1",                   // uint64 only
+		"link:0.1,,drop:0.1",        // empty entry
+		",",                         // empty entries only
+		"link:0.1@5",                // rate with schedule syntax
+		"seed:99999999999999999999", // uint64 overflow
+	}
+	for _, in := range bad {
+		if _, err := ParseSpec(in); err == nil {
+			t.Errorf("ParseSpec(%q): expected error, got none", in)
+		}
+	}
+}
+
+func TestSpecStringRoundTrip(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"link:0.001",
+		"link:0.001,corrupt:1e-05,drop:0.002,router:2@5000,linkdown:1@50,seed:7,timeout:64,retry:8",
+	} {
+		spec, err := ParseSpec(in)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", in, err)
+		}
+		back, err := ParseSpec(spec.String())
+		if err != nil {
+			t.Fatalf("ParseSpec(%q.String() = %q): %v", in, spec.String(), err)
+		}
+		if back != spec {
+			t.Errorf("round trip of %q: %+v -> %q -> %+v", in, spec, spec.String(), back)
+		}
+	}
+}
+
+// FuzzFaultSpec checks the parser's core contract on arbitrary input:
+// it never panics, and any spec it accepts round-trips through its
+// canonical String form — reparsing yields the identical Spec and a
+// fixed-point string. This is what makes the manifest's fault_spec
+// field trustworthy as a replay input.
+func FuzzFaultSpec(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"link:0.001,router:2@5000,corrupt:1e-5",
+		"linkdown:1@50,timeout:64",
+		"drop:0.1,seed:42,retry:8",
+		"link:0.5,corrupt:0.25,drop:0.2",
+		"link:abc",
+		"router:0@5",
+		"seed:18446744073709551615",
+		" link : 0.25 ",
+		"link:1e-300",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		spec, err := ParseSpec(in)
+		if err != nil {
+			return // rejected input is fine; not panicking is the property
+		}
+		if sum := spec.LinkRate + spec.CorruptRate + spec.DropRate; !(sum < 1) {
+			t.Fatalf("ParseSpec(%q) accepted rates summing to %g", in, sum)
+		}
+		canon := spec.String()
+		back, err := ParseSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of accepted spec %q does not reparse: %v", canon, in, err)
+		}
+		if back != spec {
+			t.Fatalf("round trip: ParseSpec(%q) = %+v, but ParseSpec(%q) = %+v", in, spec, canon, back)
+		}
+		if again := back.String(); again != canon {
+			t.Fatalf("String is not a fixed point: %q -> %q", canon, again)
+		}
+		if strings.TrimSpace(in) == "" && canon != "" {
+			t.Fatalf("empty spec %q rendered as %q", in, canon)
+		}
+	})
+}

@@ -21,11 +21,15 @@ type DataLink struct {
 	// Send; Step then only visits links that actually carry something.
 	// busy doubles as the registration guard (one Send per cycle).
 	net *Network
+
+	// lid is the link's id in the fault injector's registry, or -1 for
+	// links exempt from faults (NIC wiring, or no injector installed).
+	lid int
 }
 
 // NewDataLink returns a link delivering into sink.
 func NewDataLink(name string, sink func(f Flit, vc int)) *DataLink {
-	return &DataLink{Name: name, sink: sink}
+	return &DataLink{Name: name, sink: sink, lid: -1}
 }
 
 // Send stages a flit for delivery next cycle.
@@ -51,6 +55,9 @@ func (l *DataLink) deliver() {
 	p := l.pending
 	l.pending = linkPayload{}
 	l.busy = false
+	if l.lid >= 0 && l.net != nil && l.net.Faults != nil {
+		l.net.applyLinkFaults(l, p.flit)
+	}
 	l.sink(p.flit, p.vc)
 }
 

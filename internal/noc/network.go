@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"seec/internal/energy"
+	"seec/internal/fault"
 	"seec/internal/rng"
 	"seec/internal/stats"
 	"seec/internal/trace"
@@ -60,6 +61,12 @@ type Network struct {
 	Metrics  *trace.Metrics
 	Watchdog *Watchdog
 
+	// Faults is the fault injector, nil by default like the
+	// observability layer; install via SetFaults. Unlike that layer it
+	// does change behavior — but only when non-nil, so the fault-free
+	// path is untouched.
+	Faults *fault.Injector
+
 	// InFlight counts packets enqueued but not yet consumed.
 	InFlight int
 
@@ -91,6 +98,11 @@ type Network struct {
 	// ffMarked lists the output ports whose FFReserved flag must be
 	// cleared at the start of the next cycle (set via ReserveFF).
 	ffMarked []*OutputPort
+
+	// retxScratch/diedScratch are reused across faultTick calls so the
+	// per-cycle fault bookkeeping never allocates in steady state.
+	retxScratch []fault.Retx
+	diedScratch []int
 
 	// recycle enables the Packet free list: consumed packets return to
 	// freePkts and are reused by NIC.Enqueue. Only safe when the traffic
@@ -259,6 +271,12 @@ func (n *Network) Step() {
 		l.deliver()
 	}
 	n.spareCredit = credits
+	// Fault bookkeeping: scheduled permanent faults, ACK/NACK delivery,
+	// retransmission timeouts. Before traffic generation so a
+	// retransmitted packet can inject the same cycle it times out.
+	if n.Faults != nil {
+		n.faultTick()
+	}
 	// Traffic generation.
 	if n.Traffic != nil {
 		for node := range n.NICs {
@@ -340,8 +358,13 @@ func (n *Network) Stalled(window int64) bool {
 	return n.InFlight > 0 && n.Cycle-n.lastProgress >= window
 }
 
-// Drained reports whether no packets remain anywhere in the system.
-func (n *Network) Drained() bool { return n.InFlight == 0 }
+// Drained reports whether no packets remain anywhere in the system —
+// including transactions the fault layer still tracks for possible
+// retransmission (their packet may have been discarded as damaged, so
+// InFlight alone would declare victory before recovery finishes).
+func (n *Network) Drained() bool {
+	return n.InFlight == 0 && (n.Faults == nil || n.Faults.Outstanding() == 0)
+}
 
 // Nodes returns the number of network endpoints.
 func (n *Network) Nodes() int { return n.Cfg.Nodes() }

@@ -1,6 +1,7 @@
 package noc
 
 import (
+	"seec/internal/fault"
 	"seec/internal/stats"
 	"seec/internal/trace"
 )
@@ -118,6 +119,9 @@ func (n *NIC) Enqueue(spec PacketSpec) *Packet {
 		MinHops: cfg.MinHops(n.Node, spec.Dst),
 		Tag:     spec.Tag,
 	}
+	if n.Net.Faults != nil {
+		p.Csum = pktCsum(p)
+	}
 	n.Queues[spec.Class] = append(n.Queues[spec.Class], p)
 	n.backlog++
 	n.Net.InFlight++
@@ -148,6 +152,9 @@ func (n *NIC) inject() {
 	n.Net.noteProgress()
 	if f.IsHead() {
 		n.cur.Injected = n.Net.Cycle
+		if fi := n.Net.Faults; fi != nil && n.cur.Txn != 0 {
+			fi.SentHead(n.cur.Txn, n.cur.Attempt, n.Net.Cycle)
+		}
 		if tr := n.Net.Tracer; tr != nil {
 			tr.Record(trace.Event{Cycle: n.Net.Cycle, Kind: trace.EvInject,
 				Node: int32(n.Node), Port: -1, VC: int16(n.curVC),
@@ -172,6 +179,12 @@ func (n *NIC) pickNext() {
 			continue
 		}
 		pkt := q[0]
+		// Retry-buffer backpressure: a new packet (Txn == 0) may not
+		// start transmission while the source cannot track another
+		// transaction; retransmissions (Txn != 0) always pass.
+		if fi := n.Net.Faults; fi != nil && pkt.Txn == 0 && !fi.CanTrack(n.Node) {
+			continue
+		}
 		v, ok := n.Net.VA.SelectInject(n.Net.Routers[n.Node], n.LocalMirror, pkt)
 		if !ok {
 			continue
@@ -181,6 +194,9 @@ func (n *NIC) pickNext() {
 		n.Queues[c] = q[:len(q)-1]
 		n.backlog--
 		n.LocalMirror[v].Busy = true
+		if fi := n.Net.Faults; fi != nil && pkt.Txn == 0 {
+			pkt.Txn = fi.Track(pkt.Src, pkt.Dst, pkt.Class, pkt.Size, pkt.Created, pkt.MinHops)
+		}
 		n.cur = pkt
 		n.curFlit = 0
 		n.curVC = v
@@ -234,6 +250,13 @@ func (n *NIC) deposit(f Flit, vcID int, credited bool) {
 	n.Net.Energy.BufferWrites++
 	if f.IsTail() {
 		p := f.Pkt
+		if fi := n.Net.Faults; fi != nil {
+			out := fi.Arrived(p.Txn, p.Attempt, p.FaultLost, p.Csum != pktCsum(p), n.Net.Cycle)
+			if out != fault.Accept {
+				n.discardEjected(vcID, out)
+				return
+			}
+		}
 		n.Net.Collector.Record(stats.PacketRecord{
 			Created:    p.Created,
 			Injected:   p.Injected,

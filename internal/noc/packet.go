@@ -22,6 +22,13 @@ type Packet struct {
 	FFCycle   int64 // cycle of upgrade
 	FFDropped bool  // internal: packet fully handed to the FF engine
 
+	// Fault-injection state (managed by the fault layer; all zero when
+	// no injector is installed).
+	Txn       uint64 // end-to-end transaction id, 0 = untracked
+	Attempt   int    // transmission attempt of Txn this packet carries
+	Csum      uint32 // header checksum stamped at injection
+	FaultLost bool   // a flit was glitched/dropped or crossed a dead link
+
 	// Tag is opaque storage for traffic generators (e.g. the coherence
 	// engine stores transaction pointers here).
 	Tag any

@@ -68,8 +68,44 @@ func (r *Router) productiveDirs(dst int, buf []int) []int {
 // RouteCandidates appends the output ports the routing algorithm allows
 // for pkt at this router, in preference order. All algorithms here are
 // minimal; the subactive baselines misroute through scheme hooks, not
-// through routing.
+// through routing. When the fault injector has killed links, candidates
+// whose output link is dead are filtered out; if that leaves none, the
+// packet is allowed to misroute over any alive cardinal link (graceful
+// degradation — the escape/express machinery absorbs the detour).
 func (r *Router) RouteCandidates(kind RoutingKind, pkt *Packet, buf []int) []int {
+	fi := r.Net.Faults
+	if fi == nil || !fi.HasDead() {
+		return r.routeCandidatesRaw(kind, pkt, buf)
+	}
+	base := len(buf)
+	buf = r.routeCandidatesRaw(kind, pkt, buf)
+	kept := base
+	for i := base; i < len(buf); i++ {
+		d := buf[i]
+		if d != Local && fi.DeadLinkID(r.ID, r.Net.Cfg.Neighbor(r.ID, d)) >= 0 {
+			continue
+		}
+		buf[kept] = d
+		kept++
+	}
+	buf = buf[:kept]
+	if len(buf) > base {
+		return buf
+	}
+	for d := North; d <= West; d++ {
+		out := r.Out[d]
+		if out == nil || out.Link == nil {
+			continue
+		}
+		if fi.DeadLinkID(r.ID, r.Net.Cfg.Neighbor(r.ID, d)) < 0 {
+			buf = append(buf, d)
+		}
+	}
+	return buf
+}
+
+// routeCandidatesRaw is the fault-oblivious routing function.
+func (r *Router) routeCandidatesRaw(kind RoutingKind, pkt *Packet, buf []int) []int {
 	cfg := &r.Net.Cfg
 	dx, dy := cfg.XY(pkt.Dst)
 	if dx == r.X && dy == r.Y {

@@ -74,6 +74,16 @@ func (n *Network) WriteSnapshot(w io.Writer) {
 	fmt.Fprintf(w, "in-flight=%d since-last-ejection=%d since-last-movement=%d\n",
 		n.InFlight, n.Cycle-n.lastConsume, n.Cycle-n.lastProgress)
 
+	if len(sum.FaultedLinks) > 0 {
+		fmt.Fprintf(w, "--- faulted resources ---\n")
+		for _, name := range sum.FaultedLinks {
+			fmt.Fprintf(w, "dead link: %s\n", name)
+		}
+		if n.Faults != nil {
+			fmt.Fprintf(w, "tracked transactions awaiting delivery: %d\n", n.Faults.Outstanding())
+		}
+	}
+
 	fmt.Fprintf(w, "--- active input VCs ---\n")
 	for _, r := range n.Routers {
 		for p := 0; p < NumPorts; p++ {
@@ -171,6 +181,10 @@ type StallSummary struct {
 	Oldest     string        // oldest in-flight packet and its location
 	OldestAge  int64         // its age in cycles (0 when nothing in flight)
 	Chains     []WaitChain   // wait-for chains from the most-blocked VCs
+
+	// FaultedLinks names the permanently dead links (sorted), so a
+	// stall diagnosis on a degraded mesh points at the degradation.
+	FaultedLinks []string
 }
 
 // String renders the summary as the multi-line diagnosis `seecsim
@@ -179,6 +193,12 @@ func (s StallSummary) String() string {
 	var b bytes.Buffer
 	fmt.Fprintf(&b, "deadlock diagnosis @ cycle %d: %d packets in flight, no ejection for %d cycles, no movement for %d cycles\n",
 		s.Cycle, s.InFlight, s.SinceEject, s.SinceMove)
+	if len(s.FaultedLinks) > 0 {
+		fmt.Fprintf(&b, "faulted resources:\n")
+		for _, name := range s.FaultedLinks {
+			fmt.Fprintf(&b, "  dead link: %s\n", name)
+		}
+	}
 	fmt.Fprintf(&b, "top blocked routers:\n")
 	for _, rs := range s.TopBlocked {
 		fmt.Fprintf(&b, "  r%d (%d,%d): %d blocked VCs, oldest blocked %d cycles\n",
@@ -209,6 +229,9 @@ func (n *Network) StallSummary() StallSummary {
 		InFlight:   n.InFlight,
 		SinceEject: n.Cycle - n.lastConsume,
 		SinceMove:  n.Cycle - n.lastProgress,
+	}
+	if fi := n.Faults; fi != nil && fi.HasDead() {
+		sum.FaultedLinks = fi.DeadLinkNames()
 	}
 	type blocked struct {
 		r, p, v int

@@ -1,0 +1,181 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMapPanicRecovered: a panicking job must not kill the process or
+// void the sweep — the worker recovers, the remaining jobs run, and the
+// panic comes back as a *JobError carrying the stack.
+func TestMapPanicRecovered(t *testing.T) {
+	var ran atomic.Int64
+	out, err := Map(context.Background(), 8, func(_ context.Context, i int) (int, error) {
+		ran.Add(1)
+		if i == 3 {
+			panic("boom at 3")
+		}
+		return i * 10, nil
+	}, WithWorkers(2))
+	var je *JobError
+	if !errors.As(err, &je) {
+		t.Fatalf("err = %v, want *JobError", err)
+	}
+	if !je.Panicked || je.Index != 3 {
+		t.Fatalf("JobError = %+v, want Panicked at index 3", je)
+	}
+	if len(je.Stack) == 0 || !strings.Contains(string(je.Stack), "goroutine") {
+		t.Fatalf("JobError.Stack missing: %q", je.Stack)
+	}
+	if !strings.Contains(je.Error(), "panicked") || !strings.Contains(je.Error(), "boom at 3") {
+		t.Fatalf("JobError.Error() = %q", je.Error())
+	}
+	if got := ran.Load(); got != 8 {
+		t.Fatalf("ran %d jobs, want all 8 (panic must not cancel dispatch)", got)
+	}
+	for i, v := range out {
+		want := i * 10
+		if i == 3 {
+			want = 0
+		}
+		if v != want {
+			t.Fatalf("out[%d] = %d, want %d", i, v, want)
+		}
+	}
+}
+
+// TestMapMaxFailuresDrains: with a never-tripping threshold every job
+// runs, failures come back aggregated in a *SweepError sorted by index,
+// and the successful results survive.
+func TestMapMaxFailuresDrains(t *testing.T) {
+	var ran atomic.Int64
+	out, err := Map(context.Background(), 10, func(_ context.Context, i int) (int, error) {
+		ran.Add(1)
+		if i%2 == 0 {
+			return 0, fmt.Errorf("even %d", i)
+		}
+		return i, nil
+	}, WithWorkers(3), WithMaxFailures(11))
+	if got := ran.Load(); got != 10 {
+		t.Fatalf("ran %d jobs, want all 10", got)
+	}
+	var se *SweepError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *SweepError", err)
+	}
+	if se.Jobs != 10 || len(se.Failures) != 5 {
+		t.Fatalf("SweepError = %d failures of %d jobs, want 5 of 10", len(se.Failures), se.Jobs)
+	}
+	for k, f := range se.Failures {
+		if f.Index != 2*k {
+			t.Fatalf("failure %d has index %d, want sorted even indices", k, f.Index)
+		}
+	}
+	for i := 1; i < 10; i += 2 {
+		if out[i] != i {
+			t.Fatalf("out[%d] = %d, want %d", i, out[i], i)
+		}
+	}
+	if !strings.Contains(se.Error(), "5/10 jobs failed") || !strings.Contains(se.Error(), "more") {
+		t.Fatalf("SweepError.Error() = %q, want count plus truncation marker", se.Error())
+	}
+}
+
+// TestMapMaxFailuresTrips: the k-th failure cancels the remaining jobs.
+func TestMapMaxFailuresTrips(t *testing.T) {
+	var ran atomic.Int64
+	_, err := Map(context.Background(), 100, func(_ context.Context, i int) (int, error) {
+		ran.Add(1)
+		return 0, fmt.Errorf("fail %d", i)
+	}, WithWorkers(1), WithMaxFailures(3))
+	var se *SweepError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *SweepError", err)
+	}
+	if len(se.Failures) < 3 {
+		t.Fatalf("breaker tripped with %d failures, want at least 3", len(se.Failures))
+	}
+	if got := ran.Load(); got >= 100 {
+		t.Fatalf("ran %d jobs; the breaker should have cancelled the tail", got)
+	}
+}
+
+// TestMapMaxFailuresCleanSweep: draining mode with zero failures
+// returns a nil error, not an empty SweepError.
+func TestMapMaxFailuresCleanSweep(t *testing.T) {
+	out, err := Map(context.Background(), 5, func(_ context.Context, i int) (int, error) {
+		return i, nil
+	}, WithMaxFailures(6))
+	if err != nil {
+		t.Fatalf("clean sweep returned %v", err)
+	}
+	if len(out) != 5 {
+		t.Fatalf("out = %v", out)
+	}
+}
+
+// TestMapJobTimeout: a job that honors its context is cut off at the
+// per-job deadline while the other jobs complete.
+func TestMapJobTimeout(t *testing.T) {
+	out, err := Map(context.Background(), 4, func(ctx context.Context, i int) (int, error) {
+		if i == 2 {
+			<-ctx.Done() // a wedged simulation observing its context
+			return 0, ctx.Err()
+		}
+		return i, nil
+	}, WithWorkers(4), WithJobTimeout(20*time.Millisecond), WithMaxFailures(5))
+	var se *SweepError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *SweepError", err)
+	}
+	if len(se.Failures) != 1 || se.Failures[0].Index != 2 {
+		t.Fatalf("failures = %+v, want only job 2", se.Failures)
+	}
+	if !errors.Is(se.Failures[0], context.DeadlineExceeded) {
+		t.Fatalf("job 2 failed with %v, want DeadlineExceeded", se.Failures[0].Err)
+	}
+	for _, i := range []int{0, 1, 3} {
+		if out[i] != i {
+			t.Fatalf("out[%d] = %d, want %d", i, out[i], i)
+		}
+	}
+}
+
+// TestMapPanicWithMaxFailures: panics count toward the circuit breaker
+// like any other failure in draining mode.
+func TestMapPanicWithMaxFailures(t *testing.T) {
+	_, err := Map(context.Background(), 6, func(_ context.Context, i int) (int, error) {
+		if i == 1 {
+			panic("kaboom")
+		}
+		return i, nil
+	}, WithWorkers(2), WithMaxFailures(7))
+	var se *SweepError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *SweepError", err)
+	}
+	if len(se.Failures) != 1 || !se.Failures[0].Panicked {
+		t.Fatalf("failures = %+v, want one recovered panic", se.Failures)
+	}
+}
+
+// TestSweepErrorTruncation: the aggregate message lists at most three
+// failures before summarizing the rest.
+func TestSweepErrorTruncation(t *testing.T) {
+	se := &SweepError{Jobs: 9}
+	for i := 0; i < 7; i++ {
+		se.Failures = append(se.Failures, &JobError{Index: i, Err: errors.New("x")})
+	}
+	msg := se.Error()
+	if !strings.Contains(msg, "7/9 jobs failed") || !strings.Contains(msg, "... 4 more") {
+		t.Fatalf("Error() = %q", msg)
+	}
+	if got := len(se.Unwrap()); got != 7 {
+		t.Fatalf("Unwrap returned %d errors, want 7", got)
+	}
+}

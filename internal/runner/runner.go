@@ -12,19 +12,88 @@
 // from shared or ambient state, so that the results are byte-identical
 // at any worker count. The runner's side is that the output slice is
 // indexed by job — scheduling order never leaks into results.
+//
+// Failure handling has two modes. By default a returned error is
+// fail-fast: remaining jobs are cancelled and the lowest-index error is
+// returned raw. With WithMaxFailures(k) the pool instead keeps draining
+// the queue, collecting failures as structured *JobError values, and
+// trips the circuit breaker only at the k-th failure; the aggregate
+// comes back as a *SweepError alongside the partial results. A
+// panicking job never kills the process or the sweep in either mode:
+// the worker recovers, attaches the stack to a *JobError, and keeps
+// draining.
 package runner
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
+
+// JobError is one failed job: its index, the underlying error, and —
+// when the job panicked — the recovered value's message and the worker
+// stack at the point of the panic.
+type JobError struct {
+	Index    int
+	Err      error
+	Panicked bool
+	Stack    []byte // goroutine stack, only set when Panicked
+}
+
+// Error implements error.
+func (e *JobError) Error() string {
+	if e.Panicked {
+		return fmt.Sprintf("job %d panicked: %v", e.Index, e.Err)
+	}
+	return fmt.Sprintf("job %d: %v", e.Index, e.Err)
+}
+
+// Unwrap exposes the underlying error to errors.Is/As.
+func (e *JobError) Unwrap() error { return e.Err }
+
+// SweepError aggregates every job failure of a drained sweep, sorted by
+// job index. Returned (with the partial results) when WithMaxFailures
+// is in effect and at least one job failed.
+type SweepError struct {
+	Failures []*JobError // sorted by Index
+	Jobs     int         // total jobs in the sweep
+}
+
+// Error implements error.
+func (e *SweepError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d/%d jobs failed", len(e.Failures), e.Jobs)
+	for i, f := range e.Failures {
+		if i == 3 {
+			fmt.Fprintf(&b, "; ... %d more", len(e.Failures)-i)
+			break
+		}
+		fmt.Fprintf(&b, "; %v", f)
+	}
+	return b.String()
+}
+
+// Unwrap exposes the individual failures to errors.Is/As.
+func (e *SweepError) Unwrap() []error {
+	errs := make([]error, len(e.Failures))
+	for i, f := range e.Failures {
+		errs[i] = f
+	}
+	return errs
+}
 
 // options collects the knobs shared by Map and Sweep.
 type options struct {
-	workers  int
-	progress func(done, total int)
+	workers     int
+	progress    func(done, total int)
+	jobTimeout  time.Duration
+	maxFailures int
 }
 
 // Option configures a Map or Sweep call.
@@ -44,15 +113,37 @@ func WithProgress(fn func(done, total int)) Option {
 	return func(o *options) { o.progress = fn }
 }
 
+// WithJobTimeout gives each job its own deadline: the job's context is
+// cancelled d after it starts. Jobs must observe their context for the
+// deadline to bite (the simulator checks it periodically). d <= 0
+// leaves jobs unbounded, the default.
+func WithJobTimeout(d time.Duration) Option {
+	return func(o *options) { o.jobTimeout = d }
+}
+
+// WithMaxFailures switches the pool from fail-fast to drain-and-collect
+// with a circuit breaker: job errors are recorded as *JobError values
+// and the sweep continues until k jobs have failed, at which point
+// remaining jobs are cancelled. The call then returns the partial
+// results together with a *SweepError aggregating every failure. Pass
+// k > n for "never trip" (drain everything, report at the end).
+// k <= 0 keeps the default fail-fast behavior.
+func WithMaxFailures(k int) Option {
+	return func(o *options) { o.maxFailures = k }
+}
+
 // Map runs fn(ctx, i) for every i in [0, n) across a bounded worker
 // pool and returns the results in input order: out[i] is fn's value
 // for job i.
 //
-// If any job fails, Map cancels the remaining undispatched jobs, waits
-// for in-flight ones, and returns the error from the lowest-index
-// failed job (deterministic regardless of worker count). If ctx is
+// If any job fails, Map (by default) cancels the remaining undispatched
+// jobs, waits for in-flight ones, and returns the error from the
+// lowest-index failed job (deterministic regardless of worker count);
+// see WithMaxFailures for the draining mode. A panicking job is
+// recovered into a *JobError and never cancels the sweep — the
+// remaining jobs still run and their results are returned. If ctx is
 // cancelled first, Map stops dispatching and returns ctx's error. In
-// both cases Map returns only after every worker goroutine has exited,
+// all cases Map returns only after every worker goroutine has exited,
 // so it never leaks goroutines.
 func Map[T any](ctx context.Context, n int, fn func(ctx context.Context, i int) (T, error), opts ...Option) ([]T, error) {
 	o := options{}
@@ -77,9 +168,8 @@ func Map[T any](ctx context.Context, n int, fn func(ctx context.Context, i int) 
 	var (
 		next     atomic.Int64 // next job index to dispatch
 		done     atomic.Int64 // completed jobs, for progress
-		mu       sync.Mutex   // guards errIdx/firstErr and progress calls
-		errIdx   = n          // lowest failed job index seen so far
-		firstErr error
+		mu       sync.Mutex   // guards failures and progress calls
+		failures []*JobError
 		wg       sync.WaitGroup
 	)
 	for w := 0; w < workers; w++ {
@@ -91,14 +181,19 @@ func Map[T any](ctx context.Context, n int, fn func(ctx context.Context, i int) 
 				if i >= n || jobCtx.Err() != nil {
 					return
 				}
-				v, err := fn(jobCtx, i)
+				v, err := runJob(jobCtx, i, fn, o.jobTimeout)
 				if err != nil {
-					mu.Lock()
-					if i < errIdx {
-						errIdx, firstErr = i, err
+					je, ok := err.(*JobError)
+					if !ok {
+						je = &JobError{Index: i, Err: err}
 					}
+					mu.Lock()
+					failures = append(failures, je)
+					tripped := o.maxFailures > 0 && len(failures) >= o.maxFailures
 					mu.Unlock()
-					cancel() // stop dispatching new jobs
+					if tripped || (o.maxFailures <= 0 && !je.Panicked) {
+						cancel() // stop dispatching new jobs
+					}
 					continue
 				}
 				out[i] = v
@@ -112,13 +207,46 @@ func Map[T any](ctx context.Context, n int, fn func(ctx context.Context, i int) 
 		}()
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	sort.Slice(failures, func(i, j int) bool { return failures[i].Index < failures[j].Index })
+	if o.maxFailures > 0 {
+		if len(failures) > 0 {
+			return out, &SweepError{Failures: failures, Jobs: n}
+		}
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		return out, nil
+	}
+	if len(failures) > 0 {
+		first := failures[0]
+		if first.Panicked {
+			// A recovered panic does not void the sweep: the other jobs
+			// completed and their results are valid.
+			return out, first
+		}
+		return nil, first.Err
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// runJob executes one job with panic recovery and an optional per-job
+// deadline. A recovered panic comes back as a *JobError carrying the
+// worker stack at the point of the panic.
+func runJob[T any](ctx context.Context, i int, fn func(ctx context.Context, i int) (T, error), timeout time.Duration) (v T, err error) {
+	if timeout > 0 {
+		var cancelJob context.CancelFunc
+		ctx, cancelJob = context.WithTimeout(ctx, timeout)
+		defer cancelJob()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = &JobError{Index: i, Err: fmt.Errorf("panic: %v", r), Panicked: true, Stack: debug.Stack()}
+		}
+	}()
+	return fn(ctx, i)
 }
 
 // Sweep maps fn over jobs and returns the results in input order:

@@ -27,6 +27,12 @@ type Manifest struct {
 	WallSeconds float64   `json:"wall_seconds"`   // run duration
 	Output      string    `json:"output"`         // the file this manifest describes
 	Note        string    `json:"note,omitempty"` // free-form context (e.g. figure id)
+
+	// Fault-injection provenance: the canonical fault spec and the
+	// derived seed of the injector's private RNG stream. Empty/zero when
+	// the run had no fault layer.
+	FaultSpec string `json:"fault_spec,omitempty"`
+	FaultSeed uint64 `json:"fault_seed,omitempty"`
 }
 
 // NewManifest seeds a manifest with the ambient environment (git

@@ -74,6 +74,21 @@ const (
 	// EvWatchdog: the stall watchdog fired and dumped a snapshot
 	// (Arg = cycles since the last ejection).
 	EvWatchdog
+	// EvFaultFlit: the fault injector damaged a flit crossing a link
+	// (Node = receiving router, Pkt = packet, Arg = fault.FlitFault
+	// code: 1 glitch, 2 corrupt, 3 drop).
+	EvFaultFlit
+	// EvFaultDead: a link died permanently (Node = upstream router,
+	// Arg = downstream router), or a flit traversed an already-dead
+	// link (Pkt != 0).
+	EvFaultDead
+	// EvPktDiscard: the destination NIC discarded a fully arrived
+	// packet (Node = destination, Pkt = packet, Arg = fault.Outcome
+	// code: 1 lost, 2 corrupt, 3 duplicate).
+	EvPktDiscard
+	// EvRetransmit: a source NIC re-enqueued a tracked transaction
+	// (Node = source, Pkt = transaction id, Arg = attempt number).
+	EvRetransmit
 
 	numKinds
 )
@@ -103,6 +118,10 @@ var kindNames = [numKinds]string{
 	EvFFUpgrade:    "ff_upgrade",
 	EvScheme:       "scheme",
 	EvWatchdog:     "watchdog",
+	EvFaultFlit:    "fault_flit",
+	EvFaultDead:    "fault_dead",
+	EvPktDiscard:   "pkt_discard",
+	EvRetransmit:   "retransmit",
 }
 
 // Event is one recorded occurrence. The struct is fixed-size and held

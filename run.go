@@ -36,6 +36,11 @@ type Result struct {
 	PeakLinkEnergy float64
 
 	Stalled bool // liveness failure observed (deadlock/livelock symptom)
+
+	// Fault-layer outcomes, all zero when Config.Faults is empty.
+	Retransmits   int64 // packets re-enqueued by timeout or NACK
+	FaultDiscards int64 // packets discarded at the destination NIC
+	DeadLinks     int   // links permanently killed during the run
 }
 
 // header returns the aligned text header matching Result.Row.
@@ -57,6 +62,13 @@ func (r Result) Row() string {
 // RunSynthetic executes one synthetic-traffic simulation: warmup +
 // SimCycles measured cycles.
 func RunSynthetic(cfg Config) (Result, error) {
+	return RunSyntheticCtx(context.Background(), cfg)
+}
+
+// RunSyntheticCtx is RunSynthetic with cancellation: the simulation
+// checks ctx every 1024 cycles and aborts with ctx's error, so per-job
+// deadlines from the sweep harness actually interrupt a stuck run.
+func RunSyntheticCtx(ctx context.Context, cfg Config) (Result, error) {
 	s, err := NewSim(cfg)
 	if err != nil {
 		return Result{}, err
@@ -68,12 +80,33 @@ func RunSynthetic(cfg Config) (Result, error) {
 	total := cfg.Warmup + cfg.SimCycles
 	for s.Cycle() < total {
 		s.Step()
+		if s.Cycle()&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
+		}
 	}
 	res := s.Snapshot()
 	if done != nil {
 		done()
 	}
 	return res, nil
+}
+
+// Drain stops traffic generation and steps until every in-flight
+// packet — including transactions the fault layer is still
+// retransmitting — has been delivered, or max cycles pass. Returns
+// whether the system fully drained. Used by conservation checks: after
+// a faulted run, injected == received + discarded-and-retransmitted.
+func (s *Sim) Drain(max int64) bool {
+	if s.Net == nil {
+		return s.Defl.Drained()
+	}
+	s.Net.Traffic = nil
+	for i := int64(0); i < max && !s.Net.Drained(); i++ {
+		s.Net.Step()
+	}
+	return s.Net.Drained()
 }
 
 // Snapshot summarizes the run so far.
@@ -99,6 +132,12 @@ func (s *Sim) Snapshot() Result {
 		PeakLinkEnergy:    e.PeakLinkEnergy(),
 		Stalled:           s.Stalled(5000),
 	}
+	if fi := s.Faults; fi != nil {
+		fs := fi.Stats()
+		r.Retransmits = fs.Retransmits
+		r.FaultDiscards = fs.Discards()
+		r.DeadLinks = fs.LinksKilled
+	}
 	return r
 }
 
@@ -121,6 +160,11 @@ func (c Config) SweepSeed(tags ...string) uint64 {
 		Uint64(uint64(c.Cols)).
 		Uint64(uint64(c.VCsPerVNet)).
 		Uint64(uint64(c.VNets))
+	// Mixed only when set, so fault-free sweeps keep their historical
+	// seeds (golden outputs stay byte-identical).
+	if c.Faults != "" {
+		h = h.String("faults").String(c.Faults)
+	}
 	for _, tag := range tags {
 		h = h.String(tag)
 	}
@@ -266,6 +310,13 @@ type AppResult struct {
 // RunApplication drives a coherence workload to its transaction target
 // (or maxCycles) and reports runtime and packet-latency statistics.
 func RunApplication(cfg Config, app string, txns, maxCycles int64) (AppResult, error) {
+	return RunApplicationCtx(context.Background(), cfg, app, txns, maxCycles)
+}
+
+// RunApplicationCtx is RunApplication with cooperative cancellation: the
+// context is polled every 1024 cycles, so per-job deadlines in the
+// experiment harness can bound a wedged run.
+func RunApplicationCtx(ctx context.Context, cfg Config, app string, txns, maxCycles int64) (AppResult, error) {
 	s, err := NewAppSim(cfg, app, txns)
 	if err != nil {
 		return AppResult{}, err
@@ -275,6 +326,11 @@ func RunApplication(cfg Config, app string, txns, maxCycles int64) (AppResult, e
 		done = cfg.Instrument(s)
 	}
 	for !s.App.Done() && s.Cycle() < maxCycles {
+		if s.Cycle()&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return AppResult{}, err
+			}
+		}
 		s.Step()
 	}
 	if done != nil {

@@ -28,7 +28,9 @@ import (
 	"seec/internal/deflect"
 	"seec/internal/energy"
 	"seec/internal/express"
+	"seec/internal/fault"
 	"seec/internal/noc"
+	"seec/internal/rng"
 	"seec/internal/schemes/drain"
 	"seec/internal/schemes/escape"
 	"seec/internal/schemes/spin"
@@ -140,6 +142,13 @@ type Config struct {
 	// oldest-packet selection — the QoS extension §4.3 points at.
 	OldestFirst bool
 
+	// Faults is a fault-injection spec string (see internal/fault:
+	// "link:0.001,router:2@5000,corrupt:1e-5"). Empty disables the fault
+	// layer entirely — results are then byte-identical to a build
+	// without it. Supported on credit-flow schemes with synthetic
+	// traffic; deflection schemes and coherence traffic reject it.
+	Faults string
+
 	// Instrument, when non-nil, is called on the freshly built Sim
 	// before the first cycle; runner helpers (RunSynthetic,
 	// RunApplication) invoke it and call the returned function (if any)
@@ -248,6 +257,10 @@ type Sim struct {
 	SPIN  *spin.SPIN
 	SWAP  *swap.SWAP
 	DRAIN *drain.DRAIN
+
+	// Faults is the installed fault injector (nil when Config.Faults is
+	// empty).
+	Faults *fault.Injector
 }
 
 // Step advances one cycle.
@@ -352,6 +365,12 @@ func NewAppSim(cfg Config, app string, txns int64) (*Sim, error) {
 	if cfg.Scheme == SchemeCHIPPER || cfg.Scheme == SchemeMinBD {
 		return nil, fmt.Errorf("seec: deflection schemes run synthetic traffic only")
 	}
+	if cfg.Faults != "" {
+		// Retransmitted packets carry no Tag, and the coherence engine
+		// retains packet pointers past delivery — both incompatible with
+		// the discard/retransmit protocol.
+		return nil, fmt.Errorf("seec: fault injection supports synthetic traffic only")
+	}
 	prof, err := coherence.ByName(app)
 	if err != nil {
 		return nil, err
@@ -387,9 +406,21 @@ func build(cfg Config, src noc.TrafficSource) (*Sim, error) {
 			return nil, fmt.Errorf("seec: %s moves whole packets between buffers and does not support wormhole mode (§3.11)", cfg.Scheme)
 		}
 	}
+	var spec fault.Spec
+	if cfg.Faults != "" {
+		spec, err = fault.ParseSpec(cfg.Faults)
+		if err != nil {
+			return nil, err
+		}
+	}
 	s := &Sim{Cfg: cfg}
 	switch cfg.Scheme {
 	case SchemeCHIPPER, SchemeMinBD:
+		if cfg.Faults != "" {
+			// Deflection networks have no credit-flow NICs to carry the
+			// ACK/retransmission protocol.
+			return nil, fmt.Errorf("seec: fault injection is not supported on deflection scheme %s", cfg.Scheme)
+		}
 		v := deflect.CHIPPER
 		if cfg.Scheme == SchemeMinBD {
 			v = deflect.MinBD
@@ -439,5 +470,13 @@ func build(cfg Config, src noc.TrafficSource) (*Sim, error) {
 		return nil, err
 	}
 	s.Net = n
+	if cfg.Faults != "" {
+		// The injector's private stream is derived from the run seed and
+		// the spec's own seed field, so fault draws are independent of —
+		// and never perturb — the simulation's RNG sequence.
+		fseed := rng.NewSeedHash(cfg.Seed).String("fault").Uint64(spec.Seed).Seed()
+		s.Faults = fault.NewInjector(spec, fseed)
+		n.SetFaults(s.Faults)
+	}
 	return s, nil
 }
