@@ -10,12 +10,19 @@ go build ./...
 go vet ./...
 go test -timeout 30m ./...
 go test -race -short -timeout 30m ./...
+# Sharded-execution gate: the serial-vs-sharded bit-identity matrix and
+# the stage-composition stress test run under the race detector at full
+# (non-short) size — cross-shard data races are exactly what -short
+# cycle counts might miss.
+go test -race -run 'TestShardedIdentity|TestShardedStepRace|TestShardedLockstep' -timeout 30m . ./internal/noc
 # Compile-and-smoke the step benchmarks (one iteration, no -run match):
 # a broken benchmark otherwise only surfaces when someone profiles.
 go test -bench . -benchtime 1x -run XXX ./internal/noc
-# Fuzz smoke: ten seconds per fuzzer over the parsers and invariants
+# Fuzz smoke: a few seconds per fuzzer over the parsers and invariants
 # that take arbitrary input (fault specs, histograms, traffic
-# destinations). Regressions found here land in testdata/ corpora.
+# destinations), plus the shard count fuzzed against serial output.
+# Regressions found here land in testdata/ corpora.
+go test -fuzz FuzzShardedIdentity -fuzztime 5s -run XXX .
 go test -fuzz FuzzFaultSpec -fuzztime 10s -run XXX ./internal/fault
 go test -fuzz FuzzHistogram -fuzztime 10s -run XXX ./internal/stats
 go test -fuzz FuzzDestInRange -fuzztime 10s -run XXX ./internal/traffic

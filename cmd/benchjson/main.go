@@ -6,8 +6,8 @@
 // yields
 //
 //	{
-//	  "meta": {"timestamp": "...", "go_version": "go1.x", "gomaxprocs": 8},
-//	  "benchmarks": {"seec/internal/noc.BenchmarkStep/rate=0.02": {"ns_op": 16096, ...}}
+//	  "meta": {"timestamp": "...", "go_version": "go1.x"},
+//	  "benchmarks": {"seec/internal/noc.BenchmarkStep/rate=0.02": {"ns_op": 16096, "gomaxprocs": 8, ...}}
 //	}
 //
 // so perf records (BENCH_step.json) can be diffed across commits
@@ -26,21 +26,25 @@ import (
 	"time"
 )
 
-// result holds the metrics of one benchmark line.
+// result holds the metrics of one benchmark line. GOMAXPROCS is the
+// per-benchmark value go test encodes as the name's trailing "-N"
+// (absent when it was 1) — benchmarks like BenchmarkStepSharded tune
+// it per run, so a single process-global number would be wrong.
 type result struct {
-	NsOp     float64 `json:"ns_op"`
-	BOp      float64 `json:"b_op,omitempty"`
-	AllocsOp float64 `json:"allocs_op,omitempty"`
-	Iters    int64   `json:"iters"`
+	NsOp       float64 `json:"ns_op"`
+	BOp        float64 `json:"b_op,omitempty"`
+	AllocsOp   float64 `json:"allocs_op,omitempty"`
+	Iters      int64   `json:"iters"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
 }
 
 // meta records when/where the benchmarks ran. The cpu line of the
-// bench output is folded in when present.
+// bench output is folded in when present. GOMAXPROCS lives on each
+// benchmark entry, not here.
 type meta struct {
-	Timestamp  string `json:"timestamp"`
-	GoVersion  string `json:"go_version"`
-	GOMAXPROCS int    `json:"gomaxprocs"`
-	CPU        string `json:"cpu,omitempty"`
+	Timestamp string `json:"timestamp"`
+	GoVersion string `json:"go_version"`
+	CPU       string `json:"cpu,omitempty"`
 }
 
 // record is the document benchjson emits.
@@ -52,9 +56,8 @@ type record struct {
 func main() {
 	doc := record{
 		Meta: meta{
-			Timestamp:  time.Now().UTC().Format(time.RFC3339),
-			GoVersion:  runtime.Version(),
-			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			Timestamp: time.Now().UTC().Format(time.RFC3339),
+			GoVersion: runtime.Version(),
 		},
 		Benchmarks: make(map[string]result),
 	}
@@ -98,7 +101,8 @@ func main() {
 				r.AllocsOp = v
 			}
 		}
-		name := fields[0]
+		name, procs := splitProcs(fields[0])
+		r.GOMAXPROCS = procs
 		if pkg != "" {
 			name = pkg + "." + name
 		}
@@ -114,4 +118,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// splitProcs splits go test's benchmark-name encoding of GOMAXPROCS —
+// a trailing "-N" appended when N != 1 — into the bare name and N.
+func splitProcs(name string) (string, int) {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name, 1
+	}
+	n, err := strconv.Atoi(name[i+1:])
+	if err != nil || n < 1 {
+		return name, 1
+	}
+	return name[:i], n
 }

@@ -35,6 +35,7 @@ func main() {
 		txns      = flag.Int64("txns", 8000, "transactions to complete (application mode)")
 		dlCheck   = flag.Bool("deadlock-check", false, "report whether the run wedged (no progress for 5000 cycles) and, if so, print the stall diagnosis")
 		satSearch = flag.Bool("saturation", false, "search for the saturation throughput instead of a single run")
+		shards    = flag.Int("shards", 1, "intra-run shard count for parallel cycle execution; results are byte-identical at any value (credit-flow schemes only)")
 		faults    = flag.String("faults", "", `fault-injection spec, e.g. "link:0.001,router:2@5000,corrupt:1e-5" (synthetic credit-flow schemes only)`)
 
 		tracePath   = flag.String("trace", "", "write a Chrome trace_event JSON to this file (open in chrome://tracing or Perfetto)")
@@ -73,6 +74,14 @@ func main() {
 		usage("-metrics-window %d: must be non-negative", *metricsWin)
 	case *watchdogWin < 0:
 		usage("-watchdog %d: the stall threshold must be non-negative", *watchdogWin)
+	case *shards < 0:
+		usage("-shards %d: shard count must be non-negative", *shards)
+	}
+	if *shards > 1 {
+		switch seec.Scheme(*scheme) {
+		case seec.SchemeCHIPPER, seec.SchemeMinBD:
+			usage("-shards %d: sharded execution supports credit-flow schemes only, not %s", *shards, *scheme)
+		}
 	}
 	if *faults != "" {
 		if _, err := fault.ParseSpec(*faults); err != nil {
@@ -98,6 +107,7 @@ func main() {
 	cfg.Warmup = *warmup
 	cfg.Seed = *seed
 	cfg.Faults = *faults
+	cfg.Shards = *shards
 
 	inst := seec.InstrumentOptions{
 		TracePath:      *tracePath,

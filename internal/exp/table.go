@@ -122,6 +122,13 @@ type Scale struct {
 	// renders as an error cell. 0 leaves cells unbounded.
 	JobTimeout time.Duration
 
+	// Shards is copied into every launched simulation's Config (see
+	// seec.Config.Shards): intra-run parallelism on top of the
+	// cross-job Workers pool. Sharded runs are byte-identical to serial
+	// ones, so the rendered tables are unchanged at any value; cap
+	// Workers * Shards near GOMAXPROCS to avoid oversubscription.
+	Shards int
+
 	// MaxFailures arms the sweep circuit breaker: after this many
 	// failed cells the remaining ones are cancelled and render as empty
 	// cells. 0 (the default) drains every cell regardless of failures,
@@ -141,6 +148,12 @@ type Scale struct {
 // and the circuit breaker can interrupt a run between cycles.
 func (s Scale) runSynthetic(ctx context.Context, cfg seec.Config) (seec.Result, error) {
 	cfg.Instrument = s.Instrument
+	cfg.Shards = s.Shards
+	if cfg.Scheme == seec.SchemeCHIPPER || cfg.Scheme == seec.SchemeMinBD {
+		// The deflection network has no sharded path; run it serially
+		// rather than failing the whole sweep.
+		cfg.Shards = 0
+	}
 	return seec.RunSyntheticCtx(ctx, cfg)
 }
 
@@ -148,6 +161,7 @@ func (s Scale) runSynthetic(ctx context.Context, cfg seec.Config) (seec.Result, 
 // instrumentation attached.
 func (s Scale) runApplication(ctx context.Context, cfg seec.Config, app string, txns, maxCycles int64) (seec.AppResult, error) {
 	cfg.Instrument = s.Instrument
+	cfg.Shards = s.Shards
 	return seec.RunApplicationCtx(ctx, cfg, app, txns, maxCycles)
 }
 

@@ -111,6 +111,11 @@ func (s *MSEEC) PreRouter(n *noc.Network) {
 // PostRouter implements noc.Scheme.
 func (s *MSEEC) PostRouter(*noc.Network) {}
 
+// Quiescent implements noc.QuiescentReporter: false, always — the
+// per-column mini-controllers advance every cycle regardless of
+// occupancy, so fast-forwarding would desynchronize their phases.
+func (s *MSEEC) Quiescent() bool { return false }
+
 // stepUnit advances one column's mini-controller by a cycle.
 func (s *MSEEC) stepUnit(u *unit) {
 	switch {

@@ -130,6 +130,13 @@ func (s *SEEC) PreRouter(n *noc.Network) {
 // PostRouter implements noc.Scheme.
 func (s *SEEC) PostRouter(*noc.Network) {}
 
+// Quiescent implements noc.QuiescentReporter: false, always. The
+// seeker circulates (and burns sideband energy) every cycle even when
+// the network is empty, so no SEEC cycle may be fast-forwarded — a
+// skip would teleport the seeker and change which node it visits when
+// traffic resumes.
+func (s *SEEC) Quiescent() bool { return false }
+
 // tryLaunch attempts to start the current turn's seeker; if no
 // ejection VC is free the turn is skipped (§3.3).
 func (s *SEEC) tryLaunch() {

@@ -389,6 +389,36 @@ func (inj *Injector) Tick(cycle int64, retx []Retx, died []int) ([]Retx, []int) 
 	return retx, died
 }
 
+// NextDeadline returns the earliest cycle strictly after now at which
+// the injector has scheduled work — a pending permanent-fault kill, a
+// sideband (ACK/NACK) arrival, or a retransmission timeout — or -1
+// when nothing is scheduled. Idle fast-forward uses it to stop one
+// cycle short of the next event (Tick fires on exact cycle match, so a
+// skip must never jump a deadline). Entries at or before now are
+// excluded: Tick has already processed them (kills and events fire on
+// equality; timers pop on <=), so they cannot act again.
+func (inj *Injector) NextDeadline(now int64) int64 {
+	next := int64(-1)
+	upd := func(c int64) {
+		if c > now && (next < 0 || c < next) {
+			next = c
+		}
+	}
+	if inj.spec.RouterN > 0 {
+		upd(inj.spec.RouterAt)
+	}
+	if inj.spec.LinkN > 0 {
+		upd(inj.spec.LinkAt)
+	}
+	if len(inj.timers) > 0 {
+		upd(inj.timers[0].deadline)
+	}
+	for c := range inj.events {
+		upd(c)
+	}
+	return next
+}
+
 func (inj *Injector) mkRetx(txn uint64, t *txnState) Retx {
 	return Retx{Txn: txn, Src: t.src, Dst: t.dst, Class: t.class, Size: t.size,
 		Created: t.created, Attempt: t.attempt}

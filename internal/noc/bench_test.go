@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"seec/internal/fault"
 	"seec/internal/noc"
 	"seec/internal/rng"
 	"seec/internal/trace"
@@ -18,12 +19,14 @@ type benchSource struct {
 	net     *noc.Network
 	rate    float64
 	streams []*rng.Rand
-	scratch []noc.PacketSpec
+	scratch [][]noc.PacketSpec // per-node: the sharded generation stage runs nodes concurrently
 }
 
 func newBenchSource(rate float64, seed uint64, nodes int) *benchSource {
 	root := rng.New(seed)
-	s := &benchSource{rate: rate, streams: make([]*rng.Rand, nodes)}
+	s := &benchSource{rate: rate,
+		streams: make([]*rng.Rand, nodes),
+		scratch: make([][]noc.PacketSpec, nodes)}
 	for i := range s.streams {
 		s.streams[i] = root.Split()
 	}
@@ -31,13 +34,13 @@ func newBenchSource(rate float64, seed uint64, nodes int) *benchSource {
 }
 
 func (s *benchSource) Generate(cycle int64, node int) []noc.PacketSpec {
-	s.scratch = s.scratch[:0]
+	out := s.scratch[node][:0]
 	r := s.streams[node]
 	if !r.Bool(s.rate) {
-		return nil
+		return out
 	}
 	if !s.net.NICs[node].CanEnqueue(0) {
-		return nil
+		return out
 	}
 	size := 1
 	if r.Bool(0.5) {
@@ -47,16 +50,31 @@ func (s *benchSource) Generate(cycle int64, node int) []noc.PacketSpec {
 	if dst >= node {
 		dst++
 	}
-	s.scratch = append(s.scratch, noc.PacketSpec{Dst: dst, Class: 0, Size: size})
-	return s.scratch
+	out = append(out, noc.PacketSpec{Dst: dst, Class: 0, Size: size})
+	s.scratch[node] = out
+	return out
 }
 
 func (s *benchSource) Deliver(int64, *noc.Packet) bool { return true }
 
+// ConcurrentGenerate/ConcurrentDeliver opt the source into the sharded
+// step's parallel generation and consumption stages: each node draws
+// from its own PRNG stream into its own scratch slice and reads only
+// its own NIC's queue state.
+func (s *benchSource) ConcurrentGenerate() bool { return true }
+func (s *benchSource) ConcurrentDeliver() bool  { return true }
+
 // benchNetwork builds the steady-state 8x8 mesh the Step benchmarks
 // and the zero-alloc gate share.
 func benchNetwork(tb testing.TB, rate float64) *noc.Network {
+	return benchNetworkMesh(tb, 8, 8, rate, 0)
+}
+
+// benchNetworkMesh is benchNetwork with the mesh size and shard count
+// exposed, for the sharded-step benchmarks.
+func benchNetworkMesh(tb testing.TB, rows, cols int, rate float64, shards int) *noc.Network {
 	cfg := noc.DefaultConfig()
+	cfg.Rows, cfg.Cols = rows, cols
 	cfg.Routing = noc.RoutingXY
 	cfg.InjQueueCap = 16
 	src := newBenchSource(rate, 0xbe7c4, cfg.Nodes())
@@ -66,6 +84,10 @@ func benchNetwork(tb testing.TB, rate float64) *noc.Network {
 	}
 	src.net = n
 	n.SetPacketRecycling(true)
+	if shards > 1 {
+		n.EnableSharding(shards)
+		tb.Cleanup(n.StopWorkers)
+	}
 	n.Run(2000) // reach steady-state occupancy before timing
 	return n
 }
@@ -82,6 +104,59 @@ func BenchmarkStep(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				n.Step()
+			}
+		})
+	}
+}
+
+// BenchmarkStepSharded measures one sharded Network.Step of a 16x16
+// mesh at saturation across shard counts. K=1 takes the serial step
+// (EnableSharding(1) is a no-op) and pins the no-regression bound; the
+// higher counts show the intra-run parallel speedup, which scales with
+// the cores actually available — the per-benchmark gomaxprocs field in
+// BENCH_step.json records what this machine could offer.
+func BenchmarkStepSharded(b *testing.B) {
+	for _, k := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			n := benchNetworkMesh(b, 16, 16, 0.60, k)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n.Step()
+			}
+		})
+	}
+}
+
+// BenchmarkRunIdleSkip measures an end-to-end low-load drain whose
+// tail is dominated by retransmission-timeout waits: after the live
+// packets leave, the network sits idle until the fault layer's next
+// deadline. skip=true fast-forwards those gaps (the Run/Drain
+// default); skip=false steps through them cycle by cycle.
+func BenchmarkRunIdleSkip(b *testing.B) {
+	for _, skip := range []bool{true, false} {
+		b.Run(fmt.Sprintf("skip=%v", skip), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cfg := noc.DefaultConfig()
+				cfg.Routing = noc.RoutingXY
+				cfg.InjQueueCap = 16
+				src := newBenchSource(0.02, 0xbe7c4, cfg.Nodes())
+				n, err := noc.New(cfg, noc.WithTraffic(src))
+				if err != nil {
+					b.Fatal(err)
+				}
+				src.net = n
+				n.SetPacketRecycling(true)
+				n.SetFaults(fault.NewInjector(fault.Spec{DropRate: 0.01, Timeout: 2500}, 7))
+				n.SetFastForward(skip)
+				n.Run(500)
+				n.Traffic = nil // drain: no further injection
+				b.StartTimer()
+				if !n.Drain(400_000) {
+					b.Fatal("drain did not complete")
+				}
 			}
 		})
 	}

@@ -22,6 +22,13 @@ type DataLink struct {
 	// busy doubles as the registration guard (one Send per cycle).
 	net *Network
 
+	// sendSh/sinkSh are the shards owning the sending and receiving end
+	// when sharded execution is enabled (nil otherwise). Send stages
+	// into sendSh's list during parallel stages; phase A delivery is
+	// partitioned by sinkSh.
+	sendSh *shardState
+	sinkSh *shardState
+
 	// lid is the link's id in the fault injector's registry, or -1 for
 	// links exempt from faults (NIC wiring, or no injector installed).
 	lid int
@@ -40,7 +47,11 @@ func (l *DataLink) Send(f Flit, vc int) {
 	l.pending = linkPayload{flit: f, vc: vc}
 	l.busy = true
 	if l.net != nil {
-		l.net.activeData = append(l.net.activeData, l)
+		if l.net.stageParallel {
+			l.sendSh.data = append(l.sendSh.data, l)
+		} else {
+			l.net.activeData = append(l.net.activeData, l)
+		}
 	}
 }
 
@@ -81,6 +92,10 @@ type CreditLink struct {
 	// the first Send of a cycle (len(pending) going 0→1 guards against
 	// double registration).
 	net *Network
+
+	// sendSh/sinkSh: see DataLink.
+	sendSh *shardState
+	sinkSh *shardState
 }
 
 // NewCreditLink returns a credit link applying credits via apply. The
@@ -94,7 +109,11 @@ func NewCreditLink(apply func(Credit)) *CreditLink {
 // Free-Flow, which never consumed credits).
 func (l *CreditLink) Send(c Credit) {
 	if len(l.pending) == 0 && l.net != nil {
-		l.net.activeCredit = append(l.net.activeCredit, l)
+		if l.net.stageParallel {
+			l.sendSh.credit = append(l.sendSh.credit, l)
+		} else {
+			l.net.activeCredit = append(l.net.activeCredit, l)
+		}
 	}
 	l.pending = append(l.pending, c)
 }

@@ -110,6 +110,31 @@ type Network struct {
 	// closed-loop engines keep it off.
 	recycle  bool
 	freePkts []*Packet
+
+	// Sharded execution (see shard.go). shards is nil in serial mode;
+	// stageParallel is true exactly while a parallel stage runs, and
+	// every emit site on the hot path branches on it to stage shared
+	// mutations per shard. vaParallel caches whether the VA policy may
+	// run inside the parallel stage; injStage/consumeStage/genStage are
+	// the per-cycle stage-composition flags; stageData/stageCredits
+	// expose the previous cycle's active lists to the delivery stage.
+	shards           []*shardState
+	pool             *shardPool
+	finalizerSet     bool
+	stageParallel    bool
+	vaParallel       bool
+	injStage         bool
+	consumeStage     bool
+	genStage         bool
+	stageData        []*DataLink
+	stageCredits     []*CreditLink
+	fnDeliver        func(int)
+	fnDeliverCredits func(int)
+	fnRouter         func(int)
+
+	// noFastForward disables idle fast-forward in Run/Drain (see
+	// SetFastForward; skips are exact, so this is a debugging aid).
+	noFastForward bool
 }
 
 // Option mutates a Network during construction (before Attach).
@@ -251,8 +276,19 @@ func New(cfg Config, opts ...Option) (*Network, error) {
 // only routers with buffered flits run their pipelines, and only NICs
 // with pending work inject or consume. Every skip condition is exact —
 // the skipped code path would provably be a no-op — so results are
-// bit-identical to the full sweep.
+// bit-identical to the full sweep. With sharding enabled (see
+// EnableSharding) the cycle runs as phase-barriered parallel stages,
+// again bit-identically.
 func (n *Network) Step() {
+	if n.shards != nil {
+		n.stepSharded()
+		return
+	}
+	n.stepSerial()
+}
+
+// stepSerial is the classic single-goroutine cycle.
+func (n *Network) stepSerial() {
 	n.Cycle++
 	// Phase A: deliver everything staged in the previous cycle — data
 	// before credits, as the full sweep ordered them. Swapping the
@@ -331,9 +367,15 @@ func (n *Network) Step() {
 // traffic sink does not retain packet pointers past Deliver.
 func (n *Network) SetPacketRecycling(on bool) { n.recycle = on }
 
-// Run advances the simulation by cycles steps.
+// Run advances the simulation by cycles steps, fast-forwarding through
+// provably idle stretches (see trySkip in shard.go; skips are exact,
+// results are bit-identical to stepping every cycle).
 func (n *Network) Run(cycles int64) {
-	for i := int64(0); i < cycles; i++ {
+	target := n.Cycle + cycles
+	for n.Cycle < target {
+		if n.trySkip(target) {
+			continue
+		}
 		n.Step()
 	}
 }

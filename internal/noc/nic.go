@@ -58,6 +58,11 @@ type NIC struct {
 	// ejOccupied counts ejection VCs holding a (possibly partial)
 	// packet; while zero, consume is a provable no-op and Step skips it.
 	ejOccupied int
+
+	// shard is the NIC's shard under sharded execution (nil in serial
+	// mode); emit sites stage shared mutations through it while a
+	// parallel stage runs.
+	shard *shardState
 }
 
 // EjIndex returns the index in Ej of ejection VC i of the given class.
@@ -149,7 +154,11 @@ func (n *NIC) inject() {
 	f := Flit{Pkt: n.cur, Seq: n.curFlit}
 	m.Credits--
 	n.InjLink.Send(f, n.curVC)
-	n.Net.noteProgress()
+	if n.Net.stageParallel {
+		n.shard.progress = true
+	} else {
+		n.Net.noteProgress()
+	}
 	if f.IsHead() {
 		n.cur.Injected = n.Net.Cycle
 		if fi := n.Net.Faults; fi != nil && n.cur.Txn != 0 {
@@ -247,17 +256,24 @@ func (n *NIC) deposit(f Flit, vcID int, credited bool) {
 	if credited {
 		ej.creditsUsed++
 	}
-	n.Net.Energy.BufferWrites++
+	if n.Net.stageParallel {
+		n.shard.bufferWrites++
+	} else {
+		n.Net.Energy.BufferWrites++
+	}
 	if f.IsTail() {
 		p := f.Pkt
 		if fi := n.Net.Faults; fi != nil {
+			// Fault verdicts mutate the shared injector, so faulted data
+			// delivery always runs serially (stageParallel is false here
+			// whenever fi != nil).
 			out := fi.Arrived(p.Txn, p.Attempt, p.FaultLost, p.Csum != pktCsum(p), n.Net.Cycle)
 			if out != fault.Accept {
 				n.discardEjected(vcID, out)
 				return
 			}
 		}
-		n.Net.Collector.Record(stats.PacketRecord{
+		rec := stats.PacketRecord{
 			Created:    p.Created,
 			Injected:   p.Injected,
 			Received:   n.Net.Cycle,
@@ -267,7 +283,12 @@ func (n *NIC) deposit(f Flit, vcID int, credited bool) {
 			Class:      p.Class,
 			FF:         p.FF,
 			FFUpgraded: p.FFCycle,
-		})
+		}
+		if n.Net.stageParallel {
+			n.shard.records = append(n.shard.records, rec)
+		} else {
+			n.Net.Collector.Record(rec)
+		}
 	}
 }
 
@@ -290,6 +311,16 @@ func (n *NIC) consume() {
 		ej.creditsUsed = 0
 		ej.Reserved = false
 		n.ejOccupied--
+		if n.Net.stageParallel {
+			sh := n.shard
+			sh.inFlightDelta--
+			sh.progress = true
+			sh.consumed = true
+			if n.Net.recycle {
+				sh.freePkts = append(sh.freePkts, p)
+			}
+			continue
+		}
 		n.Net.InFlight--
 		n.Net.noteProgress()
 		n.Net.lastConsume = n.Net.Cycle

@@ -76,6 +76,11 @@ type Router struct {
 	// vaSet flags (port, vc) pairs that may need VC allocation, bit
 	// index Dir*nvcs + vcID. Maintained by VC.sync.
 	vaSet bitset
+
+	// shard is the router's shard under sharded execution (nil in
+	// serial mode); emit sites stage shared mutations through it while
+	// a parallel stage runs.
+	shard *shardState
 }
 
 // EligibleOutVCs returns the downstream VC index range a packet of the
@@ -140,7 +145,11 @@ func (r *Router) vaTry(port, v int) {
 				Pkt: vc.Pkt.ID, Arg: int64(port)})
 		}
 	} else if m := r.Net.Metrics; m != nil {
-		m.Stall(r.ID, trace.StallVA)
+		if r.Net.stageParallel {
+			r.shard.stalls = append(r.shard.stalls, stallRec{node: int32(r.ID), cause: trace.StallVA})
+		} else {
+			m.Stall(r.ID, trace.StallVA)
+		}
 	}
 }
 
@@ -234,7 +243,11 @@ func (r *Router) noteSAStall(vc *VC, out *OutputPort) {
 		kind = trace.EvCreditStall
 	}
 	if m := r.Net.Metrics; m != nil {
-		m.Stall(r.ID, cause)
+		if r.Net.stageParallel {
+			r.shard.stalls = append(r.shard.stalls, stallRec{node: int32(r.ID), cause: cause})
+		} else {
+			m.Stall(r.ID, cause)
+		}
 	}
 	if tr := r.Net.Tracer; tr != nil {
 		tr.Record(trace.Event{Cycle: r.Net.Cycle, Kind: kind,
@@ -252,17 +265,32 @@ func (r *Router) sendFlit(in *InputPort, vc *VC) {
 	out.VCs[vc.OutVC].Credits--
 	out.Link.Send(f, vc.OutVC)
 	vc.LastMove = r.Net.Cycle
-	r.Net.Energy.BufferReads++
-	if out.Dir != Local {
-		r.Net.Energy.AddDataHop()
-		if f.IsHead() {
-			f.Pkt.Hops++
+	if r.Net.stageParallel {
+		sh := r.shard
+		sh.bufferReads++
+		if out.Dir != Local {
+			sh.dataHops++
+			if f.IsHead() {
+				f.Pkt.Hops++
+			}
+			if r.Net.Metrics != nil {
+				sh.linkFlits = append(sh.linkFlits, linkFlitRec{node: int32(r.ID), dir: int8(out.Dir)})
+			}
 		}
-		if m := r.Net.Metrics; m != nil {
-			m.LinkFlit(r.ID, out.Dir)
+		sh.progress = true
+	} else {
+		r.Net.Energy.BufferReads++
+		if out.Dir != Local {
+			r.Net.Energy.AddDataHop()
+			if f.IsHead() {
+				f.Pkt.Hops++
+			}
+			if m := r.Net.Metrics; m != nil {
+				m.LinkFlit(r.ID, out.Dir)
+			}
 		}
+		r.Net.noteProgress()
 	}
-	r.Net.noteProgress()
 	if tr := r.Net.Tracer; tr != nil {
 		tr.Record(trace.Event{Cycle: r.Net.Cycle, Kind: trace.EvSA,
 			Node: int32(r.ID), Port: int16(vc.OutPort), VC: int16(vc.OutVC),

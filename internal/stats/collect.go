@@ -186,6 +186,39 @@ func (w *WindowMax) Push(v float64) {
 	w.n++
 }
 
+// PushZeros records k consecutive zero samples, exactly equivalent to
+// calling Push(0) k times but O(window) instead of O(k). Idle
+// fast-forward uses it to replay skipped cycles into the energy
+// window. It pushes zeros one at a time until the tracker provably
+// cannot change any further (full window of zero samples, max already
+// recorded and at least the current rolling sum — from then on Push(0)
+// only advances pos and n, which the fast path does arithmetically).
+// The buffer is checked directly rather than via sum == 0 so that
+// floating-point drift in the rolling sum can never make a skip
+// inexact; it can only cost a few extra slow-path pushes.
+func (w *WindowMax) PushZeros(k int64) {
+	for ; k > 0; k-- {
+		if w.filled == w.window && w.haveMax && w.sum <= w.max && w.allZero() {
+			break
+		}
+		w.Push(0)
+	}
+	if k <= 0 {
+		return
+	}
+	w.pos = int((int64(w.pos) + k) % int64(w.window))
+	w.n += k
+}
+
+func (w *WindowMax) allZero() bool {
+	for _, v := range w.buf {
+		if v != 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // PeakPerCycle returns the maximum windowed average per cycle seen so
 // far. If fewer than one full window of samples was pushed, it falls
 // back to the overall average.

@@ -33,6 +33,11 @@ type Manifest struct {
 	// the run had no fault layer.
 	FaultSpec string `json:"fault_spec,omitempty"`
 	FaultSeed uint64 `json:"fault_seed,omitempty"`
+
+	// Shards is the intra-run shard count the simulation executed with
+	// (sharded runs are byte-identical to serial ones, so this is
+	// provenance, not a result parameter). Omitted for serial runs.
+	Shards int `json:"shards,omitempty"`
 }
 
 // NewManifest seeds a manifest with the ambient environment (git

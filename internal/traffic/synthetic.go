@@ -113,7 +113,7 @@ type Synthetic struct {
 	rows, cols int
 	nodes      int
 	rngs       []*rng.Rand
-	scratch    []noc.PacketSpec
+	scratch    [][]noc.PacketSpec // per-node, so Generate is concurrency-safe across nodes
 	paused     bool
 }
 
@@ -129,7 +129,8 @@ func NewSynthetic(rows, cols int, p Pattern, rate float64, seed uint64) *Synthet
 		Mix:     DefaultMix(),
 		HotFrac: 0.2,
 		rows:    rows, cols: cols, nodes: nodes,
-		rngs: make([]*rng.Rand, nodes),
+		rngs:    make([]*rng.Rand, nodes),
+		scratch: make([][]noc.PacketSpec, nodes),
 	}
 	for i := range s.rngs {
 		s.rngs[i] = base.Split()
@@ -202,21 +203,36 @@ func (s *Synthetic) pickSize(r *rng.Rand) int {
 
 // Generate implements noc.TrafficSource.
 func (s *Synthetic) Generate(cycle int64, node int) []noc.PacketSpec {
-	s.scratch = s.scratch[:0]
+	out := s.scratch[node][:0]
 	if s.paused || s.Rate <= 0 {
-		return s.scratch
+		return out
 	}
 	r := s.rngs[node]
 	if !r.Bool(s.Rate) {
-		return s.scratch
+		return out
 	}
-	s.scratch = append(s.scratch, noc.PacketSpec{
+	out = append(out, noc.PacketSpec{
 		Dst:   s.Dest(node, r),
 		Class: s.Class,
 		Size:  s.pickSize(r),
 	})
-	return s.scratch
+	s.scratch[node] = out
+	return out
 }
 
 // Deliver implements noc.TrafficSource: synthetic sinks always consume.
 func (s *Synthetic) Deliver(cycle int64, pkt *noc.Packet) bool { return true }
+
+// ConcurrentGenerate implements noc.ConcurrentGenerator: each node
+// draws from its own PRNG stream into its own scratch slice and reads
+// no network state, so Generate may run concurrently across nodes.
+func (s *Synthetic) ConcurrentGenerate() bool { return true }
+
+// ConcurrentDeliver implements noc.ConcurrentDeliverer: the sink is
+// stateless.
+func (s *Synthetic) ConcurrentDeliver() bool { return true }
+
+// Idle implements noc.IdleReporter: while paused or at zero rate,
+// Generate returns nothing and draws no RNG, so idle cycles may be
+// fast-forwarded exactly.
+func (s *Synthetic) Idle() bool { return s.paused || s.Rate <= 0 }

@@ -73,17 +73,20 @@ func RunSyntheticCtx(ctx context.Context, cfg Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	defer s.Close()
 	var done func()
 	if cfg.Instrument != nil {
 		done = cfg.Instrument(s)
 	}
 	total := cfg.Warmup + cfg.SimCycles
 	for s.Cycle() < total {
-		s.Step()
-		if s.Cycle()&1023 == 0 {
-			if err := ctx.Err(); err != nil {
-				return Result{}, err
-			}
+		chunk := total - s.Cycle()
+		if chunk > 1024 {
+			chunk = 1024
+		}
+		s.Run(chunk)
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
 		}
 	}
 	res := s.Snapshot()
@@ -103,10 +106,7 @@ func (s *Sim) Drain(max int64) bool {
 		return s.Defl.Drained()
 	}
 	s.Net.Traffic = nil
-	for i := int64(0); i < max && !s.Net.Drained(); i++ {
-		s.Net.Step()
-	}
-	return s.Net.Drained()
+	return s.Net.Drain(max)
 }
 
 // Snapshot summarizes the run so far.
@@ -321,6 +321,7 @@ func RunApplicationCtx(ctx context.Context, cfg Config, app string, txns, maxCyc
 	if err != nil {
 		return AppResult{}, err
 	}
+	defer s.Close()
 	var done func()
 	if cfg.Instrument != nil {
 		done = cfg.Instrument(s)

@@ -149,6 +149,18 @@ type Config struct {
 	// traffic; deflection schemes and coherence traffic reject it.
 	Faults string
 
+	// Shards selects deterministic intra-run parallelism: the mesh is
+	// partitioned into Shards contiguous spatial shards and each cycle
+	// runs as phase-barriered parallel stages on a persistent worker
+	// pool. Results are byte-identical to serial execution for every
+	// scheme, traffic pattern and fault spec (DESIGN.md §8), so this is
+	// purely a speed knob. 0 or 1 selects the serial step; values above
+	// the node count are clamped. Credit-flow schemes only — deflection
+	// schemes reject Shards > 1. Excluded from SweepSeed (identical
+	// results need identical seeds), and normalized away by nothing
+	// else: Result.Config retains the value that ran.
+	Shards int `json:",omitempty"`
+
 	// Instrument, when non-nil, is called on the freshly built Sim
 	// before the first cycle; runner helpers (RunSynthetic,
 	// RunApplication) invoke it and call the returned function (if any)
@@ -272,10 +284,28 @@ func (s *Sim) Step() {
 	}
 }
 
-// Run advances n cycles.
+// Run advances n cycles. Credit-flow networks go through noc.Run,
+// which fast-forwards provably idle stretches (e.g. a drained network
+// waiting out a retransmission timeout); the skips are exact, so
+// results match stepping n times.
 func (s *Sim) Run(n int64) {
+	if s.Net != nil {
+		s.Net.Run(n)
+		return
+	}
 	for i := int64(0); i < n; i++ {
-		s.Step()
+		s.Defl.Step()
+	}
+}
+
+// Close releases the sharded worker pool, if any. Optional — a GC
+// finalizer eventually reclaims forgotten pools — but deterministic
+// cleanup keeps goroutine counts flat in sweeps that build thousands
+// of Sims. Safe to call more than once; the Sim remains usable (the
+// next sharded Step starts a fresh pool).
+func (s *Sim) Close() {
+	if s.Net != nil {
+		s.Net.StopWorkers()
 	}
 }
 
@@ -406,6 +436,9 @@ func build(cfg Config, src noc.TrafficSource) (*Sim, error) {
 			return nil, fmt.Errorf("seec: %s moves whole packets between buffers and does not support wormhole mode (§3.11)", cfg.Scheme)
 		}
 	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("seec: negative shard count %d", cfg.Shards)
+	}
 	var spec fault.Spec
 	if cfg.Faults != "" {
 		spec, err = fault.ParseSpec(cfg.Faults)
@@ -416,6 +449,9 @@ func build(cfg Config, src noc.TrafficSource) (*Sim, error) {
 	s := &Sim{Cfg: cfg}
 	switch cfg.Scheme {
 	case SchemeCHIPPER, SchemeMinBD:
+		if cfg.Shards > 1 {
+			return nil, fmt.Errorf("seec: sharded execution supports credit-flow schemes only, not %s", cfg.Scheme)
+		}
 		if cfg.Faults != "" {
 			// Deflection networks have no credit-flow NICs to carry the
 			// ACK/retransmission protocol.
@@ -470,6 +506,9 @@ func build(cfg Config, src noc.TrafficSource) (*Sim, error) {
 		return nil, err
 	}
 	s.Net = n
+	if cfg.Shards > 1 {
+		n.EnableSharding(cfg.Shards)
+	}
 	if cfg.Faults != "" {
 		// The injector's private stream is derived from the run seed and
 		// the spec's own seed field, so fault draws are independent of —
