@@ -22,7 +22,7 @@ check:
 # Step-benchmark record: machine-readable ns/op + allocs/op for the
 # simulator hot path, for diffing across commits.
 bench:
-	$(GO) test -bench 'Step|LatencyCurve|RunIdle' -benchmem -run '^$$' ./... | $(GO) run ./cmd/benchjson > BENCH_step.json
+	$(GO) test -bench 'Step|LatencyCurve|RunIdle|WarmupFork|Checkpoint' -benchmem -run '^$$' ./... | $(GO) run ./cmd/benchjson > BENCH_step.json
 	@cat BENCH_step.json
 
 # Regenerate the checked-in quick-scale results record.

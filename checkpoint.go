@@ -1,0 +1,115 @@
+package seec
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"seec/internal/checkpoint"
+	"seec/internal/rng"
+)
+
+// DefaultCheckpointEvery is the periodic save interval, in cycles, when
+// Config.CheckpointPath is set but Config.CheckpointEvery is not.
+const DefaultCheckpointEvery int64 = 5000
+
+// CheckpointHash identifies the configuration a Sim-level checkpoint
+// binds to: the canonical JSON encoding of the Config with the shard
+// count zeroed. Shards is purely a speed knob with byte-identical
+// results, so a checkpoint written at any shard count restores at any
+// other; every semantic field participates in the hash, and restoring
+// under a different configuration fails with
+// checkpoint.ErrConfigMismatch.
+func (c Config) CheckpointHash() uint64 {
+	c.Shards = 0
+	c.Instrument = nil
+	b, err := json.Marshal(c)
+	if err != nil {
+		// Config is a flat struct of basic types; Marshal cannot fail.
+		panic("seec: config hash: " + err.Error())
+	}
+	return rng.NewSeedHash(0x5EECC4EC).String(string(b)).Seed()
+}
+
+// SaveCheckpoint writes the complete simulation state to w: network,
+// RNG streams, scheme state, fault-injector state and stats collectors,
+// framed with a versioned header carrying CheckpointHash. The
+// checkpoint must be taken between Steps. Restoring it (see
+// NewSimFromCheckpoint) and running to completion is byte-identical to
+// the uninterrupted run.
+//
+// Deflection schemes (CHIPPER/MinBD) and coherence-driven runs are not
+// checkpointable and fail with checkpoint.ErrUnsupported.
+func (s *Sim) SaveCheckpoint(w io.Writer) error {
+	if s.Net == nil {
+		return fmt.Errorf("%w: deflection scheme %s", checkpoint.ErrUnsupported, s.Cfg.Scheme)
+	}
+	if s.App != nil {
+		return fmt.Errorf("%w: coherence-driven runs", checkpoint.ErrUnsupported)
+	}
+	cw := checkpoint.NewWriter()
+	if err := s.Net.SaveState(cw); err != nil {
+		return err
+	}
+	return cw.WriteTo(w, s.Cfg.CheckpointHash())
+}
+
+// SaveCheckpointFile writes the checkpoint to path atomically: the
+// bytes go to a sibling temp file which is renamed over path only after
+// a successful close. A run killed mid-save therefore leaves the
+// previous complete checkpoint in place, never a truncated one — which
+// is what lets the runner blindly resume from the same path after a
+// breaker or timeout killed the job.
+func (s *Sim) SaveCheckpointFile(path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := s.SaveCheckpoint(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// NewSimFromCheckpointFile restores a checkpoint file written by
+// SaveCheckpointFile. A missing file surfaces as an os.IsNotExist
+// error, which resume-capable callers treat as "start fresh".
+func NewSimFromCheckpointFile(cfg Config, path string) (*Sim, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return NewSimFromCheckpoint(cfg, f)
+}
+
+// NewSimFromCheckpoint builds a Sim for cfg and restores the checkpoint
+// read from r into it. The header is validated in full — magic,
+// version, config hash, payload length and CRC — before the Sim is
+// even constructed, so a truncated, corrupted or mismatched stream
+// fails with a typed error and no partially-restored Sim escapes.
+// cfg.Shards may differ from the saving run's value; everything else
+// must match the saving Config.
+func NewSimFromCheckpoint(cfg Config, r io.Reader) (*Sim, error) {
+	cr, err := checkpoint.NewReader(r, cfg.CheckpointHash())
+	if err != nil {
+		return nil, err
+	}
+	s, err := NewSim(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Net.RestoreState(cr); err != nil {
+		s.Close()
+		return nil, err
+	}
+	return s, nil
+}

@@ -23,6 +23,7 @@ go test -bench . -benchtime 1x -run XXX ./internal/noc
 # destinations), plus the shard count fuzzed against serial output.
 # Regressions found here land in testdata/ corpora.
 go test -fuzz FuzzShardedIdentity -fuzztime 5s -run XXX .
+go test -fuzz FuzzCheckpointRoundTrip -fuzztime 10s -run XXX .
 go test -fuzz FuzzFaultSpec -fuzztime 10s -run XXX ./internal/fault
 go test -fuzz FuzzHistogram -fuzztime 10s -run XXX ./internal/stats
 go test -fuzz FuzzDestInRange -fuzztime 10s -run XXX ./internal/traffic

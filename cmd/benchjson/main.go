@@ -36,6 +36,10 @@ type result struct {
 	AllocsOp   float64 `json:"allocs_op,omitempty"`
 	Iters      int64   `json:"iters"`
 	GOMAXPROCS int     `json:"gomaxprocs"`
+
+	// Metrics carries custom b.ReportMetric units verbatim (e.g. the
+	// checkpoint benchmarks' "ckpt-bytes"), keyed by unit string.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // meta records when/where the benchmarks ran. The cpu line of the
@@ -92,13 +96,20 @@ func main() {
 			if err != nil {
 				continue
 			}
-			switch fields[i+1] {
+			switch unit := fields[i+1]; unit {
 			case "ns/op":
 				r.NsOp = v
 			case "B/op":
 				r.BOp = v
 			case "allocs/op":
 				r.AllocsOp = v
+			case "MB/s":
+				// Throughput restates ns/op; skip it to keep entries lean.
+			default:
+				if r.Metrics == nil {
+					r.Metrics = make(map[string]float64)
+				}
+				r.Metrics[unit] = v
 			}
 		}
 		name, procs := splitProcs(fields[0])

@@ -40,6 +40,7 @@ func main() {
 	watchdogWin := flag.Int64("watchdog", 0, "dump a network snapshot to stderr after this many cycles without an ejection (works at any -j)")
 	jobTimeout := flag.Duration("job-timeout", 0, "wall-time budget per simulation cell; cells past it render as error cells (0 = unbounded)")
 	maxFailures := flag.Int("max-failures", 0, "cancel a figure's remaining cells after this many failures (0 = drain everything, report at the end)")
+	warmupShare := flag.Bool("warmup-share", false, "amortize warmup across rate sweeps (fig 8): warm each curve once, checkpoint in memory, fork every rate point from the shared warm state; changes the sampling plan, so numbers differ statistically from the default path")
 	flag.Parse()
 
 	switch {
@@ -101,6 +102,7 @@ func main() {
 	sc.Workers = *jobs
 	sc.JobTimeout = *jobTimeout
 	sc.MaxFailures = *maxFailures
+	sc.WarmupShare = *warmupShare
 
 	inst := seec.InstrumentOptions{
 		TracePath:      *tracePath,

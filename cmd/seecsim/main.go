@@ -38,6 +38,11 @@ func main() {
 		shards    = flag.Int("shards", 1, "intra-run shard count for parallel cycle execution; results are byte-identical at any value (credit-flow schemes only)")
 		faults    = flag.String("faults", "", `fault-injection spec, e.g. "link:0.001,router:2@5000,corrupt:1e-5" (synthetic credit-flow schemes only)`)
 
+		ckptOut   = flag.String("checkpoint-out", "", "save the full simulation state to this file periodically and at run end (synthetic credit-flow runs only)")
+		ckptEvery = flag.Int64("checkpoint-every", 0, "cycles between periodic checkpoint saves (0 = 5000)")
+		resume    = flag.String("resume", "", "restore the run from this checkpoint file before stepping; a missing file starts fresh, so -resume with -checkpoint-out on the same path makes reruns pick up where they left off")
+		stopCI    = flag.Float64("stop-ci", 0, "stop the measurement as soon as the latency 95% CI's relative half-width reaches this target, e.g. 0.02 for ±2% (0 = run the full -sim-cycles)")
+
 		tracePath   = flag.String("trace", "", "write a Chrome trace_event JSON to this file (open in chrome://tracing or Perfetto)")
 		eventsPath  = flag.String("trace-events", "", "write a JSONL flit-event log to this file")
 		traceBuf    = flag.Int("trace-buf", 0, "trace ring-buffer capacity in events (0 = 1Mi; oldest events are overwritten)")
@@ -76,6 +81,21 @@ func main() {
 		usage("-watchdog %d: the stall threshold must be non-negative", *watchdogWin)
 	case *shards < 0:
 		usage("-shards %d: shard count must be non-negative", *shards)
+	case *ckptEvery < 0:
+		usage("-checkpoint-every %d: must be non-negative", *ckptEvery)
+	case *stopCI < 0:
+		usage("-stop-ci %g: must be non-negative", *stopCI)
+	case *ckptEvery > 0 && *ckptOut == "":
+		usage("-checkpoint-every needs -checkpoint-out")
+	}
+	if *ckptOut != "" || *resume != "" || *stopCI > 0 {
+		if *app != "" || *satSearch {
+			usage("-checkpoint-out/-resume/-stop-ci apply to single synthetic runs only")
+		}
+		switch seec.Scheme(*scheme) {
+		case seec.SchemeCHIPPER, seec.SchemeMinBD:
+			usage("checkpoint and CI flags are not supported on deflection scheme %s", *scheme)
+		}
 	}
 	if *shards > 1 {
 		switch seec.Scheme(*scheme) {
@@ -108,6 +128,10 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Faults = *faults
 	cfg.Shards = *shards
+	cfg.StopCI = *stopCI
+	cfg.CheckpointPath = *ckptOut
+	cfg.CheckpointEvery = *ckptEvery
+	cfg.ResumePath = *resume
 
 	inst := seec.InstrumentOptions{
 		TracePath:      *tracePath,
@@ -167,6 +191,10 @@ func main() {
 			res.ThroughputFlits, res.ThroughputPackets, res.ReceivedPackets)
 		fmt.Printf("ff_fraction=%.4f misroute_hops=%d\n", res.FFFraction, res.MisrouteHops)
 		fmt.Printf("link_energy_avg=%.3f link_energy_peak=%.3f\n", res.AvgLinkEnergy, res.PeakLinkEnergy)
+		if *stopCI > 0 {
+			fmt.Printf("ci_mean=%.3f ci_half_width=%.3f ci_batches=%d stop_cycle=%d\n",
+				res.CIMean, res.CIHalfWidth, res.CIBatches, res.StopCycle)
+		}
 		if *faults != "" {
 			fmt.Printf("faults=%q retransmits=%d fault_discards=%d dead_links=%d\n",
 				*faults, res.Retransmits, res.FaultDiscards, res.DeadLinks)

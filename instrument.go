@@ -92,6 +92,14 @@ func (o InstrumentOptions) Hook() func(*Sim) func() {
 
 		net := s.Net
 		return func() {
+			// The run loop records the achieved latency CI on the Sim just
+			// before finishing, so the manifest can carry the precision of
+			// the numbers the outputs describe.
+			man.StopCI = s.Cfg.StopCI
+			if ci := s.ci; ci != nil {
+				man.CIRelHalfWidth = ci.Rel()
+				man.CIBatches = ci.Batches
+			}
 			if rec != nil {
 				if o.TracePath != "" {
 					if err := writeOutput(o.TracePath, man, func(w io.Writer) error {

@@ -1,0 +1,367 @@
+// Package checkpoint provides the versioned binary serialization layer
+// used to save and restore full simulation state. The format is a small
+// self-describing container:
+//
+//	header (28 bytes):
+//	  magic       "SEECCK"       6 bytes
+//	  version     uint16 LE      format version (currently 1)
+//	  configHash  uint64 LE      hash of the configuration that built the sim
+//	  payloadLen  uint64 LE      byte length of the payload
+//	  payloadCRC  uint32 LE      CRC-32 (IEEE) of the payload
+//	payload:
+//	  section-tagged little-endian fixed-width fields written by the
+//	  per-package SaveState implementations.
+//
+// The whole payload is buffered in memory on save and read+validated in
+// full (length and CRC) before any restore begins, so a truncated or
+// corrupted checkpoint is rejected with a typed error before a single
+// field of the target simulation is mutated.
+//
+// Versioning: the version constant bumps whenever the payload layout
+// changes; old checkpoints are rejected with ErrVersion rather than
+// being misparsed. The configHash binds a checkpoint to the exact
+// configuration that produced it — restoring into a simulation built
+// from a different configuration fails with ErrConfigMismatch.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Version is the current checkpoint format version.
+const Version = 1
+
+// magic identifies a SEEC checkpoint stream.
+const magic = "SEECCK"
+
+// headerLen is the fixed byte length of the container header.
+const headerLen = len(magic) + 2 + 8 + 8 + 4
+
+// Typed errors, distinguishable with errors.Is.
+var (
+	// ErrTruncated reports a checkpoint that ended before its declared
+	// payload (or before the header itself) was complete.
+	ErrTruncated = errors.New("checkpoint: truncated")
+	// ErrCorrupt reports a checkpoint whose bytes fail validation: bad
+	// magic, CRC mismatch, a section tag out of place, or an impossible
+	// length field.
+	ErrCorrupt = errors.New("checkpoint: corrupt")
+	// ErrConfigMismatch reports a checkpoint written under a different
+	// configuration hash than the one it is being restored into.
+	ErrConfigMismatch = errors.New("checkpoint: config hash mismatch")
+	// ErrVersion reports a checkpoint written by an incompatible format
+	// version.
+	ErrVersion = errors.New("checkpoint: unsupported format version")
+	// ErrUnsupported reports simulation state that has no serialization
+	// (coherence-driven runs, deflection networks).
+	ErrUnsupported = errors.New("checkpoint: unsupported simulation state")
+)
+
+// Stateful is implemented by components that serialize their own
+// mutable state. RestoreState must leave the receiver consistent: it may
+// assume the receiver was freshly constructed from the same
+// configuration that produced the checkpoint (the container's config
+// hash guarantees this).
+type Stateful interface {
+	SaveState(w *Writer)
+	RestoreState(r *Reader) error
+}
+
+// Writer accumulates a checkpoint payload in memory. Write methods never
+// fail; the single error surface is WriteTo.
+type Writer struct {
+	buf []byte
+	// refs assigns a stable index to each shared pointer (packets) so
+	// aliasing survives the round trip. Indices are assigned in first-
+	// reference order.
+	refs map[any]int
+}
+
+// NewWriter returns an empty checkpoint writer.
+func NewWriter() *Writer {
+	return &Writer{refs: make(map[any]int)}
+}
+
+// Bool writes a boolean as one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.buf = append(w.buf, 1)
+	} else {
+		w.buf = append(w.buf, 0)
+	}
+}
+
+// U32 writes a uint32, little-endian.
+func (w *Writer) U32(v uint32) {
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, v)
+}
+
+// U64 writes a uint64, little-endian.
+func (w *Writer) U64(v uint64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, v)
+}
+
+// I64 writes an int64, little-endian two's-complement.
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// Int writes an int as an int64.
+func (w *Writer) Int(v int) { w.I64(int64(v)) }
+
+// F64 writes a float64 by its IEEE-754 bit pattern.
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// Bytes writes a length-prefixed byte slice.
+func (w *Writer) Bytes(b []byte) {
+	w.U32(uint32(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// String writes a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.U32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Section writes a section tag. The reader checks the same tag at the
+// same position, so any encode/decode drift is caught at the section
+// boundary instead of producing silently wrong state.
+func (w *Writer) Section(id uint32) { w.U32(id) }
+
+// Ref writes a shared-pointer reference. nil encodes as 0. The first
+// time a pointer is seen it is assigned the next index and the caller
+// must immediately write the referent's body (inline reports true);
+// later references write only the index.
+func (w *Writer) Ref(p any) (inline bool) {
+	if p == nil {
+		w.U32(0)
+		return false
+	}
+	if idx, ok := w.refs[p]; ok {
+		w.U32(uint32(idx + 1))
+		return false
+	}
+	idx := len(w.refs)
+	w.refs[p] = idx
+	w.U32(uint32(idx + 1))
+	return true
+}
+
+// Len returns the current payload length in bytes.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// WriteTo frames the accumulated payload with the container header and
+// writes the complete checkpoint to out.
+func (w *Writer) WriteTo(out io.Writer, configHash uint64) error {
+	hdr := make([]byte, 0, headerLen)
+	hdr = append(hdr, magic...)
+	hdr = binary.LittleEndian.AppendUint16(hdr, Version)
+	hdr = binary.LittleEndian.AppendUint64(hdr, configHash)
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(len(w.buf)))
+	hdr = binary.LittleEndian.AppendUint32(hdr, crc32.ChecksumIEEE(w.buf))
+	if _, err := out.Write(hdr); err != nil {
+		return fmt.Errorf("checkpoint: write header: %w", err)
+	}
+	if _, err := out.Write(w.buf); err != nil {
+		return fmt.Errorf("checkpoint: write payload: %w", err)
+	}
+	return nil
+}
+
+// maxPayload bounds the declared payload length so a corrupted length
+// field cannot drive an absurd allocation. Real checkpoints of even a
+// 16x16 mesh at saturation are a few megabytes.
+const maxPayload = 1 << 31
+
+// Reader decodes a checkpoint payload. NewReader validates the header
+// and the full payload CRC before returning, so by the time any Restore
+// code runs the bytes are known-intact; remaining failure modes
+// (section mismatches from version skew inside a payload) surface
+// through the sticky error.
+type Reader struct {
+	buf []byte
+	pos int
+	err error
+	// refs is the shared-pointer table, indexed in first-reference
+	// order, mirroring Writer.refs.
+	refs []any
+}
+
+// NewReader reads and validates a complete checkpoint from in. It
+// returns ErrTruncated, ErrCorrupt, ErrVersion or ErrConfigMismatch
+// without consuming more input than needed to diagnose.
+func NewReader(in io.Reader, wantHash uint64) (*Reader, error) {
+	hdr := make([]byte, headerLen)
+	if _, err := io.ReadFull(in, hdr); err != nil {
+		return nil, fmt.Errorf("%w: header: %v", ErrTruncated, err)
+	}
+	if string(hdr[:len(magic)]) != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	off := len(magic)
+	ver := binary.LittleEndian.Uint16(hdr[off:])
+	off += 2
+	if ver != Version {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrVersion, ver, Version)
+	}
+	gotHash := binary.LittleEndian.Uint64(hdr[off:])
+	off += 8
+	if gotHash != wantHash {
+		return nil, fmt.Errorf("%w: checkpoint %#x, target %#x", ErrConfigMismatch, gotHash, wantHash)
+	}
+	plen := binary.LittleEndian.Uint64(hdr[off:])
+	off += 8
+	wantCRC := binary.LittleEndian.Uint32(hdr[off:])
+	if plen > maxPayload {
+		return nil, fmt.Errorf("%w: payload length %d exceeds limit", ErrCorrupt, plen)
+	}
+	buf := make([]byte, plen)
+	if _, err := io.ReadFull(in, buf); err != nil {
+		return nil, fmt.Errorf("%w: payload: %v", ErrTruncated, err)
+	}
+	if crc := crc32.ChecksumIEEE(buf); crc != wantCRC {
+		return nil, fmt.Errorf("%w: payload CRC %#x, header says %#x", ErrCorrupt, crc, wantCRC)
+	}
+	return &Reader{buf: buf}, nil
+}
+
+// fail records the first error; later reads return zero values.
+func (r *Reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+// Err returns the sticky decode error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// need reports whether n more bytes are available, failing otherwise.
+func (r *Reader) need(n int) bool {
+	if r.err != nil {
+		return false
+	}
+	if r.pos+n > len(r.buf) {
+		r.fail(fmt.Errorf("%w: payload ends inside a field", ErrCorrupt))
+		return false
+	}
+	return true
+}
+
+// Bool reads a boolean.
+func (r *Reader) Bool() bool {
+	if !r.need(1) {
+		return false
+	}
+	b := r.buf[r.pos]
+	r.pos++
+	if b > 1 {
+		r.fail(fmt.Errorf("%w: bad bool byte %#x", ErrCorrupt, b))
+		return false
+	}
+	return b == 1
+}
+
+// U32 reads a uint32.
+func (r *Reader) U32() uint32 {
+	if !r.need(4) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.pos:])
+	r.pos += 4
+	return v
+}
+
+// U64 reads a uint64.
+func (r *Reader) U64() uint64 {
+	if !r.need(8) {
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.pos:])
+	r.pos += 8
+	return v
+}
+
+// I64 reads an int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// Int reads an int written by Writer.Int.
+func (r *Reader) Int() int { return int(r.I64()) }
+
+// F64 reads a float64.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Bytes reads a length-prefixed byte slice.
+func (r *Reader) Bytes() []byte {
+	n := int(r.U32())
+	if r.err != nil || !r.need(n) {
+		return nil
+	}
+	b := make([]byte, n)
+	copy(b, r.buf[r.pos:])
+	r.pos += n
+	return b
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	n := int(r.U32())
+	if r.err != nil || !r.need(n) {
+		return ""
+	}
+	s := string(r.buf[r.pos : r.pos+n])
+	r.pos += n
+	return s
+}
+
+// Section checks a section tag written by Writer.Section.
+func (r *Reader) Section(id uint32) {
+	got := r.U32()
+	if r.err == nil && got != id {
+		r.fail(fmt.Errorf("%w: section tag %#x, want %#x", ErrCorrupt, got, id))
+	}
+}
+
+// SliceLen reads a length written by Writer.Int and validates it
+// against [0, max]; on violation the sticky error is set and 0 is
+// returned so callers can range safely.
+func (r *Reader) SliceLen(max int) int {
+	n := r.Int()
+	if r.err != nil {
+		return 0
+	}
+	if n < 0 || n > max {
+		r.fail(fmt.Errorf("%w: slice length %d outside [0, %d]", ErrCorrupt, n, max))
+		return 0
+	}
+	return n
+}
+
+// Ref reads a shared-pointer reference written by Writer.Ref. It
+// returns (nil, false, nil) for a nil reference, (p, false, nil) for a
+// back-reference to an already-restored pointer, and (nil, true, nil)
+// when the referent's body follows inline — the caller must construct
+// the object, then call AddRef with it.
+func (r *Reader) Ref() (p any, inline bool) {
+	idx := int(r.U32())
+	if r.err != nil || idx == 0 {
+		return nil, false
+	}
+	idx--
+	if idx < len(r.refs) {
+		return r.refs[idx], false
+	}
+	if idx != len(r.refs) {
+		r.fail(fmt.Errorf("%w: ref index %d skips table of %d", ErrCorrupt, idx, len(r.refs)))
+		return nil, false
+	}
+	return nil, true
+}
+
+// AddRef appends a newly restored shared pointer to the reference
+// table; it must be called exactly once per inline Ref, before any
+// further Ref reads.
+func (r *Reader) AddRef(p any) { r.refs = append(r.refs, p) }

@@ -1,0 +1,33 @@
+package energy
+
+import "seec/internal/checkpoint"
+
+// secMeter tags the energy meter's checkpoint section.
+const secMeter uint32 = 0x4501
+
+// SaveState implements checkpoint.Stateful. FlitBits is configuration
+// (covered by the container's config hash) and is not serialized.
+// cycleEnergy is included for completeness even though checkpoints are
+// taken between Steps, where Tick has already reset it to zero.
+func (m *Meter) SaveState(w *checkpoint.Writer) {
+	w.Section(secMeter)
+	w.I64(m.DataHops)
+	w.I64(m.ProbeHops)
+	w.I64(m.SidebandBits)
+	w.I64(m.BufferWrites)
+	w.I64(m.BufferReads)
+	w.F64(m.cycleEnergy)
+	m.window.SaveState(w)
+}
+
+// RestoreState implements checkpoint.Stateful.
+func (m *Meter) RestoreState(r *checkpoint.Reader) error {
+	r.Section(secMeter)
+	m.DataHops = r.I64()
+	m.ProbeHops = r.I64()
+	m.SidebandBits = r.I64()
+	m.BufferWrites = r.I64()
+	m.BufferReads = r.I64()
+	m.cycleEnergy = r.F64()
+	return m.window.RestoreState(r)
+}

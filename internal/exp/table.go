@@ -140,6 +140,18 @@ type Scale struct {
 	// it to attach tracers, metrics and watchdogs to figure runs.
 	// Observation only — rendered tables are identical either way.
 	Instrument func(*seec.Sim) func()
+
+	// WarmupShare switches the rate-sweep generators (Fig. 8) to the
+	// warmup-fork path: each (mesh, pattern, scheme) curve warms up one
+	// simulation, checkpoints it in memory, and forks every rate point
+	// from the shared warm state (seec.RunSyntheticForkedCtx). This
+	// amortizes warmup across the sweep but changes the sampling plan —
+	// forks share warm state and seeds instead of owning independent
+	// SweepSeed streams — so the numbers differ (statistically, not
+	// qualitatively) from the default path. Still deterministic at any
+	// worker count. Deflection schemes are not checkpointable and fall
+	// back to independent runs.
+	WarmupShare bool
 }
 
 // runSynthetic is seec.RunSyntheticCtx with the scale's instrumentation

@@ -1,0 +1,382 @@
+package express
+
+import (
+	"fmt"
+
+	"seec/internal/checkpoint"
+	"seec/internal/noc"
+)
+
+// Section tags for the express-scheme checkpoint payloads.
+const (
+	secSEEC  uint32 = 0x5E01
+	secMSEEC uint32 = 0x5E02
+)
+
+// maxWalk bounds restored walk/path lengths (a ring walk is under two
+// circulations of a ring that visits every router at most a constant
+// number of times).
+const maxWalk = 1 << 22
+
+// SaveState implements checkpoint.Stateful for the base scheme. The
+// ring embedding and the walk scratch buffers are derived at Attach;
+// the mutable state is the shared engine state, the turn counters, and
+// the in-flight seeker/worm.
+func (s *SEEC) SaveState(w *checkpoint.Writer) {
+	w.Section(secSEEC)
+	s.engine.saveState(w)
+	w.Int(s.turnNIC)
+	w.Int(s.turnClass)
+	w.Bool(s.seeker != nil)
+	if s.seeker != nil {
+		saveSeeker(w, s.seeker)
+	}
+	w.Bool(s.worm != nil)
+	if s.worm != nil {
+		saveWorm(w, s.worm)
+	}
+}
+
+// RestoreState implements checkpoint.Stateful. The receiver must be
+// attached to a structurally identical network (restore runs after
+// Attach, so the ring and scratch already exist).
+func (s *SEEC) RestoreState(r *checkpoint.Reader) error {
+	r.Section(secSEEC)
+	if err := s.engine.restoreState(r); err != nil {
+		return err
+	}
+	s.turnNIC = r.Int()
+	s.turnClass = r.Int()
+	s.seeker, s.worm = nil, nil
+	if r.Bool() {
+		sk, err := restoreSeeker(r)
+		if err != nil {
+			return err
+		}
+		s.seeker = sk
+	}
+	if r.Bool() {
+		wm, err := s.engine.restoreWorm(r)
+		if err != nil {
+			return err
+		}
+		s.worm = wm
+	}
+	return r.Err()
+}
+
+// SaveState implements checkpoint.Stateful for the multi-seeker scheme.
+// Unit count and column assignment are fixed at Attach; nicID and
+// target are recomputed from (phase, shift) on restore, exactly as
+// startStep derives them.
+func (s *MSEEC) SaveState(w *checkpoint.Writer) {
+	w.Section(secMSEEC)
+	s.engine.saveState(w)
+	w.Int(s.phase)
+	w.Int(s.shift)
+	w.Int(len(s.units))
+	for _, u := range s.units {
+		w.Int(u.class)
+		w.Bool(u.done)
+		w.Bool(u.seeker != nil)
+		if u.seeker != nil {
+			saveSeeker(w, u.seeker)
+		}
+		w.Bool(u.worm != nil)
+		if u.worm != nil {
+			saveWorm(w, u.worm)
+		}
+		w.Bool(u.pending != nil)
+		if u.pending != nil {
+			saveSeeker(w, u.pending.sk)
+			saveMatch(w, u.pending.m)
+			w.Int(len(u.pending.path))
+			for _, p := range u.pending.path {
+				w.Int(p)
+			}
+		}
+		w.Int(len(u.claimed))
+		for _, l := range u.claimed {
+			w.Int(l[0])
+			w.Int(l[1])
+		}
+	}
+}
+
+// RestoreState implements checkpoint.Stateful. The claims map is
+// rebuilt from the per-unit claimed-link lists.
+func (s *MSEEC) RestoreState(r *checkpoint.Reader) error {
+	r.Section(secMSEEC)
+	if err := s.engine.restoreState(r); err != nil {
+		return err
+	}
+	s.phase = r.Int()
+	s.shift = r.Int()
+	nu := r.SliceLen(len(s.units))
+	if r.Err() == nil && nu != len(s.units) {
+		return fmt.Errorf("%w: %d mSEEC units, receiver has %d",
+			checkpoint.ErrCorrupt, nu, len(s.units))
+	}
+	s.claims = make(map[[2]int]*unit)
+	for i := 0; i < nu; i++ {
+		u := s.units[i]
+		u.nicID = s.n.Cfg.NodeAt(u.col, s.phase)
+		u.target = (u.col + s.shift) % s.n.Cfg.Cols
+		u.class = r.Int()
+		u.done = r.Bool()
+		u.seeker, u.worm, u.pending = nil, nil, nil
+		if r.Bool() {
+			sk, err := restoreSeeker(r)
+			if err != nil {
+				return err
+			}
+			u.seeker = sk
+		}
+		if r.Bool() {
+			wm, err := s.engine.restoreWorm(r)
+			if err != nil {
+				return err
+			}
+			u.worm = wm
+		}
+		if r.Bool() {
+			sk, err := restoreSeeker(r)
+			if err != nil {
+				return err
+			}
+			m, err := restoreMatch(r)
+			if err != nil {
+				return err
+			}
+			np := r.SliceLen(maxWalk)
+			path := make([]int, np)
+			for j := range path {
+				path[j] = r.Int()
+			}
+			if r.Err() != nil {
+				return r.Err()
+			}
+			u.pending = &pendingFF{sk: sk, m: m, path: path}
+		}
+		u.claimed = u.claimed[:0]
+		nc := r.SliceLen(maxWalk)
+		for j := 0; j < nc; j++ {
+			l := [2]int{r.Int(), r.Int()}
+			if r.Err() != nil {
+				return r.Err()
+			}
+			u.claimed = append(u.claimed, l)
+			s.claims[l] = u
+		}
+	}
+	return r.Err()
+}
+
+// saveState serializes the engine state shared by SEEC and mSEEC.
+func (e *engine) saveState(w *checkpoint.Writer) {
+	w.Int(len(e.reservedEj))
+	for _, v := range e.reservedEj {
+		w.Int(v)
+	}
+	for _, v := range e.wantReserve {
+		w.Bool(v)
+	}
+	for _, v := range e.skipStreak {
+		w.Int(v)
+	}
+	w.Int(len(e.prevOrigin))
+	for _, o := range e.prevOrigin {
+		w.Int(o.router)
+		w.Int(o.inport)
+	}
+	w.I64(e.lastNICSearch)
+	w.I64(e.Stats.SeekersSent)
+	w.I64(e.Stats.SeekersReturned)
+	w.I64(e.Stats.Upgrades)
+	w.I64(e.Stats.QueueUpgrades)
+	w.I64(e.Stats.TurnsSkipped)
+	w.I64(e.Stats.SeekCycles)
+	w.I64(e.Stats.SeekMax)
+	w.I64(e.Stats.seekEnds)
+}
+
+func (e *engine) restoreState(r *checkpoint.Reader) error {
+	k := r.SliceLen(len(e.reservedEj))
+	if r.Err() == nil && k != len(e.reservedEj) {
+		return fmt.Errorf("%w: %d (nic, class) turn slots, receiver has %d",
+			checkpoint.ErrCorrupt, k, len(e.reservedEj))
+	}
+	for i := 0; i < k; i++ {
+		e.reservedEj[i] = r.Int()
+	}
+	for i := 0; i < k; i++ {
+		e.wantReserve[i] = r.Bool()
+	}
+	for i := 0; i < k; i++ {
+		e.skipStreak[i] = r.Int()
+	}
+	np := r.SliceLen(len(e.prevOrigin))
+	if r.Err() == nil && np != len(e.prevOrigin) {
+		return fmt.Errorf("%w: %d FF-origin trackers, receiver has %d",
+			checkpoint.ErrCorrupt, np, len(e.prevOrigin))
+	}
+	for i := 0; i < np; i++ {
+		e.prevOrigin[i] = origin{router: r.Int(), inport: r.Int()}
+	}
+	e.lastNICSearch = r.I64()
+	e.Stats = Stats{
+		SeekersSent:     r.I64(),
+		SeekersReturned: r.I64(),
+		Upgrades:        r.I64(),
+		QueueUpgrades:   r.I64(),
+		TurnsSkipped:    r.I64(),
+		SeekCycles:      r.I64(),
+		SeekMax:         r.I64(),
+		seekEnds:        r.I64(),
+	}
+	return r.Err()
+}
+
+// saveSeeker serializes a seeker. The walk/searchAt slices alias the
+// owning controller's scratch buffers; the restored seeker gets its own
+// copies, which is equivalent — the scratch is only rewritten after the
+// current seeker retires.
+func saveSeeker(w *checkpoint.Writer, sk *seeker) {
+	w.Int(sk.nic)
+	w.Int(sk.class)
+	w.Int(sk.ejIdx)
+	w.Int(len(sk.walk))
+	for _, r := range sk.walk {
+		w.Int(r)
+	}
+	for _, b := range sk.searchAt {
+		w.Bool(b)
+	}
+	w.Int(sk.pos)
+	w.I64(sk.launch)
+	w.Bool(sk.searchNIC)
+	w.Bool(sk.oldest)
+	w.Bool(sk.bestOk)
+	if sk.bestOk {
+		saveMatch(w, sk.best)
+	}
+}
+
+func restoreSeeker(r *checkpoint.Reader) (*seeker, error) {
+	sk := &seeker{nic: r.Int(), class: r.Int(), ejIdx: r.Int()}
+	n := r.SliceLen(maxWalk)
+	sk.walk = make([]int, n)
+	for i := range sk.walk {
+		sk.walk[i] = r.Int()
+	}
+	sk.searchAt = make([]bool, n)
+	for i := range sk.searchAt {
+		sk.searchAt[i] = r.Bool()
+	}
+	sk.pos = r.Int()
+	sk.launch = r.I64()
+	sk.searchNIC = r.Bool()
+	sk.oldest = r.Bool()
+	sk.bestOk = r.Bool()
+	if sk.bestOk {
+		m, err := restoreMatch(r)
+		if err != nil {
+			return nil, err
+		}
+		sk.best = m
+	}
+	return sk, r.Err()
+}
+
+// saveMatch serializes a match. The packet pointer goes through the
+// shared registry so aliasing with the network payload survives — the
+// takeBest re-validation compares pointers against VC and queue slots.
+func saveMatch(w *checkpoint.Writer, m match) {
+	w.Int(m.router)
+	w.Int(m.inport)
+	w.Int(m.vc)
+	noc.SavePacket(w, m.pkt)
+	w.U64(m.pktID)
+	w.I64(m.created)
+}
+
+func restoreMatch(r *checkpoint.Reader) (match, error) {
+	m := match{router: r.Int(), inport: r.Int(), vc: r.Int()}
+	pkt, err := noc.RestorePacket(r)
+	if err != nil {
+		return match{}, err
+	}
+	m.pkt = pkt
+	m.pktID = r.U64()
+	m.created = r.I64()
+	return m, r.Err()
+}
+
+// saveWorm serializes an FF traversal. The origin VC and input port are
+// identified by (direction, VC index) at routers[0]; in-flight flits
+// exist only as (pos, seq) pairs — FF flits never enter link or buffer
+// state.
+func saveWorm(w *checkpoint.Writer, wm *worm) {
+	noc.SavePacket(w, wm.pkt)
+	w.Int(len(wm.routers))
+	for _, r := range wm.routers {
+		w.Int(r)
+	}
+	w.Int(wm.ejIdx)
+	w.Bool(wm.vc != nil)
+	if wm.vc != nil {
+		w.Int(wm.inport.Dir)
+		w.Int(wm.vc.ID)
+	}
+	w.Int(wm.popped)
+	w.Int(len(wm.pos))
+	for i := range wm.pos {
+		w.Int(wm.pos[i])
+		w.Int(wm.seq[i])
+	}
+	w.Bool(wm.done)
+}
+
+func (e *engine) restoreWorm(r *checkpoint.Reader) (*worm, error) {
+	pkt, err := noc.RestorePacket(r)
+	if err != nil {
+		return nil, err
+	}
+	wm := &worm{pkt: pkt}
+	n := r.SliceLen(maxWalk)
+	wm.routers = make([]int, n)
+	for i := range wm.routers {
+		wm.routers[i] = r.Int()
+	}
+	wm.ejIdx = r.Int()
+	if r.Bool() {
+		dir := r.Int()
+		vcID := r.Int()
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		if len(wm.routers) == 0 || wm.routers[0] < 0 || wm.routers[0] >= len(e.n.Routers) {
+			return nil, fmt.Errorf("%w: FF origin router", checkpoint.ErrCorrupt)
+		}
+		rt := e.n.Routers[wm.routers[0]]
+		if dir < 0 || dir >= noc.NumPorts || rt.In[dir] == nil {
+			return nil, fmt.Errorf("%w: FF origin port %d", checkpoint.ErrCorrupt, dir)
+		}
+		in := rt.In[dir]
+		if vcID < 0 || vcID >= len(in.VCs) {
+			return nil, fmt.Errorf("%w: FF origin VC %d", checkpoint.ErrCorrupt, vcID)
+		}
+		wm.inport = in
+		wm.vc = in.VCs[vcID]
+	}
+	wm.popped = r.Int()
+	nf := r.SliceLen(maxWalk)
+	wm.pos = make([]int, nf)
+	wm.seq = make([]int, nf)
+	for i := 0; i < nf; i++ {
+		wm.pos[i] = r.Int()
+		wm.seq[i] = r.Int()
+	}
+	wm.done = r.Bool()
+	return wm, r.Err()
+}

@@ -1,0 +1,216 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+
+	"seec/internal/checkpoint"
+)
+
+// secInjector tags the injector's checkpoint section.
+const secInjector uint32 = 0x4601
+
+// maxTracked bounds restored map sizes: retry buffers are capped per
+// node, sideband events and timers are bounded by outstanding
+// transactions, and delivered grows one entry per accepted transaction.
+const maxTracked = 1 << 28
+
+// SaveState implements checkpoint.Stateful. The spec, seed, and link
+// registry (links/byEdge/nodes) are configuration rebuilt at
+// construction; the mutable state is the RNG stream, the permanent-
+// death flags, the retry buffers, the sideband event queue, the timer
+// heap, and the counters. Map iteration order is not deterministic, so
+// map contents are written sorted by key; within one event cycle the
+// slice order is semantic (Tick processes it in order) and is kept.
+func (inj *Injector) SaveState(w *checkpoint.Writer) {
+	w.Section(secInjector)
+	st := inj.rng.State()
+	for _, v := range st {
+		w.U64(v)
+	}
+	w.Int(len(inj.dead))
+	for _, d := range inj.dead {
+		w.Bool(d)
+	}
+	w.Int(inj.ndead)
+	w.U64(inj.nextTxn)
+
+	txns := make([]uint64, 0, len(inj.tracked))
+	for txn := range inj.tracked {
+		txns = append(txns, txn)
+	}
+	sort.Slice(txns, func(i, j int) bool { return txns[i] < txns[j] })
+	w.Int(len(txns))
+	for _, txn := range txns {
+		t := inj.tracked[txn]
+		w.U64(txn)
+		w.Int(t.src)
+		w.Int(t.dst)
+		w.Int(t.class)
+		w.Int(t.size)
+		w.I64(t.created)
+		w.Int(t.minHops)
+		w.Int(t.attempt)
+		w.Bool(t.inFlight)
+	}
+
+	w.Int(len(inj.perNode))
+	for _, n := range inj.perNode {
+		w.Int(n)
+	}
+
+	del := make([]uint64, 0, len(inj.delivered))
+	for txn := range inj.delivered {
+		del = append(del, txn)
+	}
+	sort.Slice(del, func(i, j int) bool { return del[i] < del[j] })
+	w.Int(len(del))
+	for _, txn := range del {
+		w.U64(txn)
+	}
+
+	cycles := make([]int64, 0, len(inj.events))
+	for c := range inj.events {
+		cycles = append(cycles, c)
+	}
+	sort.Slice(cycles, func(i, j int) bool { return cycles[i] < cycles[j] })
+	w.Int(len(cycles))
+	for _, c := range cycles {
+		evs := inj.events[c]
+		w.I64(c)
+		w.Int(len(evs))
+		for _, e := range evs {
+			w.U64(e.txn)
+			w.Int(e.attempt)
+			w.Bool(e.nack)
+		}
+	}
+
+	// The raw timer slice is a valid heap; restoring it verbatim
+	// reproduces the exact pop order.
+	w.Int(len(inj.timers))
+	for _, tm := range inj.timers {
+		w.I64(tm.deadline)
+		w.U64(tm.txn)
+		w.Int(tm.attempt)
+	}
+
+	w.I64(inj.stats.Tracked)
+	w.I64(inj.stats.Delivered)
+	w.I64(inj.stats.Retransmits)
+	w.I64(inj.stats.Timeouts)
+	w.I64(inj.stats.Nacks)
+	w.I64(inj.stats.Acks)
+	w.I64(inj.stats.GlitchedFlits)
+	w.I64(inj.stats.CorruptFlits)
+	w.I64(inj.stats.DroppedFlits)
+	w.I64(inj.stats.DeadTraversals)
+	w.I64(inj.stats.LostDiscards)
+	w.I64(inj.stats.CorruptDiscards)
+	w.I64(inj.stats.DupDiscards)
+	w.I64(inj.stats.UnprotectedLost)
+	w.Int(inj.stats.LinksKilled)
+	w.Int(inj.stats.KillsSkipped)
+}
+
+// RestoreState implements checkpoint.Stateful. The receiver must be a
+// freshly built injector with the same spec and link registry.
+func (inj *Injector) RestoreState(r *checkpoint.Reader) error {
+	r.Section(secInjector)
+	var st [4]uint64
+	for i := range st {
+		st[i] = r.U64()
+	}
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if err := inj.rng.SetState(st); err != nil {
+		return err
+	}
+	n := r.SliceLen(len(inj.dead))
+	if r.Err() == nil && n != len(inj.dead) {
+		return fmt.Errorf("%w: %d registered links, receiver has %d",
+			checkpoint.ErrCorrupt, n, len(inj.dead))
+	}
+	for i := 0; i < n; i++ {
+		inj.dead[i] = r.Bool()
+	}
+	inj.ndead = r.Int()
+	inj.nextTxn = r.U64()
+
+	inj.tracked = make(map[uint64]*txnState)
+	nt := r.SliceLen(maxTracked)
+	for i := 0; i < nt; i++ {
+		txn := r.U64()
+		t := &txnState{
+			src:     r.Int(),
+			dst:     r.Int(),
+			class:   r.Int(),
+			size:    r.Int(),
+			created: r.I64(),
+			minHops: r.Int(),
+			attempt: r.Int(),
+		}
+		t.inFlight = r.Bool()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		inj.tracked[txn] = t
+	}
+
+	np := r.SliceLen(len(inj.perNode))
+	if r.Err() == nil && np != len(inj.perNode) {
+		return fmt.Errorf("%w: %d per-node buffers, receiver has %d",
+			checkpoint.ErrCorrupt, np, len(inj.perNode))
+	}
+	for i := 0; i < np; i++ {
+		inj.perNode[i] = r.Int()
+	}
+
+	inj.delivered = make(map[uint64]bool)
+	nd := r.SliceLen(maxTracked)
+	for i := 0; i < nd; i++ {
+		inj.delivered[r.U64()] = true
+	}
+
+	inj.events = make(map[int64][]ackEvent)
+	nc := r.SliceLen(maxTracked)
+	for i := 0; i < nc; i++ {
+		c := r.I64()
+		ne := r.SliceLen(maxTracked)
+		evs := make([]ackEvent, 0, ne)
+		for j := 0; j < ne; j++ {
+			evs = append(evs, ackEvent{txn: r.U64(), attempt: r.Int(), nack: r.Bool()})
+		}
+		if r.Err() != nil {
+			return r.Err()
+		}
+		inj.events[c] = evs
+	}
+
+	ntm := r.SliceLen(maxTracked)
+	inj.timers = make(timerHeap, 0, ntm)
+	for i := 0; i < ntm; i++ {
+		inj.timers = append(inj.timers, timer{deadline: r.I64(), txn: r.U64(), attempt: r.Int()})
+	}
+
+	inj.stats = Stats{
+		Tracked:         r.I64(),
+		Delivered:       r.I64(),
+		Retransmits:     r.I64(),
+		Timeouts:        r.I64(),
+		Nacks:           r.I64(),
+		Acks:            r.I64(),
+		GlitchedFlits:   r.I64(),
+		CorruptFlits:    r.I64(),
+		DroppedFlits:    r.I64(),
+		DeadTraversals:  r.I64(),
+		LostDiscards:    r.I64(),
+		CorruptDiscards: r.I64(),
+		DupDiscards:     r.I64(),
+		UnprotectedLost: r.I64(),
+		LinksKilled:     r.Int(),
+		KillsSkipped:    r.Int(),
+	}
+	return r.Err()
+}

@@ -91,6 +91,31 @@ func (r *Rand) Split() *Rand {
 	return New(r.Uint64() ^ 0xd1b54a32d192ed03)
 }
 
+// State returns the generator's internal state, for checkpointing. The
+// returned array plus SetState reproduce the stream exactly.
+func (r *Rand) State() [4]uint64 { return r.s }
+
+// SetState overwrites the generator's internal state with a value
+// previously obtained from State. An all-zero state would wedge
+// xoshiro256** at zero forever, so it is rejected (State never returns
+// one — New guards against it at seeding).
+func (r *Rand) SetState(s [4]uint64) error {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		return errZeroState
+	}
+	r.s = s
+	return nil
+}
+
+// errZeroState is the SetState rejection; a var so tests can compare.
+var errZeroState = errorString("rng: all-zero xoshiro256** state")
+
+// errorString is a tiny allocation-free error type (the package avoids
+// importing errors/fmt to stay dependency-light).
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
 // Uint64 returns the next 64 uniformly distributed bits.
 func (r *Rand) Uint64() uint64 {
 	s := &r.s

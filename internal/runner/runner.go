@@ -94,6 +94,7 @@ type options struct {
 	progress    func(done, total int)
 	jobTimeout  time.Duration
 	maxFailures int
+	retries     int
 }
 
 // Option configures a Map or Sweep call.
@@ -130,6 +131,18 @@ func WithJobTimeout(d time.Duration) Option {
 // k <= 0 keeps the default fail-fast behavior.
 func WithMaxFailures(k int) Option {
 	return func(o *options) { o.maxFailures = k }
+}
+
+// WithRetries re-runs a failed or panicked job up to k more times
+// before counting it as failed, each attempt under a fresh per-job
+// deadline. Designed to pair with checkpointed jobs: a job whose
+// Config sets both CheckpointPath and ResumePath to the same file
+// resumes from its last periodic checkpoint on retry instead of
+// starting over, so a timeout kill costs at most CheckpointEvery
+// cycles of progress. Retries never fire for sweep-level cancellation
+// (parent context or a tripped breaker). k <= 0 disables, the default.
+func WithRetries(k int) Option {
+	return func(o *options) { o.retries = k }
 }
 
 // Map runs fn(ctx, i) for every i in [0, n) across a bounded worker
@@ -182,6 +195,9 @@ func Map[T any](ctx context.Context, n int, fn func(ctx context.Context, i int) 
 					return
 				}
 				v, err := runJob(jobCtx, i, fn, o.jobTimeout)
+				for attempt := 0; err != nil && attempt < o.retries && jobCtx.Err() == nil; attempt++ {
+					v, err = runJob(jobCtx, i, fn, o.jobTimeout)
+				}
 				if err != nil {
 					je, ok := err.(*JobError)
 					if !ok {

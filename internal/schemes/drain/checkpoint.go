@@ -1,0 +1,48 @@
+package drain
+
+import (
+	"fmt"
+
+	"seec/internal/checkpoint"
+)
+
+// secDRAIN tags the DRAIN scheme's checkpoint section.
+const secDRAIN uint32 = 0x4401
+
+// SaveState implements checkpoint.Stateful. The ring wiring (ring,
+// nextOf, ringIn, ringOut) is derived from the mesh shape at Attach;
+// the mutable state is the countdown of the current drain event, the
+// per-router boarding pointers and the counters.
+func (d *DRAIN) SaveState(w *checkpoint.Writer) {
+	w.Section(secDRAIN)
+	w.I64(d.draining)
+	w.Int(len(d.boardPtrs))
+	for _, p := range d.boardPtrs {
+		w.Int(p)
+	}
+	w.I64(d.Stats.Drains)
+	w.I64(d.Stats.RotationHops)
+	w.I64(d.Stats.Ejections)
+	w.I64(d.Stats.Boardings)
+}
+
+// RestoreState implements checkpoint.Stateful.
+func (d *DRAIN) RestoreState(r *checkpoint.Reader) error {
+	r.Section(secDRAIN)
+	d.draining = r.I64()
+	n := r.SliceLen(len(d.boardPtrs))
+	if r.Err() == nil && n != len(d.boardPtrs) {
+		return fmt.Errorf("%w: %d boarding pointers, receiver has %d",
+			checkpoint.ErrCorrupt, n, len(d.boardPtrs))
+	}
+	for i := 0; i < n; i++ {
+		d.boardPtrs[i] = r.Int()
+	}
+	d.Stats = Stats{
+		Drains:       r.I64(),
+		RotationHops: r.I64(),
+		Ejections:    r.I64(),
+		Boardings:    r.I64(),
+	}
+	return r.Err()
+}

@@ -1,0 +1,90 @@
+package spin
+
+import (
+	"fmt"
+
+	"seec/internal/checkpoint"
+)
+
+// secSPIN tags the SPIN scheme's checkpoint section.
+const secSPIN uint32 = 0x5301
+
+// maxProbes bounds the restored probe count; path length is bounded by
+// the total number of input VCs.
+const maxProbes = 1 << 20
+
+// SaveState implements checkpoint.Stateful. Options are configuration;
+// the mutable state is the live probe set, the per-node last-probe
+// timestamps and the counters. forked is filled and drained within one
+// PreRouter call, so it is provably empty between Steps and skipped.
+// Probes reference slots by index, never by pointer, so no packet
+// registry entries are needed.
+func (s *SPIN) SaveState(w *checkpoint.Writer) {
+	w.Section(secSPIN)
+	w.Int(len(s.probes))
+	for _, pr := range s.probes {
+		saveSlot(w, pr.origin)
+		saveSlot(w, pr.cur)
+		w.Int(len(pr.path))
+		for _, sl := range pr.path {
+			saveSlot(w, sl)
+		}
+	}
+	w.Int(len(s.lastProbe))
+	for _, c := range s.lastProbe {
+		w.I64(c)
+	}
+	w.I64(s.Stats.ProbesSent)
+	w.I64(s.Stats.ProbesDied)
+	w.I64(s.Stats.DeadlocksFound)
+	w.I64(s.Stats.Spins)
+	w.I64(s.Stats.PacketsSpun)
+}
+
+// RestoreState implements checkpoint.Stateful.
+func (s *SPIN) RestoreState(r *checkpoint.Reader) error {
+	r.Section(secSPIN)
+	np := r.SliceLen(maxProbes)
+	s.probes = s.probes[:0]
+	for i := 0; i < np; i++ {
+		pr := &probe{}
+		pr.origin = restoreSlot(r)
+		pr.cur = restoreSlot(r)
+		nl := r.SliceLen(maxProbes)
+		pr.path = make([]slot, 0, nl)
+		for j := 0; j < nl; j++ {
+			pr.path = append(pr.path, restoreSlot(r))
+		}
+		if r.Err() != nil {
+			return r.Err()
+		}
+		s.probes = append(s.probes, pr)
+	}
+	s.forked = s.forked[:0]
+	nn := r.SliceLen(len(s.lastProbe))
+	if r.Err() == nil && nn != len(s.lastProbe) {
+		return fmt.Errorf("%w: %d probe timestamps, receiver has %d",
+			checkpoint.ErrCorrupt, nn, len(s.lastProbe))
+	}
+	for i := 0; i < nn; i++ {
+		s.lastProbe[i] = r.I64()
+	}
+	s.Stats = Stats{
+		ProbesSent:     r.I64(),
+		ProbesDied:     r.I64(),
+		DeadlocksFound: r.I64(),
+		Spins:          r.I64(),
+		PacketsSpun:    r.I64(),
+	}
+	return r.Err()
+}
+
+func saveSlot(w *checkpoint.Writer, sl slot) {
+	w.Int(sl.r)
+	w.Int(sl.p)
+	w.Int(sl.v)
+}
+
+func restoreSlot(r *checkpoint.Reader) slot {
+	return slot{r: r.Int(), p: r.Int(), v: r.Int()}
+}

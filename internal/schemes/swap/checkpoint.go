@@ -1,0 +1,27 @@
+package swap
+
+import "seec/internal/checkpoint"
+
+// secSWAP tags the SWAP scheme's checkpoint section.
+const secSWAP uint32 = 0x5701
+
+// SaveState implements checkpoint.Stateful. SWAP is memoryless between
+// Steps — every sweep recomputes its candidates from network state —
+// so the counters are the only mutable state.
+func (s *SWAP) SaveState(w *checkpoint.Writer) {
+	w.Section(secSWAP)
+	w.I64(s.Stats.Swaps)
+	w.I64(s.Stats.ForcedMoves)
+	w.I64(s.Stats.MisrouteHops)
+}
+
+// RestoreState implements checkpoint.Stateful.
+func (s *SWAP) RestoreState(r *checkpoint.Reader) error {
+	r.Section(secSWAP)
+	s.Stats = Stats{
+		Swaps:        r.I64(),
+		ForcedMoves:  r.I64(),
+		MisrouteHops: r.I64(),
+	}
+	return r.Err()
+}

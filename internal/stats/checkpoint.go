@@ -1,0 +1,151 @@
+package stats
+
+import (
+	"fmt"
+
+	"seec/internal/checkpoint"
+)
+
+// Section tags for the stats payload sections.
+const (
+	secHistogram uint32 = 0x5401
+	secCollector uint32 = 0x5402
+	secWindowMax uint32 = 0x5403
+)
+
+// maxHistBuckets bounds the restored bucket-slice length: 64 octaves of
+// 32 sub-buckets covers every representable int64 sample.
+const maxHistBuckets = 64 * defaultSubBuckets
+
+// SaveState implements checkpoint.Stateful.
+func (h *Histogram) SaveState(w *checkpoint.Writer) {
+	w.Section(secHistogram)
+	w.Int(len(h.counts))
+	for _, c := range h.counts {
+		w.I64(c)
+	}
+	w.I64(h.count)
+	w.I64(h.sum)
+	w.I64(h.max)
+	w.I64(h.min)
+}
+
+// RestoreState implements checkpoint.Stateful. The receiver must come
+// from NewHistogram (precision fields are configuration, not state).
+func (h *Histogram) RestoreState(r *checkpoint.Reader) error {
+	r.Section(secHistogram)
+	n := r.SliceLen(maxHistBuckets)
+	// Keep the no-samples representation identical to a fresh histogram
+	// (nil, not empty): restored state must compare deeply equal to the
+	// equivalent uninterrupted run.
+	h.counts = nil
+	if n > 0 {
+		h.counts = make([]int64, n)
+	}
+	for i := range h.counts {
+		h.counts[i] = r.I64()
+	}
+	h.count = r.I64()
+	h.sum = r.I64()
+	h.max = r.I64()
+	h.min = r.I64()
+	return r.Err()
+}
+
+// maxClasses bounds the restored per-class histogram count.
+const maxClasses = 1 << 16
+
+// SaveState implements checkpoint.Stateful.
+func (c *Collector) SaveState(w *checkpoint.Writer) {
+	w.Section(secCollector)
+	w.I64(c.Warmup)
+	for _, h := range c.histograms() {
+		h.SaveState(w)
+	}
+	w.I64(c.ReceivedPackets)
+	w.I64(c.ReceivedFlits)
+	w.I64(c.FFPackets)
+	w.I64(c.MisrouteHops)
+	w.Int(len(c.ClassLatency))
+	for _, h := range c.ClassLatency {
+		h.SaveState(w)
+	}
+	w.I64(c.InjectedPackets)
+	w.I64(c.InjectedFlits)
+}
+
+// RestoreState implements checkpoint.Stateful.
+func (c *Collector) RestoreState(r *checkpoint.Reader) error {
+	r.Section(secCollector)
+	c.Warmup = r.I64()
+	for _, h := range c.histograms() {
+		if err := h.RestoreState(r); err != nil {
+			return err
+		}
+	}
+	c.ReceivedPackets = r.I64()
+	c.ReceivedFlits = r.I64()
+	c.FFPackets = r.I64()
+	c.MisrouteHops = r.I64()
+	n := r.SliceLen(maxClasses)
+	c.ClassLatency = nil
+	for i := 0; i < n; i++ {
+		h := NewHistogram()
+		if err := h.RestoreState(r); err != nil {
+			return err
+		}
+		c.ClassLatency = append(c.ClassLatency, h)
+	}
+	c.InjectedPackets = r.I64()
+	c.InjectedFlits = r.I64()
+	return r.Err()
+}
+
+// histograms returns the fixed named histograms in serialization order.
+func (c *Collector) histograms() []*Histogram {
+	return []*Histogram{
+		c.Latency, c.NetLatency, c.QueueLatency, c.HopCount,
+		c.FFLatency, c.RegLatency, c.FFBufferedPart, c.FFFreePart,
+	}
+}
+
+// SaveState implements checkpoint.Stateful. The window length is
+// configuration and is asserted, not restored.
+func (w *WindowMax) SaveState(cw *checkpoint.Writer) {
+	cw.Section(secWindowMax)
+	cw.Int(w.window)
+	for _, v := range w.buf {
+		cw.F64(v)
+	}
+	cw.Int(w.pos)
+	cw.Int(w.filled)
+	cw.F64(w.sum)
+	cw.F64(w.max)
+	cw.Bool(w.haveMax)
+	cw.F64(w.total)
+	cw.I64(w.n)
+}
+
+// RestoreState implements checkpoint.Stateful.
+func (w *WindowMax) RestoreState(r *checkpoint.Reader) error {
+	r.Section(secWindowMax)
+	if win := r.Int(); r.Err() == nil && win != w.window {
+		return fmt.Errorf("%w: window length %d, receiver has %d",
+			checkpoint.ErrConfigMismatch, win, w.window)
+	}
+	for i := range w.buf {
+		w.buf[i] = r.F64()
+	}
+	w.pos = r.Int()
+	w.filled = r.Int()
+	if r.Err() == nil && (w.pos < 0 || w.pos >= w.window || w.filled < 0 || w.filled > w.window) {
+		return fmt.Errorf("%w: window position %d/%d outside window %d",
+			checkpoint.ErrCorrupt, w.pos, w.filled, w.window)
+	}
+	w.sum = r.F64()
+	w.max = r.F64()
+	w.haveMax = r.Bool()
+	w.total = r.F64()
+	w.n = r.I64()
+	return r.Err()
+}

@@ -1,0 +1,106 @@
+package stats
+
+import "math"
+
+// MinBatches is the smallest number of closed batches BatchMeans needs
+// before it reports a confidence interval. Below this the variance
+// estimate is too noisy to act on.
+const MinBatches = 10
+
+// CI is a two-sided 95% confidence interval for a mean.
+type CI struct {
+	Mean      float64
+	HalfWidth float64
+	Batches   int
+}
+
+// Rel returns the relative half-width |HalfWidth / Mean|, the precision
+// measure the early stopper compares against its target. Infinite when
+// the mean is zero.
+func (c CI) Rel() float64 {
+	if c.Mean == 0 {
+		return math.Inf(1)
+	}
+	return c.HalfWidth / math.Abs(c.Mean)
+}
+
+// BatchMeans estimates a confidence interval for a running mean by the
+// method of batch means: the sample stream is cut into consecutive
+// batches of at least perBatch samples, each batch contributes its own
+// mean, and the batch means — far less autocorrelated than the raw
+// samples — feed a standard t-interval. It is fed cumulative (count,
+// sum) pairs, which is exactly what a Histogram exposes, so the stopper
+// needs no per-sample hook into the simulator.
+type BatchMeans struct {
+	perBatch  int64
+	lastCount int64
+	lastSum   int64
+	means     []float64
+}
+
+// NewBatchMeans returns a batch-means estimator closing batches of at
+// least perBatch samples (minimum 1).
+func NewBatchMeans(perBatch int64) *BatchMeans {
+	if perBatch < 1 {
+		perBatch = 1
+	}
+	return &BatchMeans{perBatch: perBatch}
+}
+
+// Update observes the cumulative sample count and sum. When at least
+// perBatch new samples have arrived since the last closed batch, the
+// whole delta closes as one batch (a batch can therefore be larger than
+// perBatch — harmless for batch means, which only needs batches big
+// enough to decorrelate). Counts that go backwards are ignored.
+func (b *BatchMeans) Update(count, sum int64) {
+	dc := count - b.lastCount
+	if dc < b.perBatch {
+		return
+	}
+	b.means = append(b.means, float64(sum-b.lastSum)/float64(dc))
+	b.lastCount, b.lastSum = count, sum
+}
+
+// Batches returns the number of closed batches so far.
+func (b *BatchMeans) Batches() int { return len(b.means) }
+
+// Estimate returns the 95% t-interval over the closed batch means.
+// ok is false until MinBatches batches have closed.
+func (b *BatchMeans) Estimate() (ci CI, ok bool) {
+	n := len(b.means)
+	if n < MinBatches {
+		return CI{}, false
+	}
+	var mean float64
+	for _, m := range b.means {
+		mean += m
+	}
+	mean /= float64(n)
+	var ss float64
+	for _, m := range b.means {
+		d := m - mean
+		ss += d * d
+	}
+	variance := ss / float64(n-1)
+	hw := tCrit95(n-1) * math.Sqrt(variance/float64(n))
+	return CI{Mean: mean, HalfWidth: hw, Batches: n}, true
+}
+
+// tCrit95 returns the two-sided 95% critical value of Student's t
+// distribution for the given degrees of freedom (normal limit past 30).
+func tCrit95(df int) float64 {
+	if df < 1 {
+		df = 1
+	}
+	if df > len(t95) {
+		return 1.960
+	}
+	return t95[df-1]
+}
+
+// t95[df-1] is the 0.975 quantile of t with df degrees of freedom.
+var t95 = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}

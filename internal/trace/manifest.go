@@ -38,6 +38,15 @@ type Manifest struct {
 	// (sharded runs are byte-identical to serial ones, so this is
 	// provenance, not a result parameter). Omitted for serial runs.
 	Shards int `json:"shards,omitempty"`
+
+	// Confidence-interval provenance, present when the run used CI
+	// early stopping: the requested relative-half-width target, the
+	// relative half-width actually achieved at the stop point, and the
+	// number of latency batches behind the estimate. A reader can tell
+	// at a glance how precise the run's latency figures are.
+	StopCI         float64 `json:"stop_ci,omitempty"`
+	CIRelHalfWidth float64 `json:"ci_rel_half_width,omitempty"`
+	CIBatches      int     `json:"ci_batches,omitempty"`
 }
 
 // NewManifest seeds a manifest with the ambient environment (git

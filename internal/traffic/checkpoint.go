@@ -1,0 +1,50 @@
+package traffic
+
+import (
+	"fmt"
+
+	"seec/internal/checkpoint"
+)
+
+// secSynthetic tags the synthetic traffic source's checkpoint section.
+const secSynthetic uint32 = 0x5F01
+
+// SaveState implements checkpoint.Stateful. Pattern, rate, mix and mesh
+// shape are configuration (covered by the container's config hash); the
+// mutable state is the per-node RNG streams and the pause flag.
+func (s *Synthetic) SaveState(w *checkpoint.Writer) {
+	w.Section(secSynthetic)
+	w.Int(len(s.rngs))
+	for _, r := range s.rngs {
+		st := r.State()
+		for _, v := range st {
+			w.U64(v)
+		}
+	}
+	w.Bool(s.paused)
+}
+
+// RestoreState implements checkpoint.Stateful. The receiver must be
+// built by NewSynthetic with the same mesh shape.
+func (s *Synthetic) RestoreState(r *checkpoint.Reader) error {
+	r.Section(secSynthetic)
+	n := r.SliceLen(len(s.rngs))
+	if r.Err() == nil && n != len(s.rngs) {
+		return fmt.Errorf("%w: %d traffic RNG streams, receiver has %d",
+			checkpoint.ErrCorrupt, n, len(s.rngs))
+	}
+	for i := 0; i < n; i++ {
+		var st [4]uint64
+		for j := range st {
+			st[j] = r.U64()
+		}
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if err := s.rngs[i].SetState(st); err != nil {
+			return err
+		}
+	}
+	s.paused = r.Bool()
+	return r.Err()
+}

@@ -138,6 +138,17 @@ func NewSynthetic(rows, cols int, p Pattern, rate float64, seed uint64) *Synthet
 	return s
 }
 
+// Reseed rewinds every per-node PRNG stream to the state a fresh
+// NewSynthetic with the given seed would start from, by re-running the
+// constructor's split sequence. Used at warmup-fork points to give each
+// fork an independent injection process over shared warmed-up state.
+func (s *Synthetic) Reseed(seed uint64) {
+	base := rng.New(seed ^ 0xA5EEC)
+	for i := range s.rngs {
+		s.rngs[i] = base.Split()
+	}
+}
+
 // Pause stops injection (used to drain the network at the end of a
 // measurement).
 func (s *Synthetic) Pause() { s.paused = true }

@@ -1,13 +1,16 @@
 package seec
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"math"
+	"os"
 
 	"seec/internal/area"
 	"seec/internal/rng"
 	"seec/internal/runner"
+	"seec/internal/stats"
 )
 
 // Result summarizes one synthetic-traffic run.
@@ -41,6 +44,14 @@ type Result struct {
 	Retransmits   int64 // packets re-enqueued by timeout or NACK
 	FaultDiscards int64 // packets discarded at the destination NIC
 	DeadLinks     int   // links permanently killed during the run
+
+	// Confidence-interval outcomes, all zero when Config.StopCI is 0.
+	// StopCycle is the cycle the run actually ended at — earlier than
+	// Warmup+SimCycles when the precision target was met early.
+	CIMean      float64 `json:",omitempty"`
+	CIHalfWidth float64 `json:",omitempty"`
+	CIBatches   int     `json:",omitempty"`
+	StopCycle   int64   `json:",omitempty"`
 }
 
 // header returns the aligned text header matching Result.Row.
@@ -68,8 +79,28 @@ func RunSynthetic(cfg Config) (Result, error) {
 // RunSyntheticCtx is RunSynthetic with cancellation: the simulation
 // checks ctx every 1024 cycles and aborts with ctx's error, so per-job
 // deadlines from the sweep harness actually interrupt a stuck run.
+//
+// It is also where the checkpoint machinery hooks in. With
+// Config.ResumePath set, the run restores from that checkpoint instead
+// of starting fresh (missing file = fresh start); with
+// Config.CheckpointPath set, it saves its state periodically and at
+// run end. Because the run loop's chunking is unobservable (Run's
+// fast-forward is exact) and checkpoints capture the complete state
+// between Steps, a killed run resumed from its last checkpoint
+// produces output byte-identical to the uninterrupted run. With
+// Config.StopCI set, the run additionally stops as soon as the latency
+// CI reaches the requested relative precision.
 func RunSyntheticCtx(ctx context.Context, cfg Config) (Result, error) {
-	s, err := NewSim(cfg)
+	var s *Sim
+	var err error
+	if cfg.ResumePath != "" {
+		s, err = NewSimFromCheckpointFile(cfg, cfg.ResumePath)
+		if err != nil && os.IsNotExist(err) {
+			s, err = NewSim(cfg)
+		}
+	} else {
+		s, err = NewSim(cfg)
+	}
 	if err != nil {
 		return Result{}, err
 	}
@@ -78,7 +109,35 @@ func RunSyntheticCtx(ctx context.Context, cfg Config) (Result, error) {
 	if cfg.Instrument != nil {
 		done = cfg.Instrument(s)
 	}
+	res, err := runSyntheticLoop(ctx, s, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	if done != nil {
+		done()
+	}
+	return res, nil
+}
+
+// runSyntheticLoop steps s to Warmup+SimCycles in cancellation-checked
+// chunks, handling periodic checkpoints and CI early stopping, and
+// returns the final snapshot. The chunk size never influences results:
+// checkpoint saves are pure observers and the CI stopper only moves the
+// end of the run, deterministically, as a function of the sample stream.
+func runSyntheticLoop(ctx context.Context, s *Sim, cfg Config) (Result, error) {
 	total := cfg.Warmup + cfg.SimCycles
+	every := cfg.CheckpointEvery
+	if every <= 0 {
+		every = DefaultCheckpointEvery
+	}
+	nextSave := int64(math.MaxInt64)
+	if cfg.CheckpointPath != "" {
+		nextSave = (s.Cycle()/every + 1) * every
+	}
+	var bm *stats.BatchMeans
+	if cfg.StopCI > 0 && s.Net != nil {
+		bm = stats.NewBatchMeans(int64(32 * s.Nodes()))
+	}
 	for s.Cycle() < total {
 		chunk := total - s.Cycle()
 		if chunk > 1024 {
@@ -88,12 +147,129 @@ func RunSyntheticCtx(ctx context.Context, cfg Config) (Result, error) {
 		if err := ctx.Err(); err != nil {
 			return Result{}, err
 		}
+		if s.Cycle() >= nextSave {
+			if err := s.SaveCheckpointFile(cfg.CheckpointPath); err != nil {
+				return Result{}, err
+			}
+			nextSave = (s.Cycle()/every + 1) * every
+		}
+		if bm != nil && s.Cycle() > cfg.Warmup {
+			c := s.Collector()
+			bm.Update(c.Latency.Count(), c.Latency.Sum())
+			if est, ok := bm.Estimate(); ok && est.Rel() <= cfg.StopCI {
+				break
+			}
+		}
+	}
+	if cfg.CheckpointPath != "" {
+		if err := s.SaveCheckpointFile(cfg.CheckpointPath); err != nil {
+			return Result{}, err
+		}
+	}
+	if bm != nil {
+		if est, ok := bm.Estimate(); ok {
+			s.ci = &est
+		}
 	}
 	res := s.Snapshot()
-	if done != nil {
-		done()
+	if bm != nil {
+		res.StopCycle = s.Cycle()
+		if s.ci != nil {
+			res.CIMean = s.ci.Mean
+			res.CIHalfWidth = s.ci.HalfWidth
+			res.CIBatches = s.ci.Batches
+		}
 	}
 	return res, nil
+}
+
+// Fork describes one measurement run branched off a shared warmed-up
+// checkpoint (see RunSyntheticForkedCtx). The zero value re-runs the
+// base configuration unchanged.
+type Fork struct {
+	// Seed, when non-zero, reseeds every RNG stream (network and
+	// per-node traffic) at the fork point, giving the fork an
+	// independent measurement sample over the same warmed-up state.
+	Seed uint64
+	// Rate, when positive, overrides the injection rate from the fork
+	// point on — the warmup cost of a rate sweep is then paid once.
+	Rate float64
+}
+
+// RunSyntheticForked is RunSyntheticForkedCtx without cancellation.
+func RunSyntheticForked(cfg Config, forks []Fork) ([]Result, error) {
+	return RunSyntheticForkedCtx(context.Background(), cfg, forks, 0)
+}
+
+// RunSyntheticForkedCtx amortizes warmup across related measurement
+// runs: it warms one simulation up to cfg.Warmup, checkpoints it to
+// memory, then restores the checkpoint once per fork and runs each
+// fork's measurement phase (applying its Seed/Rate overrides at the
+// fork point) across workers concurrent workers. A fork with zero
+// overrides is byte-identical to RunSynthetic of the same config.
+// Results come back in fork order and record the overridden Seed/Rate
+// in their Config. Instrument hooks and checkpoint files are not
+// applied to forks; CI early stopping (cfg.StopCI) is. Deflection
+// schemes are not checkpointable and fail with
+// checkpoint.ErrUnsupported.
+func RunSyntheticForkedCtx(ctx context.Context, cfg Config, forks []Fork, workers int) ([]Result, error) {
+	base := cfg
+	base.Instrument = nil
+	base.CheckpointPath, base.ResumePath = "", ""
+	s, err := NewSim(base)
+	if err != nil {
+		return nil, err
+	}
+	for s.Cycle() < base.Warmup {
+		chunk := base.Warmup - s.Cycle()
+		if chunk > 1024 {
+			chunk = 1024
+		}
+		s.Run(chunk)
+		if err := ctx.Err(); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	var buf bytes.Buffer
+	err = s.SaveCheckpoint(&buf)
+	s.Close()
+	if err != nil {
+		return nil, err
+	}
+	snap := buf.Bytes()
+	return runner.Sweep(ctx, forks, func(ctx context.Context, fk Fork) (Result, error) {
+		fs, err := NewSimFromCheckpoint(base, bytes.NewReader(snap))
+		if err != nil {
+			return Result{}, err
+		}
+		defer fs.Close()
+		fcfg := base
+		if fk.Seed != 0 {
+			fcfg.Seed = fk.Seed
+			fs.Reseed(fk.Seed)
+		}
+		if fk.Rate > 0 {
+			fcfg.InjectionRate = fk.Rate
+			fs.Synthetic.Rate = fk.Rate
+		}
+		fs.Cfg = fcfg // Snapshot stamps Result.Config with the fork's overrides
+		return runSyntheticLoop(ctx, fs, fcfg)
+	}, runner.WithWorkers(workers))
+}
+
+// Reseed rewinds every RNG stream — the network's arbitration stream
+// and the per-node traffic streams — to the deterministic state a
+// fresh simulation with the given seed would start from, leaving all
+// other simulation state (buffers, in-flight packets, statistics)
+// untouched. Used at warmup-fork points to give each fork an
+// independent measurement sample from the same warmed-up state.
+// Credit-flow networks only.
+func (s *Sim) Reseed(seed uint64) {
+	s.Net.Rng.SetState(rng.New(seed).State())
+	if s.Synthetic != nil {
+		s.Synthetic.Reseed(seed)
+	}
 }
 
 // Drain stops traffic generation and steps until every in-flight

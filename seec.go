@@ -161,6 +161,32 @@ type Config struct {
 	// else: Result.Config retains the value that ran.
 	Shards int `json:",omitempty"`
 
+	// StopCI enables confidence-interval early stopping for synthetic
+	// runs: after warmup, a batch-means estimator (internal/stats)
+	// tracks the average packet latency, and the run ends as soon as
+	// the 95% CI's relative half-width drops to StopCI (e.g. 0.02 for
+	// ±2%) — or at Warmup+SimCycles, whichever comes first. 0 disables
+	// the stopper entirely and reproduces the fixed-cycle run
+	// byte-for-byte. StopCI changes where a run ends, so it is a
+	// semantic field: it participates in JSON (and hence CheckpointHash
+	// and run manifests).
+	StopCI float64 `json:",omitempty"`
+
+	// CheckpointPath, CheckpointEvery and ResumePath drive the
+	// checkpoint machinery in RunSyntheticCtx. A non-empty
+	// CheckpointPath makes the run save its full state to that file
+	// atomically (write-temp-then-rename) every CheckpointEvery cycles
+	// (0 selects DefaultCheckpointEvery) and once more at the end. A
+	// non-empty ResumePath makes the run restore from that file before
+	// stepping — falling back to a fresh start if the file does not
+	// exist, and failing on a corrupt or mismatched one. These are
+	// operational knobs, not semantics: resuming an interrupted run
+	// yields output byte-identical to the uninterrupted run, so all
+	// three are excluded from JSON, CheckpointHash and manifests.
+	CheckpointPath  string `json:"-"`
+	CheckpointEvery int64  `json:"-"`
+	ResumePath      string `json:"-"`
+
 	// Instrument, when non-nil, is called on the freshly built Sim
 	// before the first cycle; runner helpers (RunSynthetic,
 	// RunApplication) invoke it and call the returned function (if any)
@@ -273,6 +299,11 @@ type Sim struct {
 	// Faults is the installed fault injector (nil when Config.Faults is
 	// empty).
 	Faults *fault.Injector
+
+	// ci is the latency confidence interval at run end, recorded by the
+	// run loop when Config.StopCI is set so instrumentation manifests
+	// can report the precision actually achieved.
+	ci *stats.CI
 }
 
 // Step advances one cycle.
