@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test short race check bench figures
+.PHONY: build test short race check bench benchdiff figures
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,11 @@ check:
 bench:
 	$(GO) test -bench 'Step|LatencyCurve|RunIdle|WarmupFork|Checkpoint' -benchmem -run '^$$' ./... | $(GO) run ./cmd/benchjson > BENCH_step.json
 	@cat BENCH_step.json
+
+# Rerun the step benchmarks and diff against the checked-in record
+# without touching it: per-benchmark ns/op and allocs/op deltas.
+benchdiff:
+	$(GO) test -bench 'Step|LatencyCurve|RunIdle|WarmupFork|Checkpoint' -benchmem -run '^$$' ./... | $(GO) run ./cmd/benchjson -compare BENCH_step.json
 
 # Regenerate the checked-in quick-scale results record.
 figures:

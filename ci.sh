@@ -9,12 +9,18 @@ set -eu
 go build ./...
 go vet ./...
 go test -timeout 30m ./...
-go test -race -short -timeout 30m ./...
+# GOMAXPROCS=4 so the race pass sees real parallelism even on 1-CPU CI
+# boxes: the slab layout's false-sharing and staging races only exist
+# when shard workers actually run concurrently.
+GOMAXPROCS=4 go test -race -short -timeout 30m ./...
 # Sharded-execution gate: the serial-vs-sharded bit-identity matrix and
 # the stage-composition stress test run under the race detector at full
 # (non-short) size — cross-shard data races are exactly what -short
-# cycle counts might miss.
-go test -race -run 'TestShardedIdentity|TestShardedStepRace|TestShardedLockstep' -timeout 30m . ./internal/noc
+# cycle counts might miss. Pinned to GOMAXPROCS=4: single-CPU processes
+# delegate sharded steps to the serial path (shard.go), so on a 1-CPU
+# CI box an unpinned run would never schedule the worker pool the race
+# detector is here to watch.
+GOMAXPROCS=4 go test -race -run 'TestShardedIdentity|TestShardedStepRace|TestShardedLockstep' -timeout 30m . ./internal/noc
 # Compile-and-smoke the step benchmarks (one iteration, no -run match):
 # a broken benchmark otherwise only surfaces when someone profiles.
 go test -bench . -benchtime 1x -run XXX ./internal/noc

@@ -13,14 +13,22 @@
 // so perf records (BENCH_step.json) can be diffed across commits
 // without parsing the text format again, and a stale record is
 // self-describing about when and where it was taken.
+//
+// With -compare old.json the fresh run (still read as bench text on
+// stdin) is instead diffed against a previously saved record: one line
+// per benchmark with ns/op and allocs/op deltas, so `make benchdiff`
+// answers "did this commit move the hot path" without eyeballing two
+// JSON files.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -58,6 +66,8 @@ type record struct {
 }
 
 func main() {
+	compare := flag.String("compare", "", "path to a previous benchjson record; print per-benchmark deltas instead of JSON")
+	flag.Parse()
 	doc := record{
 		Meta: meta{
 			Timestamp: time.Now().UTC().Format(time.RFC3339),
@@ -123,11 +133,89 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
+	if *compare != "" {
+		if err := printDiff(os.Stdout, *compare, doc); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(doc); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
+	}
+}
+
+// printDiff loads the saved record at oldPath and prints one line per
+// benchmark comparing it with the fresh run: ns/op with the percentage
+// change (negative is faster) and allocs/op with its absolute delta.
+// Benchmarks present on only one side are listed so a renamed or
+// deleted benchmark can't silently vanish from the comparison.
+func printDiff(w *os.File, oldPath string, fresh record) error {
+	data, err := os.ReadFile(oldPath)
+	if err != nil {
+		return err
+	}
+	var old record
+	if err := json.Unmarshal(data, &old); err != nil {
+		return fmt.Errorf("%s: %v", oldPath, err)
+	}
+	names := make([]string, 0, len(fresh.Benchmarks)+len(old.Benchmarks))
+	for name := range fresh.Benchmarks {
+		names = append(names, name)
+	}
+	for name := range old.Benchmarks {
+		if _, ok := fresh.Benchmarks[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "old: %s (%s)\nnew: %s (%s)\n\n",
+		oldPath, old.Meta.Timestamp, "stdin", fresh.Meta.Timestamp)
+	fmt.Fprintf(w, "%-64s %12s %12s %8s  %s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs/op")
+	for _, name := range names {
+		o, haveOld := old.Benchmarks[name]
+		n, haveNew := fresh.Benchmarks[name]
+		switch {
+		case !haveOld:
+			fmt.Fprintf(w, "%-64s %12s %12.0f %8s  %s\n",
+				name, "-", n.NsOp, "new", allocDelta(false, true, o, n))
+		case !haveNew:
+			fmt.Fprintf(w, "%-64s %12.0f %12s %8s  %s\n",
+				name, o.NsOp, "-", "gone", "")
+		default:
+			pct := "n/a"
+			if o.NsOp != 0 {
+				pct = fmt.Sprintf("%+.1f%%", 100*(n.NsOp-o.NsOp)/o.NsOp)
+			}
+			fmt.Fprintf(w, "%-64s %12.0f %12.0f %8s  %s\n",
+				name, o.NsOp, n.NsOp, pct, allocDelta(true, true, o, n))
+		}
+	}
+	return nil
+}
+
+// allocDelta formats the allocs/op side of a diff line: "old -> new"
+// when it moved, the bare value when it held, empty when both sides
+// are zero (the common case for the tuned hot paths, where printing
+// "0 -> 0" per line would bury the one benchmark that regressed).
+func allocDelta(haveOld, haveNew bool, o, n result) string {
+	ov, nv := 0.0, 0.0
+	if haveOld {
+		ov = o.AllocsOp
+	}
+	if haveNew {
+		nv = n.AllocsOp
+	}
+	switch {
+	case ov == 0 && nv == 0:
+		return ""
+	case !haveOld || ov == nv:
+		return fmt.Sprintf("%.0f", nv)
+	default:
+		return fmt.Sprintf("%.0f -> %.0f", ov, nv)
 	}
 }
 

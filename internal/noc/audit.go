@@ -95,6 +95,40 @@ func (n *Network) CheckActiveSets() error {
 			return fmt.Errorf("router %d: occupied=%d overcounts the %d flagged VCs",
 				r.ID, r.occupied, occ)
 		}
+		// Layout consistency: the vcAt lookup table (the bit-index ->
+		// view shortcut the VA scan trusts) must agree with the per-port
+		// VC slices, and the normalized round-robin pointers must be in
+		// range — the scans index with them directly, no reduction.
+		nvcs := n.nvcs
+		for p := 0; p < NumPorts; p++ {
+			in := r.In[p]
+			if in == nil {
+				for v := 0; v < nvcs; v++ {
+					if r.vcAt[p*nvcs+v] != nil {
+						return fmt.Errorf("router %d: vcAt has a VC at missing port %s", r.ID, DirName(p))
+					}
+				}
+				continue
+			}
+			for v, vc := range in.VCs {
+				if r.vcAt[in.vaBase+v] != vc {
+					return fmt.Errorf("router %d port %s vc %d: vcAt disagrees with In.VCs",
+						r.ID, DirName(p), v)
+				}
+			}
+			if in.saPtr < 0 || in.saPtr >= len(in.VCs) {
+				return fmt.Errorf("router %d port %s: input saPtr %d out of [0,%d)",
+					r.ID, DirName(p), in.saPtr, len(in.VCs))
+			}
+			if out := r.Out[p]; out != nil && (out.saPtr < 0 || out.saPtr >= NumPorts) {
+				return fmt.Errorf("router %d port %s: output saPtr %d out of [0,%d)",
+					r.ID, DirName(p), out.saPtr, NumPorts)
+			}
+		}
+	}
+	if n.vaRoundMod != ((n.vaRound%n.vaTotal)+n.vaTotal)%n.vaTotal {
+		return fmt.Errorf("vaRoundMod=%d disagrees with vaRound=%d mod %d",
+			n.vaRoundMod, n.vaRound, n.vaTotal)
 	}
 	for id, nic := range n.NICs {
 		queued := 0

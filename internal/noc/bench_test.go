@@ -2,6 +2,7 @@ package noc_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"seec/internal/fault"
@@ -195,6 +196,25 @@ func TestStepZeroAllocsUntraced(t *testing.T) {
 		}
 		if avg := testing.AllocsPerRun(500, func() { n.Step() }); avg != 0 {
 			t.Errorf("rate=%.2f: Step allocates %.2f allocs/op with tracing disabled, want 0", rate, avg)
+		}
+	}
+}
+
+// TestShardedStepZeroAllocs is the sharded-step allocation gate: after
+// warmup, the phase-barriered step must not allocate at any shard count
+// — staging buffers are pre-sized by EnableSharding and reused across
+// cycles, and stage dispatch on the persistent pool is allocation-free.
+// GOMAXPROCS is pinned above 1 so the staged path actually runs
+// (single-CPU processes delegate to the serial step, which
+// TestStepZeroAllocsUntraced already gates); AllocsPerRun reads the
+// process-wide malloc counter, so worker-goroutine allocations are
+// counted too.
+func TestShardedStepZeroAllocs(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(2))
+	for _, k := range []int{2, 4} {
+		n := benchNetworkMesh(t, 16, 16, 0.60, k)
+		if avg := testing.AllocsPerRun(500, func() { n.Step() }); avg != 0 {
+			t.Errorf("K=%d: sharded Step allocates %.2f allocs/op, want 0", k, avg)
 		}
 	}
 }

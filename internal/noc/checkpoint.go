@@ -43,6 +43,18 @@ const secNetwork uint32 = 0x4E01
 // at most once per list).
 const maxActive = 1 << 24
 
+// normPtr reduces a restored round-robin pointer into [0, n). Format-v1
+// writers stored the counter raw (any non-negative value; the scan
+// reduced it); the hot path now requires the reduced form. Negative
+// values only appear in corrupted streams that survived the CRC — clamp
+// to 0 rather than hand the scanner an out-of-range index.
+func normPtr(v, n int) int {
+	if v < 0 || n <= 0 {
+		return 0
+	}
+	return v % n
+}
+
 // ConfigHash identifies the configuration a checkpoint binds to: the
 // simulator Config plus the installed scheme, VA policy and fault-layer
 // presence. Two networks with equal hashes are structurally identical,
@@ -336,6 +348,12 @@ func (n *Network) RestoreState(r *checkpoint.Reader) error {
 	n.lastConsume = r.I64()
 	n.nextPktID = r.U64()
 	n.vaRound = r.Int()
+	// vaRoundMod is the vaRound rotation pre-reduced into [0, vaTotal);
+	// derived, so recompute rather than decode (format v1 predates it).
+	n.vaRoundMod = n.vaRound % n.vaTotal
+	if n.vaRoundMod < 0 {
+		n.vaRoundMod += n.vaTotal
+	}
 
 	for _, rt := range n.Routers {
 		// Derived state is recomputed, never decoded: zero it before the
@@ -349,7 +367,11 @@ func (n *Network) RestoreState(r *checkpoint.Reader) error {
 			if in == nil {
 				continue
 			}
-			in.saPtr = r.Int()
+			// Format-v1 blobs stored the raw round-robin counter (old
+			// code reduced it at scan time); the hot path now keeps it
+			// normalized, so reduce on restore. The reduced value is what
+			// the old scan computed, so decisions are unchanged.
+			in.saPtr = normPtr(r.Int(), len(in.VCs))
 			for i := range in.saSet {
 				in.saSet[i] = 0
 			}
@@ -392,7 +414,7 @@ func (n *Network) RestoreState(r *checkpoint.Reader) error {
 			if out == nil {
 				continue
 			}
-			out.saPtr = r.Int()
+			out.saPtr = normPtr(r.Int(), NumPorts)
 			out.FFReserved = false // re-marked from the ffMarked list below
 			for i := range out.VCs {
 				out.VCs[i].Busy = r.Bool()
@@ -417,7 +439,7 @@ func (n *Network) RestoreState(r *checkpoint.Reader) error {
 			nic.Queues[c] = q
 			nic.backlog += len(q)
 		}
-		nic.classPtr = r.Int()
+		nic.classPtr = normPtr(r.Int(), len(nic.Queues))
 		cur, err := RestorePacket(r)
 		if err != nil {
 			return err

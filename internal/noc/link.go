@@ -32,6 +32,8 @@ type DataLink struct {
 	// lid is the link's id in the fault injector's registry, or -1 for
 	// links exempt from faults (NIC wiring, or no injector installed).
 	lid int
+
+	_ [40]byte // pad to 128 (see layout.go size pins)
 }
 
 // NewDataLink returns a link delivering into sink.
@@ -96,6 +98,8 @@ type CreditLink struct {
 	// sendSh/sinkSh: see DataLink.
 	sendSh *shardState
 	sinkSh *shardState
+
+	_ [72]byte // pad to 128 (see layout.go size pins)
 }
 
 // NewCreditLink returns a credit link applying credits via apply. The

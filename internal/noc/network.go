@@ -83,8 +83,22 @@ type Network struct {
 
 	// vaRound counts non-frozen cycles; it is the rotation base for every
 	// router's VC-allocation scan (successor of the per-router vaPtr,
-	// which skipping quiescent routers would have let drift).
-	vaRound int
+	// which skipping quiescent routers would have let drift). vaRoundMod
+	// caches vaRound mod vaTotal so the per-router scan never divides;
+	// every vaRound update maintains it.
+	vaRound    int
+	vaRoundMod int
+	vaTotal    int // NumPorts * TotalVCs
+	nvcs       int // cached Cfg.TotalVCs()
+
+	// lay owns the flat slabs all hot mutable state lives in; the
+	// Routers/NICs pointer slices (and every port/VC/link pointer) are
+	// views into it. See layout.go / DESIGN.md §10.
+	lay layout
+
+	// xOf/yOf are per-node mesh coordinates, so per-flit routing never
+	// divides by Cols.
+	xOf, yOf []int16
 
 	// activeData/activeCredit hold the links that have something staged
 	// for the next delivery phase; Step drains them instead of sweeping
@@ -135,6 +149,15 @@ type Network struct {
 	// noFastForward disables idle fast-forward in Run/Drain (see
 	// SetFastForward; skips are exact, so this is a debugging aid).
 	noFastForward bool
+
+	// vaFastXY devirtualizes VC allocation for the dominant
+	// configuration — plain DefaultVA over XY routing with no fault
+	// injector — so vaTry calls Router.selectXY directly instead of
+	// going through the VAPolicy interface and the generic candidate
+	// machinery. VA and Faults are exported and reassignable, so the
+	// flag is recomputed every cycle (refreshVAFast), never trusted
+	// across one.
+	vaFastXY bool
 }
 
 // Option mutates a Network during construction (before Attach).
@@ -166,28 +189,44 @@ func New(cfg Config, opts ...Option) (*Network, error) {
 	}
 	nodes := cfg.Nodes()
 	nvcs := cfg.TotalVCs()
+	n.nvcs = nvcs
+	n.vaTotal = NumPorts * nvcs
+	n.lay = allocLayout(&cfg)
+	lay := &n.lay
 	n.Routers = make([]*Router, nodes)
 	n.NICs = make([]*NIC, nodes)
+	n.xOf = make([]int16, nodes)
+	n.yOf = make([]int16, nodes)
 
 	for id := 0; id < nodes; id++ {
 		x, y := cfg.XY(id)
-		r := &Router{ID: id, X: x, Y: y, Net: n}
+		n.xOf[id], n.yOf[id] = int16(x), int16(y)
+		r := &lay.routers[id]
+		*r = Router{ID: id, X: x, Y: y, Net: n}
 		n.Routers[id] = r
 	}
 	// Create ports. Every router has local ports; cardinal ports exist
-	// only where the mesh has a neighbor.
+	// only where the mesh has a neighbor. All per-router state is carved
+	// router-major from the slabs, so a shard's node range owns one
+	// contiguous run of every slab.
 	for id, r := range n.Routers {
 		r.nvcs = nvcs
-		r.vaSet = newBitset(NumPorts * nvcs)
+		r.vaSet = lay.takeBits(NumPorts * nvcs)
+		r.vcAt = lay.vcPtrs[id*NumPorts*nvcs : (id+1)*NumPorts*nvcs : (id+1)*NumPorts*nvcs]
 		for d := 0; d < NumPorts; d++ {
 			if d != Local && cfg.Neighbor(id, d) < 0 {
+				lay.takeBits(nvcs) // keep the per-router word stride uniform
 				continue
 			}
-			in := &InputPort{Router: r, Dir: d, VCs: make([]*VC, nvcs),
-				saSet: newBitset(nvcs), vaBase: d * nvcs}
+			in := &lay.inPorts[portID(id, d)]
+			*in = InputPort{Router: r, Dir: d, VCs: r.vcAt[d*nvcs : (d+1)*nvcs : (d+1)*nvcs],
+				saSet: lay.takeBits(nvcs), vaBase: d * nvcs}
+			vcs := lay.takeVCs(nvcs)
 			for v := range in.VCs {
-				in.VCs[v] = NewVC(v, cfg.VCDepth)
-				in.VCs[v].in = in
+				vc := &vcs[v]
+				*vc = VC{ID: v, Depth: cfg.VCDepth, buf: lay.takeFlits(cfg.VCDepth),
+					OutPort: -1, OutVC: -1, in: in}
+				in.VCs[v] = vc
 			}
 			r.In[d] = in
 			nOut := nvcs
@@ -197,7 +236,8 @@ func New(cfg Config, opts ...Option) (*Network, error) {
 			} else {
 				down = cfg.Neighbor(id, d)
 			}
-			out := &OutputPort{Router: r, Dir: d, DownRouter: down, VCs: make([]OutVC, nOut)}
+			out := &lay.outPorts[portID(id, d)]
+			*out = OutputPort{Router: r, Dir: d, DownRouter: down, VCs: lay.takeOutVCs(nOut)}
 			depth := cfg.VCDepth
 			if d == Local {
 				depth = cfg.EjectDepth()
@@ -207,6 +247,8 @@ func New(cfg Config, opts ...Option) (*Network, error) {
 			}
 			r.Out[d] = out
 		}
+		lay.padFlits()
+		lay.padWords()
 	}
 	// Wire router-to-router links and credit channels.
 	for id, r := range n.Routers {
@@ -217,35 +259,40 @@ func New(cfg Config, opts ...Option) (*Network, error) {
 			}
 			peer := n.Routers[nb].In[Opposite(d)]
 			out := r.Out[d]
-			out.Link = NewDataLink(fmt.Sprintf("r%d.%s->r%d", id, DirName(d), nb), peer.receiveFlit)
-			peer.CreditOut = NewCreditLink(out.applyCredit)
+			out.Link = lay.takeDataLink(fmt.Sprintf("r%d.%s->r%d", id, DirName(d), nb), peer.receiveFlit)
+			peer.CreditOut = lay.takeCreditLink(out.applyCredit)
 			n.dataLinks = append(n.dataLinks, out.Link)
 			n.creditLinks = append(n.creditLinks, peer.CreditOut)
 		}
 	}
 	// Create NICs and wire local ports.
+	ejN := cfg.Classes * cfg.EjectVCsPerClass
 	for id, r := range n.Routers {
-		nic := &NIC{
+		nic := &lay.nics[id]
+		*nic = NIC{
 			Node:        id,
 			Net:         n,
 			Queues:      make([][]*Packet, cfg.Classes),
-			LocalMirror: make([]OutVC, nvcs),
-			Ej:          make([]*EjVC, cfg.Classes*cfg.EjectVCsPerClass),
+			LocalMirror: lay.takeOutVCs(nvcs),
+			Ej:          lay.ejPtrs[id*ejN : (id+1)*ejN : (id+1)*ejN],
 		}
 		for v := range nic.LocalMirror {
 			nic.LocalMirror[v].Credits = cfg.VCDepth
 		}
 		for i := range nic.Ej {
-			nic.Ej[i] = &EjVC{Class: i / cfg.EjectVCsPerClass}
+			ej := &lay.ejs[id*ejN+i]
+			*ej = EjVC{Class: i / cfg.EjectVCsPerClass}
+			nic.Ej[i] = ej
 		}
-		nic.InjLink = NewDataLink(fmt.Sprintf("nic%d->r%d", id, id), r.In[Local].receiveFlit)
-		r.In[Local].CreditOut = NewCreditLink(nic.applyCredit)
-		r.Out[Local].Link = NewDataLink(fmt.Sprintf("r%d->nic%d", id, id), nic.receiveEject)
-		nic.EjCreditOut = NewCreditLink(r.Out[Local].applyCredit)
+		nic.InjLink = lay.takeDataLink(fmt.Sprintf("nic%d->r%d", id, id), r.In[Local].receiveFlit)
+		r.In[Local].CreditOut = lay.takeCreditLink(nic.applyCredit)
+		r.Out[Local].Link = lay.takeDataLink(fmt.Sprintf("r%d->nic%d", id, id), nic.receiveEject)
+		nic.EjCreditOut = lay.takeCreditLink(r.Out[Local].applyCredit)
 		n.dataLinks = append(n.dataLinks, nic.InjLink, r.Out[Local].Link)
 		n.creditLinks = append(n.creditLinks, r.In[Local].CreditOut, nic.EjCreditOut)
 		n.NICs[id] = nic
 	}
+	lay.check()
 
 	// Register every link with the network so Send can enroll it in the
 	// active delivery lists.
@@ -330,19 +377,28 @@ func (n *Network) stepSerial() {
 		n.Scheme.PreRouter(n)
 	}
 	if !n.Frozen {
-		for _, nic := range n.NICs {
+		n.refreshVAFast()
+		// Iterate the slabs directly: same order as the Routers/NICs
+		// pointer slices, one pointer load less per element.
+		nics := n.lay.nics
+		for i := range nics {
+			nic := &nics[i]
 			if nic.cur != nil || nic.backlog > 0 {
 				nic.inject()
 			}
 		}
-		for _, r := range n.Routers {
+		routers := n.lay.routers
+		for i := range routers {
+			r := &routers[i]
 			if r.occupied > 0 {
 				r.step()
 			}
 		}
-		n.vaRound++
+		n.bumpVARound()
 	}
-	for _, nic := range n.NICs {
+	nics := n.lay.nics
+	for i := range nics {
+		nic := &nics[i]
 		if nic.ejOccupied > 0 {
 			nic.consume()
 		}
@@ -360,6 +416,25 @@ func (n *Network) stepSerial() {
 	}
 	if n.Watchdog != nil {
 		n.Watchdog.check(n)
+	}
+}
+
+// refreshVAFast recomputes the vaFastXY devirtualization flag for the
+// coming router pass. Runs after the scheme's PreRouter hook, so a
+// scheme swapping the VA policy (or faults being installed) is
+// honored the same cycle.
+func (n *Network) refreshVAFast() {
+	d, ok := n.VA.(DefaultVA)
+	n.vaFastXY = ok && d.Kind == RoutingXY && n.Faults == nil
+}
+
+// bumpVARound advances the VA rotation by one cycle, keeping the
+// division-free vaRoundMod mirror in step.
+func (n *Network) bumpVARound() {
+	n.vaRound++
+	n.vaRoundMod++
+	if n.vaRoundMod == n.vaTotal {
+		n.vaRoundMod = 0
 	}
 }
 

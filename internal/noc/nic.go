@@ -22,6 +22,8 @@ type EjVC struct {
 	// creditsUsed counts flits that consumed router-side credits
 	// (normal ejection). FF deliveries bypass credits entirely.
 	creditsUsed int
+
+	_ [24]byte // pad to 64 (see layout.go size pins)
 }
 
 // Complete reports whether a whole packet is buffered and consumable.
@@ -37,7 +39,7 @@ type NIC struct {
 	// Queues holds not-yet-injected packets, one FIFO per message class.
 	Queues [][]*Packet
 
-	classPtr int     // round-robin pointer over classes for injection
+	classPtr int     // round-robin pointer over classes, always in [0, Classes)
 	cur      *Packet // packet currently streaming into the router
 	curFlit  int
 	curVC    int
@@ -63,6 +65,8 @@ type NIC struct {
 	// mode); emit sites stage shared mutations through it while a
 	// parallel stage runs.
 	shard *shardState
+
+	_ [32]byte // pad to 192 (see layout.go size pins)
 }
 
 // EjIndex returns the index in Ej of ejection VC i of the given class.
@@ -182,7 +186,10 @@ func (n *NIC) inject() {
 func (n *NIC) pickNext() {
 	classes := len(n.Queues)
 	for k := 0; k < classes; k++ {
-		c := (n.classPtr + k) % classes
+		c := n.classPtr + k // classPtr is always in [0, classes)
+		if c >= classes {
+			c -= classes
+		}
 		q := n.Queues[c]
 		if len(q) == 0 {
 			continue
@@ -210,6 +217,9 @@ func (n *NIC) pickNext() {
 		n.curFlit = 0
 		n.curVC = v
 		n.classPtr = c + 1
+		if n.classPtr == classes {
+			n.classPtr = 0
+		}
 		return
 	}
 }

@@ -21,7 +21,7 @@ type InputPort struct {
 	// neighboring router's output port, or the local NIC).
 	CreditOut *CreditLink
 
-	saPtr int // round-robin pointer for SA stage 1
+	saPtr int // round-robin pointer for SA stage 1, always in [0, len(VCs))
 
 	// saSet flags VCs that may hold a sendable flit (allocated, non-FF,
 	// non-empty); SA stage 1 scans only these. Maintained by VC.sync.
@@ -29,6 +29,8 @@ type InputPort struct {
 	// vaBase is this port's bit offset (Dir * TotalVCs) into the
 	// router-level vaSet.
 	vaBase int
+
+	_ [40]byte // pad to 128 (see layout.go size pins)
 }
 
 // FreeVCs counts Idle VCs in the half-open index range [lo, hi).
@@ -86,7 +88,9 @@ type OutputPort struct {
 	// grant it. Set via ReserveFF; cleared at the start of every cycle.
 	FFReserved bool
 
-	saPtr int // round-robin pointer for SA stage 2 (over input ports)
+	saPtr int // round-robin pointer for SA stage 2, always in [0, NumPorts)
+
+	_ [56]byte // pad to 128 (see layout.go size pins)
 }
 
 // ReserveFF marks the port's link as owned by the Free-Flow engine for

@@ -1,6 +1,10 @@
 package noc
 
-import "seec/internal/trace"
+import (
+	"math/bits"
+
+	"seec/internal/trace"
+)
 
 // Assign is a VC-allocation decision: which output port and which
 // downstream VC a head packet gets.
@@ -77,10 +81,18 @@ type Router struct {
 	// index Dir*nvcs + vcID. Maintained by VC.sync.
 	vaSet bitset
 
+	// vcAt maps a vaSet bit index (Dir*nvcs + vcID) straight to the VC
+	// view, nil where the mesh edge has no port. A slice of the
+	// network's vcPtrs slab (layout.go); the va scan uses it instead of
+	// dividing the bit index back into (port, vc).
+	vcAt []*VC
+
 	// shard is the router's shard under sharded execution (nil in
 	// serial mode); emit sites stage shared mutations through it while
 	// a parallel stage runs.
 	shard *shardState
+
+	_ [8]byte // pad to 192 (see layout.go size pins)
 }
 
 // EligibleOutVCs returns the downstream VC index range a packet of the
@@ -110,39 +122,58 @@ func (r *Router) step() {
 // Allocations take effect immediately (mirror marked Busy), so two
 // heads can never win the same downstream VC in one cycle.
 func (r *Router) va() {
-	nvcs := r.nvcs
-	base := r.Net.vaRound % (NumPorts * nvcs)
+	base := r.Net.vaRoundMod
+	vcAt := r.vcAt
+	if len(r.vaSet) == 1 {
+		// Single-word set (vaTotal <= 64, every default-ish config):
+		// iterate a snapshot with bit tricks instead of re-scanning via
+		// next(). Bits can only be cleared mid-scan (a grant syncs its own
+		// VC), and vaTry rechecks eligibility, so visiting the snapshot is
+		// decision-identical.
+		w := r.vaSet[0]
+		hi := w & (^uint64(0) << uint(base)) // bits at or after the rotation base
+		for m := hi; m != 0; m &= m - 1 {
+			r.vaTry(vcAt[bits.TrailingZeros64(m)])
+		}
+		for m := w &^ hi; m != 0; m &= m - 1 {
+			r.vaTry(vcAt[bits.TrailingZeros64(m)])
+		}
+		return
+	}
 	// The rotation is two ascending segments: [base, total) then [0, base).
 	for idx := r.vaSet.next(base); idx >= 0; idx = r.vaSet.next(idx + 1) {
-		r.vaTry(idx/nvcs, idx%nvcs)
+		r.vaTry(vcAt[idx])
 	}
 	for idx := r.vaSet.next(0); idx >= 0 && idx < base; idx = r.vaSet.next(idx + 1) {
-		r.vaTry(idx/nvcs, idx%nvcs)
+		r.vaTry(vcAt[idx])
 	}
 }
 
-// vaTry re-checks full VA eligibility for one flagged (port, vc) pair
-// (the bit is conservative) and runs the allocation policy on it.
-func (r *Router) vaTry(port, v int) {
-	in := r.In[port]
-	if in == nil {
-		return
-	}
-	vc := in.VCs[v]
-	if vc.State != VCActive || vc.FFMode || vc.OutVC >= 0 ||
+// vaTry re-checks full VA eligibility for one flagged VC (the bit is
+// conservative) and runs the allocation policy on it.
+func (r *Router) vaTry(vc *VC) {
+	if vc == nil || vc.State != VCActive || vc.FFMode || vc.OutVC >= 0 ||
 		vc.Empty() || !vc.Front().IsHead() {
 		return
 	}
-	if a, ok := r.Net.VA.Select(r, in, vc); ok {
+	in := vc.in
+	var a Assign
+	var ok bool
+	if r.Net.vaFastXY {
+		a, ok = r.selectXY(vc.Pkt)
+	} else {
+		a, ok = r.Net.VA.Select(r, in, vc)
+	}
+	if ok {
 		vc.grant(a.OutPort, a.OutVC)
 		r.Out[a.OutPort].VCs[a.OutVC].Busy = true
 		if tr := r.Net.Tracer; tr != nil {
 			tr.Record(trace.Event{Cycle: r.Net.Cycle, Kind: trace.EvRoute,
-				Node: int32(r.ID), Port: int16(port), VC: int16(v),
+				Node: int32(r.ID), Port: int16(in.Dir), VC: int16(vc.ID),
 				Pkt: vc.Pkt.ID, Arg: int64(a.OutPort)})
 			tr.Record(trace.Event{Cycle: r.Net.Cycle, Kind: trace.EvVA,
 				Node: int32(r.ID), Port: int16(a.OutPort), VC: int16(a.OutVC),
-				Pkt: vc.Pkt.ID, Arg: int64(port)})
+				Pkt: vc.Pkt.ID, Arg: int64(in.Dir)})
 		}
 	} else if m := r.Net.Metrics; m != nil {
 		if r.Net.stageParallel {
@@ -153,13 +184,44 @@ func (r *Router) vaTry(port, v int) {
 	}
 }
 
+// selectXY is DefaultVA.Select fused for XY routing with no fault
+// injector (the vaFastXY devirtualization): the single XY candidate
+// port is computed inline — no interface dispatch, no candidate
+// buffer — and the downstream VC scan is unchanged. Decision-identical
+// to the generic path by construction.
+func (r *Router) selectXY(pkt *Packet) (Assign, bool) {
+	net := r.Net
+	dx, dy := int(net.xOf[pkt.Dst]), int(net.yOf[pkt.Dst])
+	var port int
+	switch {
+	case dx == r.X && dy == r.Y:
+		port = Local
+	case dx > r.X:
+		port = East
+	case dx < r.X:
+		port = West
+	case dy > r.Y:
+		port = North
+	default:
+		port = South
+	}
+	out := r.Out[port]
+	lo, hi := r.EligibleOutVCs(port, pkt.Class)
+	for ov := lo; ov < hi; ov++ {
+		if !out.VCs[ov].Busy {
+			return Assign{OutPort: port, OutVC: ov}, true
+		}
+	}
+	return Assign{}, false
+}
+
 // sa is a two-stage separable switch allocator: stage 1 picks one
 // requesting VC per input port (round-robin over the port's saSet),
 // stage 2 picks one input port per output port (round-robin), then
 // winners traverse the switch.
 func (r *Router) sa() {
 	var reqs [NumPorts]*VC
-	any := false
+	want := 0 // bit per requested output port
 	for p := 0; p < NumPorts; p++ {
 		in := r.In[p]
 		if in == nil {
@@ -167,28 +229,45 @@ func (r *Router) sa() {
 		}
 		if vc := r.saPick(in); vc != nil {
 			reqs[p] = vc
-			any = true
+			want |= 1 << vc.OutPort
 		}
 	}
-	if !any {
+	if want == 0 {
 		return
 	}
 	for o := 0; o < NumPorts; o++ {
-		out := r.Out[o]
-		if out == nil || out.FFReserved || out.Link.Busy() {
+		if want&(1<<o) == 0 {
+			// No stage-1 winner wants this output; the scan below would
+			// provably grant nothing.
 			continue
 		}
+		out := r.Out[o] // non-nil: some VC holds a grant to it
+		if out.FFReserved || out.Link.Busy() {
+			continue
+		}
+		p := out.saPtr // always in [0, NumPorts)
 		for k := 0; k < NumPorts; k++ {
-			p := (out.saPtr + k) % NumPorts
 			vc := reqs[p]
-			if vc == nil || vc.OutPort != o {
-				continue
+			if vc != nil && vc.OutPort == o {
+				in := r.In[p]
+				r.sendFlit(in, vc)
+				sp := vc.ID + 1
+				if sp == r.nvcs {
+					sp = 0
+				}
+				in.saPtr = sp
+				reqs[p] = nil
+				p++
+				if p == NumPorts {
+					p = 0
+				}
+				out.saPtr = p
+				break
 			}
-			r.sendFlit(r.In[p], vc)
-			out.saPtr = p + 1
-			r.In[p].saPtr = vc.ID + 1
-			reqs[p] = nil
-			break
+			p++
+			if p == NumPorts {
+				p = 0
+			}
 		}
 	}
 }
@@ -198,11 +277,30 @@ func (r *Router) sa() {
 // Candidates come from the port's saSet; each flagged VC is re-checked
 // exactly as the full scan did, so the winner is bit-identical.
 func (r *Router) saPick(in *InputPort) *VC {
+	base := in.saPtr // always in [0, len(VCs))
+	if len(in.saSet) == 1 {
+		// Single-word set: snapshot iteration, same argument as va().
+		// Stage 1 mutates nothing, so the snapshot cannot even go stale.
+		w := in.saSet[0]
+		if w == 0 {
+			return nil
+		}
+		hi := w & (^uint64(0) << uint(base))
+		for m := hi; m != 0; m &= m - 1 {
+			if vc := r.saCheck(in.VCs[bits.TrailingZeros64(m)]); vc != nil {
+				return vc
+			}
+		}
+		for m := w &^ hi; m != 0; m &= m - 1 {
+			if vc := r.saCheck(in.VCs[bits.TrailingZeros64(m)]); vc != nil {
+				return vc
+			}
+		}
+		return nil
+	}
 	if in.saSet.empty() {
 		return nil
 	}
-	n := len(in.VCs)
-	base := in.saPtr % n
 	for idx := in.saSet.next(base); idx >= 0; idx = in.saSet.next(idx + 1) {
 		if vc := r.saCheck(in.VCs[idx]); vc != nil {
 			return vc
@@ -261,7 +359,7 @@ func (r *Router) noteSAStall(vc *VC, out *OutputPort) {
 // departure.
 func (r *Router) sendFlit(in *InputPort, vc *VC) {
 	out := r.Out[vc.OutPort]
-	f := vc.Pop()
+	f := vc.popSend()
 	out.VCs[vc.OutVC].Credits--
 	out.Link.Send(f, vc.OutVC)
 	vc.LastMove = r.Net.Cycle

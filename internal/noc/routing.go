@@ -48,7 +48,7 @@ func (c *Config) Neighbor(id, d int) int {
 // productiveDirs appends the minimal productive directions from the
 // router toward dst (or Local when already there).
 func (r *Router) productiveDirs(dst int, buf []int) []int {
-	dx, dy := r.Net.Cfg.XY(dst)
+	dx, dy := int(r.Net.xOf[dst]), int(r.Net.yOf[dst])
 	if dx == r.X && dy == r.Y {
 		return append(buf, Local)
 	}
@@ -104,10 +104,11 @@ func (r *Router) RouteCandidates(kind RoutingKind, pkt *Packet, buf []int) []int
 	return buf
 }
 
-// routeCandidatesRaw is the fault-oblivious routing function.
+// routeCandidatesRaw is the fault-oblivious routing function. The
+// destination coordinates come from the network's lookup tables — two
+// loads instead of the div/mod pair Cfg.XY costs per call.
 func (r *Router) routeCandidatesRaw(kind RoutingKind, pkt *Packet, buf []int) []int {
-	cfg := &r.Net.Cfg
-	dx, dy := cfg.XY(pkt.Dst)
+	dx, dy := int(r.Net.xOf[pkt.Dst]), int(r.Net.yOf[pkt.Dst])
 	if dx == r.X && dy == r.Y {
 		return append(buf, Local)
 	}

@@ -376,6 +376,27 @@ func (n *Network) EnableSharding(k int) {
 		r.In[Local].CreditOut.sendSh, r.In[Local].CreditOut.sinkSh = sh, sh
 		nic.EjCreditOut.sendSh, nic.EjCreditOut.sinkSh = sh, sh
 	}
+	// Pre-size every staging buffer to its per-cycle worst case so the
+	// parallel stages never allocate: each link sends at most once per
+	// cycle, and each ejection VC ejects/consumes at most one packet.
+	dataN := make([]int, k)
+	credN := make([]int, k)
+	for _, l := range n.dataLinks {
+		dataN[l.sendSh.id]++
+	}
+	for _, l := range n.creditLinks {
+		credN[l.sendSh.id]++
+	}
+	ejPer := n.Cfg.Classes * n.Cfg.EjectVCsPerClass
+	for s, sh := range n.shards {
+		nodes := sh.hi - sh.lo
+		sh.dataInj = make([]*DataLink, 0, nodes)
+		sh.dataRtr = make([]*DataLink, 0, dataN[s])
+		sh.creditRtr = make([]*CreditLink, 0, credN[s])
+		sh.creditCons = make([]*CreditLink, 0, nodes)
+		sh.records = make([]stats.PacketRecord, 0, nodes*ejPer)
+		sh.freePkts = make([]*Packet, 0, nodes*ejPer)
+	}
 	n.vaParallel = false
 	if ps, ok := n.VA.(ParallelSafeVA); ok {
 		n.vaParallel = ps.VAParallelSafe()
@@ -426,6 +447,18 @@ func (n *Network) stepSharded() {
 		return
 	}
 	if n.pool == nil {
+		if runtime.GOMAXPROCS(0) <= 1 {
+			// A worker pool (and the staged execution that feeds it) only
+			// pays for itself when the process has CPUs to run it on.
+			// Single-CPU processes take the serial step: byte-identity at
+			// every shard count is the file's load-bearing contract, so
+			// the substitution is invisible in every output — including
+			// checkpoints, which never serialize shard staging. The check
+			// repeats while no pool exists, so raising GOMAXPROCS
+			// mid-run starts parallel execution on the next Step.
+			n.stepSerial()
+			return
+		}
 		n.pool = newShardPool(len(n.shards))
 		if !n.finalizerSet {
 			// Once per network: re-enabling sharding after StopWorkers
@@ -526,6 +559,7 @@ func (n *Network) stepSharded() {
 		n.Scheme.PreRouter(n)
 	}
 	if !n.Frozen {
+		n.refreshVAFast()
 		// Injection parallelizes only when VA does and no injector is
 		// installed (SelectInject may read cross-router state for
 		// non-parallel-safe policies; the fault injector's tracking
@@ -565,7 +599,7 @@ func (n *Network) stepSharded() {
 				}
 			}
 		}
-		n.vaRound++
+		n.bumpVARound()
 	} else {
 		for _, nic := range n.NICs {
 			if nic.ejOccupied > 0 {
@@ -804,6 +838,7 @@ func (n *Network) trySkip(target int64) bool {
 	// has nothing to record. Everything else is untouched by an idle
 	// cycle by the gate above.
 	n.vaRound += int(k)
+	n.vaRoundMod = int((int64(n.vaRoundMod) + k) % int64(n.vaTotal))
 	n.Energy.SkipIdle(k)
 	return true
 }

@@ -12,38 +12,46 @@ const (
 )
 
 // VC is one input-port virtual channel: a flit FIFO plus the per-packet
-// allocation state used by the router pipeline.
+// allocation state used by the router pipeline. Networks carve their
+// VCs from a flat slab (layout.go), so the struct is padded to exactly
+// two cache lines with the fields the pipeline's eligibility checks
+// read packed into the first.
 type VC struct {
-	ID    int
-	Depth int
-
-	buf  []Flit
-	head int
+	// First line: everything va/sa eligibility checks and sync touch.
 	n    int
+	head int
 
 	State VCState
-	Pkt   *Packet // owner packet while Active
-
 	// Routing/allocation state for the owner packet.
 	OutPort int // granted output port, -1 until VA succeeds
 	OutVC   int // granted downstream VC, -1 until VA succeeds
+
+	Pkt *Packet // owner packet while Active
+
+	// FFMode marks the VC as owned by the Free-Flow engine: the normal
+	// pipeline must not route, allocate or switch its flits.
+	FFMode bool
+	// occ mirrors this VC's contribution to Router.occupied: the VC
+	// buffers flits the regular pipeline may act on (non-empty, not
+	// Free-Flow).
+	occ bool
+
+	ID int
+
+	// Second line.
+	buf   []Flit
+	Depth int
 
 	// Liveness bookkeeping for reactive/subactive schemes.
 	ActiveSince int64 // cycle the head flit arrived
 	LastMove    int64 // cycle a flit last departed this VC
 
-	// FFMode marks the VC as owned by the Free-Flow engine: the normal
-	// pipeline must not route, allocate or switch its flits.
-	FFMode bool
-
 	// in is the input port holding this VC, or nil for standalone VCs
 	// constructed outside a Network (unit tests); the active-set
 	// bookkeeping in sync no-ops without it.
 	in *InputPort
-	// occ mirrors this VC's contribution to Router.occupied: the VC
-	// buffers flits the regular pipeline may act on (non-empty, not
-	// Free-Flow).
-	occ bool
+
+	_ [8]byte // pad to 128 (see layout.go size pins)
 }
 
 // NewVC returns an idle VC with the given identifier and flit capacity.
@@ -73,7 +81,11 @@ func (v *VC) At(i int) Flit {
 	if i < 0 || i >= v.n {
 		panic("noc: VC.At out of range")
 	}
-	return v.buf[(v.head+i)%v.Depth]
+	p := v.head + i
+	if p >= v.Depth {
+		p -= v.Depth
+	}
+	return v.buf[p]
 }
 
 // Push appends a flit. It panics on overflow (a flow-control violation,
@@ -82,18 +94,56 @@ func (v *VC) Push(f Flit) {
 	if v.Full() {
 		panic("noc: VC overflow (flow control violation)")
 	}
-	v.buf[(v.head+v.n)%v.Depth] = f
+	p := v.head + v.n
+	if p >= v.Depth {
+		p -= v.Depth
+	}
+	v.buf[p] = f
 	v.n++
-	v.sync()
+	if v.n == 1 {
+		// Pushing onto a non-empty buffer is invisible to the active
+		// sets: the front flit, the occupancy flag and the allocation
+		// state are all unchanged, so sync would recompute exactly what
+		// is already there. Only the empty -> non-empty edge can flip
+		// anything.
+		v.sync()
+	}
 }
 
 // Pop removes and returns the front flit. It panics if empty.
 func (v *VC) Pop() Flit {
 	f := v.Front()
 	v.buf[v.head] = Flit{}
-	v.head = (v.head + 1) % v.Depth
+	v.head++
+	if v.head == v.Depth {
+		v.head = 0
+	}
 	v.n--
 	v.sync()
+	return f
+}
+
+// popSend is Pop specialized for switch traversal (Router.sendFlit):
+// the VC is allocated (OutVC >= 0), Active and not in Free-Flow mode,
+// so of the state sync recomputes only the emptied transition can
+// change — the VA bit is already clear (allocated) and the SA bit
+// already set, and both stay put while flits remain. Behavior-identical
+// to Pop for such VCs, minus the full recompute per flit.
+func (v *VC) popSend() Flit {
+	f := v.buf[v.head]
+	v.buf[v.head] = Flit{}
+	v.head++
+	if v.head == v.Depth {
+		v.head = 0
+	}
+	v.n--
+	if v.n == 0 {
+		in := v.in
+		v.occ = false
+		in.Router.occupied--
+		in.saSet.clear(v.ID)
+		in.Router.vaSet.clear(in.vaBase + v.ID)
+	}
 	return f
 }
 

@@ -17,11 +17,18 @@ const (
 // 32 sub-buckets covers every representable int64 sample.
 const maxHistBuckets = 64 * defaultSubBuckets
 
-// SaveState implements checkpoint.Stateful.
+// SaveState implements checkpoint.Stateful. Trailing zero buckets are
+// trimmed: the bucket array is pre-sized (NewHistogram) but the stream
+// stays in the format-v1 shape, where length tracks the highest
+// occupied bucket.
 func (h *Histogram) SaveState(w *checkpoint.Writer) {
 	w.Section(secHistogram)
-	w.Int(len(h.counts))
-	for _, c := range h.counts {
+	n := len(h.counts)
+	for n > 0 && h.counts[n-1] == 0 {
+		n--
+	}
+	w.Int(n)
+	for _, c := range h.counts[:n] {
 		w.I64(c)
 	}
 	w.I64(h.count)
@@ -35,14 +42,15 @@ func (h *Histogram) SaveState(w *checkpoint.Writer) {
 func (h *Histogram) RestoreState(r *checkpoint.Reader) error {
 	r.Section(secHistogram)
 	n := r.SliceLen(maxHistBuckets)
-	// Keep the no-samples representation identical to a fresh histogram
-	// (nil, not empty): restored state must compare deeply equal to the
-	// equivalent uninterrupted run.
-	h.counts = nil
-	if n > 0 {
-		h.counts = make([]int64, n)
+	// Re-presize: the restored array must match what a fresh NewHistogram
+	// recording the same samples would hold, so resumed runs stay
+	// allocation-free (and deeply equal to uninterrupted ones).
+	size := n
+	if min := h.bucketIndex(presizeMax) + 1; size < min {
+		size = min
 	}
-	for i := range h.counts {
+	h.counts = make([]int64, size)
+	for i := 0; i < n; i++ {
 		h.counts[i] = r.I64()
 	}
 	h.count = r.I64()

@@ -26,6 +26,13 @@ type Histogram struct {
 
 const defaultSubBuckets = 32
 
+// presizeMax is the largest sample the pre-sized bucket array covers
+// without growing. Samples are cycle counts; 2^21 cycles outlives any
+// packet a simulation this size can carry, so steady-state Add never
+// allocates (the growth path stays as a fallback for outliers). At
+// default precision this is 544 buckets ≈ 4.3 KB per histogram.
+const presizeMax = 1<<21 - 1
+
 // NewHistogram returns an empty histogram with default precision
 // (relative error about 3% at every magnitude).
 func NewHistogram() *Histogram {
@@ -34,6 +41,7 @@ func NewHistogram() *Histogram {
 		subShift:   uint(bits.TrailingZeros(uint(defaultSubBuckets))),
 		min:        math.MaxInt64,
 	}
+	h.counts = make([]int64, h.bucketIndex(presizeMax)+1)
 	return h
 }
 
