@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test short race check bench benchdiff figures
+.PHONY: build test short race check bench benchdiff benchgate figures
 
 build:
 	$(GO) build ./...
@@ -29,6 +29,11 @@ bench:
 # without touching it: per-benchmark ns/op and allocs/op deltas.
 benchdiff:
 	$(GO) test -bench 'Step|LatencyCurve|RunIdle|WarmupFork|Checkpoint' -benchmem -run '^$$' ./... | $(GO) run ./cmd/benchjson -compare BENCH_step.json
+
+# benchdiff as a gate: exit non-zero if any benchmark regressed past
+# 10% ns/op (single-run benchmarks are noisy; use a generous margin).
+benchgate:
+	$(GO) test -bench 'Step|LatencyCurve|RunIdle|WarmupFork|Checkpoint' -benchmem -run '^$$' ./... | $(GO) run ./cmd/benchjson -compare BENCH_step.json -fail-above 10
 
 # Regenerate the checked-in quick-scale results record.
 figures:

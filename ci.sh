@@ -24,6 +24,12 @@ GOMAXPROCS=4 go test -race -run 'TestShardedIdentity|TestShardedStepRace|TestSha
 # Compile-and-smoke the step benchmarks (one iteration, no -run match):
 # a broken benchmark otherwise only surfaces when someone profiles.
 go test -bench . -benchtime 1x -run XXX ./internal/noc
+# Live-telemetry smoke: boot a real sweep with -status, poll /status
+# until a job completes, and assert /metrics parses as Prometheus text
+# and /debug/pprof answers — the observability stack end to end. (The
+# full ./... pass above also runs this; the dedicated leg keeps the
+# endpoint contract loud when someone filters the suite.)
+go test -run 'TestStatusEndpointSmoke' -timeout 10m ./cmd/figures
 # Fuzz smoke: a few seconds per fuzzer over the parsers and invariants
 # that take arbitrary input (fault specs, histograms, traffic
 # destinations), plus the shard count fuzzed against serial output.

@@ -67,7 +67,16 @@ type record struct {
 
 func main() {
 	compare := flag.String("compare", "", "path to a previous benchjson record; print per-benchmark deltas instead of JSON")
+	failAbove := flag.Float64("fail-above", 0, "with -compare: exit non-zero if any benchmark's ns/op regressed by more than this percentage (0 = report only)")
 	flag.Parse()
+	if *failAbove < 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: -fail-above %g: must be non-negative\n", *failAbove)
+		os.Exit(2)
+	}
+	if *failAbove > 0 && *compare == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -fail-above needs -compare")
+		os.Exit(2)
+	}
 	doc := record{
 		Meta: meta{
 			Timestamp: time.Now().UTC().Format(time.RFC3339),
@@ -134,8 +143,16 @@ func main() {
 		os.Exit(1)
 	}
 	if *compare != "" {
-		if err := printDiff(os.Stdout, *compare, doc); err != nil {
+		regressed, err := printDiff(os.Stdout, *compare, doc, *failAbove)
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		if len(regressed) > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed past the %+.1f%% gate:\n", len(regressed), *failAbove)
+			for _, r := range regressed {
+				fmt.Fprintf(os.Stderr, "  %s\n", r)
+			}
 			os.Exit(1)
 		}
 		return
@@ -152,15 +169,18 @@ func main() {
 // benchmark comparing it with the fresh run: ns/op with the percentage
 // change (negative is faster) and allocs/op with its absolute delta.
 // Benchmarks present on only one side are listed so a renamed or
-// deleted benchmark can't silently vanish from the comparison.
-func printDiff(w *os.File, oldPath string, fresh record) error {
+// deleted benchmark can't silently vanish from the comparison. With
+// failAbove > 0, benchmarks whose ns/op grew by more than that
+// percentage come back as regression descriptions for the caller's
+// exit-status gate.
+func printDiff(w *os.File, oldPath string, fresh record, failAbove float64) ([]string, error) {
 	data, err := os.ReadFile(oldPath)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	var old record
 	if err := json.Unmarshal(data, &old); err != nil {
-		return fmt.Errorf("%s: %v", oldPath, err)
+		return nil, fmt.Errorf("%s: %v", oldPath, err)
 	}
 	names := make([]string, 0, len(fresh.Benchmarks)+len(old.Benchmarks))
 	for name := range fresh.Benchmarks {
@@ -175,6 +195,7 @@ func printDiff(w *os.File, oldPath string, fresh record) error {
 	fmt.Fprintf(w, "old: %s (%s)\nnew: %s (%s)\n\n",
 		oldPath, old.Meta.Timestamp, "stdin", fresh.Meta.Timestamp)
 	fmt.Fprintf(w, "%-64s %12s %12s %8s  %s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs/op")
+	var regressed []string
 	for _, name := range names {
 		o, haveOld := old.Benchmarks[name]
 		n, haveNew := fresh.Benchmarks[name]
@@ -188,13 +209,17 @@ func printDiff(w *os.File, oldPath string, fresh record) error {
 		default:
 			pct := "n/a"
 			if o.NsOp != 0 {
-				pct = fmt.Sprintf("%+.1f%%", 100*(n.NsOp-o.NsOp)/o.NsOp)
+				d := 100 * (n.NsOp - o.NsOp) / o.NsOp
+				pct = fmt.Sprintf("%+.1f%%", d)
+				if failAbove > 0 && d > failAbove {
+					regressed = append(regressed, fmt.Sprintf("%s: %.0f -> %.0f ns/op (%s)", name, o.NsOp, n.NsOp, pct))
+				}
 			}
 			fmt.Fprintf(w, "%-64s %12.0f %12.0f %8s  %s\n",
 				name, o.NsOp, n.NsOp, pct, allocDelta(true, true, o, n))
 		}
 	}
-	return nil
+	return regressed, nil
 }
 
 // allocDelta formats the allocs/op side of a diff line: "old -> new"

@@ -41,6 +41,9 @@ func main() {
 	jobTimeout := flag.Duration("job-timeout", 0, "wall-time budget per simulation cell; cells past it render as error cells (0 = unbounded)")
 	maxFailures := flag.Int("max-failures", 0, "cancel a figure's remaining cells after this many failures (0 = drain everything, report at the end)")
 	warmupShare := flag.Bool("warmup-share", false, "amortize warmup across rate sweeps (fig 8): warm each curve once, checkpoint in memory, fork every rate point from the shared warm state; changes the sampling plan, so numbers differ statistically from the default path")
+	statusAddr := flag.String("status", "", "serve live sweep telemetry over HTTP on this address (/status, /metrics, /debug/pprof); \":0\" picks a free port, printed on stderr")
+	telemetryOut := flag.String("telemetry-out", "", "append sweep telemetry events to this file as JSON lines")
+	progress := flag.Duration("progress", 0, "print an ETA-aware progress line to stderr at most this often (0 = off)")
 	flag.Parse()
 
 	switch {
@@ -58,6 +61,8 @@ func main() {
 		usage("-metrics-window %d: must be non-negative", *metricsWin)
 	case *watchdogWin < 0:
 		usage("-watchdog %d: the stall threshold must be non-negative", *watchdogWin)
+	case *progress < 0:
+		usage("-progress %v: must be non-negative", *progress)
 	}
 
 	if *cpuprofile != "" {
@@ -104,15 +109,46 @@ func main() {
 	sc.MaxFailures = *maxFailures
 	sc.WarmupShare = *warmupShare
 
+	// Live sweep telemetry: event bus + aggregator, optionally served
+	// over HTTP and/or logged as JSONL. Pure observation — tables are
+	// byte-identical with it on or off, so it works at any -j.
+	tel, err := seec.TelemetryOptions{StatusAddr: *statusAddr, EventsPath: *telemetryOut}.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "figures: telemetry: %v\n", err)
+		os.Exit(1)
+	}
+	if tel != nil {
+		defer tel.Close()
+		if addr := tel.Addr(); addr != "" {
+			fmt.Fprintf(os.Stderr, "figures: telemetry: serving /status, /metrics and /debug/pprof on http://%s\n", addr)
+		}
+		sc.SweepEvents = tel.Bus
+		sc.RunEvents = tel.Hook()
+	}
+	if *progress > 0 {
+		sc.ProgressEvery = *progress
+		if tel != nil {
+			sc.Progress = func(done, total int) {
+				fmt.Fprintf(os.Stderr, "figures: %s\n", tel.ProgressLine())
+			}
+		} else {
+			sc.Progress = func(done, total int) {
+				fmt.Fprintf(os.Stderr, "figures: jobs %d/%d done\n", done, total)
+			}
+		}
+	}
+
 	inst := seec.InstrumentOptions{
-		TracePath:      *tracePath,
-		EventsPath:     *eventsPath,
-		TraceBuf:       *traceBuf,
-		MetricsPath:    *metricsOut,
-		MetricsWindow:  *metricsWin,
-		WatchdogWindow: *watchdogWin,
-		Tool:           "figures",
-		Args:           os.Args[1:],
+		TracePath:       *tracePath,
+		EventsPath:      *eventsPath,
+		TraceBuf:        *traceBuf,
+		MetricsPath:     *metricsOut,
+		MetricsWindow:   *metricsWin,
+		WatchdogWindow:  *watchdogWin,
+		Tool:            "figures",
+		Args:            os.Args[1:],
+		TelemetryAddr:   tel.Addr(),
+		TelemetryEvents: *telemetryOut,
 	}
 	if inst.Enabled() {
 		// File-producing instrumentation gets one numbered output set

@@ -102,6 +102,8 @@ func TestCLIRejectsBadFlags(t *testing.T) {
 		{"-fig", "7", "-trace-buf", "-1"},
 		{"-fig", "7", "-metrics-window", "-5"},
 		{"-fig", "7", "-watchdog", "-5"},
+		{"-fig", "7", "-progress", "-1s"},
+		{"-fig", "7", "-status", "256.256.256.256:99999"},
 	} {
 		cmd := exec.Command(exe, args...)
 		cmd.Env = append(os.Environ(), mainEnv+"=1")

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// promSample matches one sample line of the Prometheus text exposition
+// format.
+var promSample = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? (-?[0-9.eE+-]+|NaN)$`)
+
+// statusDoc mirrors the part of /status the smoke test asserts on.
+type statusDoc struct {
+	Sweep struct {
+		Jobs int64 `json:"jobs_total"`
+		Done int64 `json:"jobs_done"`
+	} `json:"sweep"`
+}
+
+// TestStatusEndpointSmoke is the live acceptance check for sweep
+// telemetry: it starts a real `figures -fig table1 -status 127.0.0.1:0`
+// sweep as a child process, reads the bound address off its stderr,
+// polls /status until the job counter moves, and asserts /metrics
+// parses as Prometheus text and /debug/pprof responds — all while the
+// sweep is still running. The child is killed once the endpoints have
+// answered; the sweep result is not the point.
+func TestStatusEndpointSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a live table1 sweep (~1 min)")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, "-fig", "table1", "-scale", "quick", "-status", "127.0.0.1:0", "-j", "2")
+	cmd.Env = append(os.Environ(), mainEnv+"=1")
+	cmd.Stdout = io.Discard
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	}()
+
+	// The CLI announces the bound address on stderr before the sweep
+	// starts.
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "http://"); i >= 0 {
+				addrCh <- strings.TrimSpace(line[i+len("http://"):])
+				break
+			}
+		}
+		close(addrCh)
+		io.Copy(io.Discard, stderr) // keep the child's stderr drained
+	}()
+	var addr string
+	select {
+	case a, ok := <-addrCh:
+		if !ok || a == "" {
+			t.Fatal("no telemetry address announced on stderr")
+		}
+		addr = a
+	case <-time.After(30 * time.Second):
+		t.Fatal("timed out waiting for the telemetry address")
+	}
+
+	// Poll /status until the sweep reports progress (table1 runs 27
+	// jobs; the first finishes within seconds at quick scale).
+	deadline := time.Now().Add(3 * time.Minute)
+	var doc statusDoc
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("no job progress before deadline: %+v", doc)
+		}
+		body, err := httpGet(addr, "/status")
+		if err == nil {
+			if err := json.Unmarshal(body, &doc); err != nil {
+				t.Fatalf("/status not valid JSON: %v\n%s", err, body)
+			}
+			if doc.Sweep.Done >= 1 {
+				break
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if doc.Sweep.Jobs != 27 {
+		t.Errorf("/status jobs_total = %d, want 27 (table1 = 9 configs x 3 measures)", doc.Sweep.Jobs)
+	}
+
+	// /metrics must parse line-by-line as Prometheus text and carry the
+	// job counters.
+	body, err := httpGet(addr, "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	sc := bufio.NewScanner(strings.NewReader(string(body)))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promSample.MatchString(line) {
+			t.Fatalf("bad prometheus line: %q", line)
+		}
+		names[strings.FieldsFunc(line, func(r rune) bool { return r == '{' || r == ' ' })[0]] = true
+	}
+	for _, want := range []string{"seec_jobs_total", "seec_jobs_planned_total", "seec_sweep_eta_seconds"} {
+		if !names[want] {
+			t.Errorf("metric %s missing from /metrics", want)
+		}
+	}
+
+	// pprof must answer while the sweep runs.
+	if _, err := httpGet(addr, "/debug/pprof/cmdline"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// httpGet fetches path from the child's telemetry server and returns
+// the body, failing on any non-200 status.
+func httpGet(addr, path string) ([]byte, error) {
+	resp, err := http.Get("http://" + addr + path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET %s: status %d", path, resp.StatusCode)
+	}
+	return io.ReadAll(resp.Body)
+}

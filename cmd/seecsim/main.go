@@ -49,6 +49,10 @@ func main() {
 		metricsOut  = flag.String("metrics-out", "", "write per-router and per-link metrics CSVs with this path prefix")
 		metricsWin  = flag.Int64("metrics-window", 0, "metrics window length in cycles (0 = 1000)")
 		watchdogWin = flag.Int64("watchdog", 0, "dump a network snapshot to stderr after this many cycles without an ejection (0 = off)")
+
+		statusAddr   = flag.String("status", "", "serve live run telemetry over HTTP on this address (/status, /metrics, /debug/pprof); \":0\" picks a free port, printed on stderr")
+		telemetryOut = flag.String("telemetry-out", "", "append run telemetry events to this file as JSON lines")
+		hbEvery      = flag.Int64("heartbeat-every", 0, "cycles between telemetry heartbeats (0 = 2048)")
 	)
 	flag.Parse()
 
@@ -87,6 +91,10 @@ func main() {
 		usage("-stop-ci %g: must be non-negative", *stopCI)
 	case *ckptEvery > 0 && *ckptOut == "":
 		usage("-checkpoint-every needs -checkpoint-out")
+	case *hbEvery < 0:
+		usage("-heartbeat-every %d: must be non-negative", *hbEvery)
+	case *hbEvery > 0 && *statusAddr == "" && *telemetryOut == "":
+		usage("-heartbeat-every needs -status or -telemetry-out")
 	}
 	if *ckptOut != "" || *resume != "" || *stopCI > 0 {
 		if *app != "" || *satSearch {
@@ -133,15 +141,34 @@ func main() {
 	cfg.CheckpointEvery = *ckptEvery
 	cfg.ResumePath = *resume
 
+	// Live telemetry: works for single runs and -saturation searches
+	// alike (each probe run gets its own heartbeat stream id).
+	tel, err := seec.TelemetryOptions{
+		StatusAddr: *statusAddr, EventsPath: *telemetryOut, HeartbeatEvery: *hbEvery,
+	}.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "seecsim: telemetry: %v\n", err)
+		os.Exit(1)
+	}
+	if tel != nil {
+		defer tel.Close()
+		if addr := tel.Addr(); addr != "" {
+			fmt.Fprintf(os.Stderr, "seecsim: telemetry: serving /status, /metrics and /debug/pprof on http://%s\n", addr)
+		}
+		tel.Attach(&cfg)
+	}
+
 	inst := seec.InstrumentOptions{
-		TracePath:      *tracePath,
-		EventsPath:     *eventsPath,
-		TraceBuf:       *traceBuf,
-		MetricsPath:    *metricsOut,
-		MetricsWindow:  *metricsWin,
-		WatchdogWindow: *watchdogWin,
-		Tool:           "seecsim",
-		Args:           os.Args[1:],
+		TracePath:       *tracePath,
+		EventsPath:      *eventsPath,
+		TraceBuf:        *traceBuf,
+		MetricsPath:     *metricsOut,
+		MetricsWindow:   *metricsWin,
+		WatchdogWindow:  *watchdogWin,
+		Tool:            "seecsim",
+		Args:            os.Args[1:],
+		TelemetryAddr:   tel.Addr(),
+		TelemetryEvents: *telemetryOut,
 	}
 	if *satSearch && inst.Enabled() {
 		fmt.Fprintln(os.Stderr, "seecsim: trace/metrics/watchdog flags apply to single runs, not -saturation searches")

@@ -31,6 +31,13 @@ type InstrumentOptions struct {
 	Args []string // manifest: full command line
 	Note string   // manifest: free-form context, e.g. a figure id
 
+	// TelemetryAddr and TelemetryEvents record the live telemetry
+	// endpoints (the bound /status address and the JSONL event log) in
+	// the manifest when sweep telemetry ran alongside this run. They are
+	// provenance only and do not count toward Enabled().
+	TelemetryAddr   string
+	TelemetryEvents string
+
 	// OnError receives output-writing failures at run end (nil selects
 	// a line on os.Stderr). The simulation result is unaffected.
 	OnError func(error)
@@ -68,6 +75,12 @@ func (o InstrumentOptions) Hook() func(*Sim) func() {
 		if fi := s.Faults; fi != nil {
 			man.FaultSpec = fi.Spec().String()
 			man.FaultSeed = fi.Seed()
+		}
+		if o.TelemetryAddr != "" || o.TelemetryEvents != "" {
+			man.Telemetry = &trace.TelemetrySection{
+				StatusAddr: o.TelemetryAddr,
+				EventsPath: o.TelemetryEvents,
+			}
 		}
 
 		var rec *trace.Recorder

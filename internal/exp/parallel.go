@@ -2,8 +2,10 @@ package exp
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
+	"time"
 
 	"seec/internal/runner"
 )
@@ -17,22 +19,48 @@ import (
 // "collect everything, never trip"); a positive Scale.MaxFailures arms
 // the circuit breaker, cancelling outstanding cells — those render as
 // their zero value. Panicking cells are recovered by the runner and
-// surface here the same way. The aggregate *SweepError, if any, is
-// reported on stderr; the rendered table is the product either way.
+// surface here the same way. Failures are reported on stderr with their
+// cell index, attempt count, elapsed time and unwrapped cause; the
+// rendered table is the product either way.
 func cells[T any](s Scale, n int, fn func(ctx context.Context, i int) (T, error)) []T {
 	out := make([]T, n)
 	mf := s.MaxFailures
 	if mf <= 0 {
 		mf = n + 1 // drain everything; report failures only at the end
 	}
+	opts := []runner.Option{
+		runner.WithWorkers(s.Workers), runner.WithJobTimeout(s.JobTimeout),
+		runner.WithMaxFailures(mf), runner.WithTelemetry(s.SweepEvents),
+	}
+	if s.Progress != nil {
+		opts = append(opts, runner.WithProgress(s.Progress),
+			runner.WithProgressThrottle(s.ProgressEvery))
+	}
 	_, err := runner.Map(context.Background(), n, func(ctx context.Context, i int) (struct{}, error) {
 		v, err := fn(ctx, i)
 		out[i] = v // kept even on error: fn renders its own failure cell
 		return struct{}{}, err
-	}, runner.WithWorkers(s.Workers), runner.WithJobTimeout(s.JobTimeout),
-		runner.WithMaxFailures(mf))
+	}, opts...)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "exp:", err)
+		reportSweepError(os.Stderr, err)
 	}
 	return out
+}
+
+// reportSweepError prints a sweep failure so each "err" table cell has
+// diagnosable context: one line per failed cell with its index, attempt
+// count, elapsed wall time and the underlying cause (unwrapped from the
+// *JobError), then the aggregate count. Non-sweep errors (fail-fast
+// mode, cancellation) print as-is.
+func reportSweepError(w *os.File, err error) {
+	var se *runner.SweepError
+	if !errors.As(err, &se) {
+		fmt.Fprintln(w, "exp:", err)
+		return
+	}
+	for _, f := range se.Failures {
+		fmt.Fprintf(w, "exp: cell %d failed after %d attempt(s) in %v: %v\n",
+			f.Index, f.Attempts, f.Elapsed.Round(time.Millisecond), f.Unwrap())
+	}
+	fmt.Fprintf(w, "exp: %d/%d cells failed\n", len(se.Failures), se.Jobs)
 }

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"seec"
+	"seec/internal/telemetry"
 )
 
 // Table is a rendered experiment result.
@@ -141,6 +142,22 @@ type Scale struct {
 	// Observation only — rendered tables are identical either way.
 	Instrument func(*seec.Sim) func()
 
+	// SweepEvents, when non-nil, receives structured job-lifecycle
+	// events from every cell fan-out (runner.WithTelemetry). RunEvents
+	// and HeartbeatEvery are copied into each launched simulation's
+	// Config (see seec.Config.Telemetry), feeding in-run heartbeats to
+	// the same bus. All observation only.
+	SweepEvents    *telemetry.Bus
+	RunEvents      func(*seec.Sim) func(seec.RunEvent)
+	HeartbeatEvery int64
+
+	// Progress, when non-nil, is invoked with monotonic (done, total)
+	// counts as cells complete, at most once per ProgressEvery
+	// (0 = every completion). cmd/figures uses it to print ETA-aware
+	// progress lines during long sweeps.
+	Progress      func(done, total int)
+	ProgressEvery time.Duration
+
 	// WarmupShare switches the rate-sweep generators (Fig. 8) to the
 	// warmup-fork path: each (mesh, pattern, scheme) curve warms up one
 	// simulation, checkpoints it in memory, and forks every rate point
@@ -160,6 +177,8 @@ type Scale struct {
 // and the circuit breaker can interrupt a run between cycles.
 func (s Scale) runSynthetic(ctx context.Context, cfg seec.Config) (seec.Result, error) {
 	cfg.Instrument = s.Instrument
+	cfg.Telemetry = s.RunEvents
+	cfg.HeartbeatEvery = s.HeartbeatEvery
 	cfg.Shards = s.Shards
 	if cfg.Scheme == seec.SchemeCHIPPER || cfg.Scheme == seec.SchemeMinBD {
 		// The deflection network has no sharded path; run it serially
@@ -173,6 +192,8 @@ func (s Scale) runSynthetic(ctx context.Context, cfg seec.Config) (seec.Result, 
 // instrumentation attached.
 func (s Scale) runApplication(ctx context.Context, cfg seec.Config, app string, txns, maxCycles int64) (seec.AppResult, error) {
 	cfg.Instrument = s.Instrument
+	cfg.Telemetry = s.RunEvents
+	cfg.HeartbeatEvery = s.HeartbeatEvery
 	cfg.Shards = s.Shards
 	return seec.RunApplicationCtx(ctx, cfg, app, txns, maxCycles)
 }

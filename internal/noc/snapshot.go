@@ -23,6 +23,12 @@ type Watchdog struct {
 
 	Fired int // how many times the watchdog has fired
 
+	// OnFire, when non-nil, is called on every stall verdict — including
+	// re-fires past the MaxDumps snapshot budget — with the current
+	// cycle and the cycles elapsed since the last ejection. Used by the
+	// telemetry layer; must only observe.
+	OnFire func(cycle, sinceEject int64)
+
 	lastFire int64
 	buf      bytes.Buffer
 }
@@ -44,6 +50,9 @@ func (w *Watchdog) check(n *Network) {
 		max = 3
 	}
 	w.lastFire = n.Cycle
+	if w.OnFire != nil {
+		w.OnFire(n.Cycle, n.Cycle-n.lastConsume)
+	}
 	if w.Fired >= max {
 		return
 	}

@@ -26,6 +26,7 @@ package runner
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
@@ -34,16 +35,22 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"seec/internal/telemetry"
 )
 
 // JobError is one failed job: its index, the underlying error, and —
 // when the job panicked — the recovered value's message and the worker
-// stack at the point of the panic.
+// stack at the point of the panic. Attempts and Elapsed record how much
+// work the failure cost: the number of attempts made (1 without
+// retries) and the wall time across all of them.
 type JobError struct {
 	Index    int
 	Err      error
 	Panicked bool
 	Stack    []byte // goroutine stack, only set when Panicked
+	Attempts int
+	Elapsed  time.Duration
 }
 
 // Error implements error.
@@ -90,11 +97,13 @@ func (e *SweepError) Unwrap() []error {
 
 // options collects the knobs shared by Map and Sweep.
 type options struct {
-	workers     int
-	progress    func(done, total int)
-	jobTimeout  time.Duration
-	maxFailures int
-	retries     int
+	workers       int
+	progress      func(done, total int)
+	progressEvery time.Duration
+	jobTimeout    time.Duration
+	maxFailures   int
+	retries       int
+	bus           *telemetry.Bus
 }
 
 // Option configures a Map or Sweep call.
@@ -108,10 +117,29 @@ func WithWorkers(n int) Option {
 
 // WithProgress registers a callback invoked after each job completes,
 // with the number of finished jobs and the total. Calls are serialized
-// (never concurrent with each other), but arrive from worker
-// goroutines in completion order, not job order.
+// (never concurrent with each other) and the done count is strictly
+// monotonic across calls — the counter increment and the callback
+// happen under one lock, so a later call always reports a larger done
+// value. Calls arrive from worker goroutines in completion order, not
+// job order.
 func WithProgress(fn func(done, total int)) Option {
 	return func(o *options) { o.progress = fn }
+}
+
+// WithProgressThrottle rate-limits the WithProgress callback: at most
+// one call per d, except that the final job's completion always
+// reports. Monotonicity is unaffected — skipped updates are folded into
+// the next reported done count. d <= 0 disables throttling, the
+// default.
+func WithProgressThrottle(d time.Duration) Option {
+	return func(o *options) { o.progressEvery = d }
+}
+
+// WithTelemetry emits structured sweep- and job-lifecycle events
+// (sweep_start/done, job_start/done/retry/fail/timeout/panic,
+// breaker_trip) on b as the pool runs. A nil bus is a no-op.
+func WithTelemetry(b *telemetry.Bus) Option {
+	return func(o *options) { o.bus = b }
 }
 
 // WithJobTimeout gives each job its own deadline: the job's context is
@@ -177,11 +205,13 @@ func Map[T any](ctx context.Context, n int, fn func(ctx context.Context, i int) 
 	jobCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	o.bus.Emit(telemetry.Event{Kind: telemetry.EvSweepStart, Job: -1, Total: int64(n), InFlight: int64(workers)})
 	out := make([]T, n)
 	var (
 		next     atomic.Int64 // next job index to dispatch
-		done     atomic.Int64 // completed jobs, for progress
-		mu       sync.Mutex   // guards failures and progress calls
+		mu       sync.Mutex   // guards failures, doneJobs and progress calls
+		doneJobs int          // completed jobs, for progress
+		lastProg time.Time    // last progress callback, for throttling
 		failures []*JobError
 		wg       sync.WaitGroup
 	)
@@ -194,35 +224,63 @@ func Map[T any](ctx context.Context, n int, fn func(ctx context.Context, i int) 
 				if i >= n || jobCtx.Err() != nil {
 					return
 				}
+				o.bus.Emit(telemetry.Event{Kind: telemetry.EvJobStart, Job: int32(i), Attempt: 1})
+				start := time.Now()
+				attempts := 1
 				v, err := runJob(jobCtx, i, fn, o.jobTimeout)
-				for attempt := 0; err != nil && attempt < o.retries && jobCtx.Err() == nil; attempt++ {
+				for err != nil && attempts <= o.retries && jobCtx.Err() == nil {
+					attempts++
+					o.bus.Emit(telemetry.Event{Kind: telemetry.EvJobRetry, Job: int32(i), Attempt: int32(attempts)})
 					v, err = runJob(jobCtx, i, fn, o.jobTimeout)
 				}
+				elapsed := time.Since(start)
 				if err != nil {
 					je, ok := err.(*JobError)
 					if !ok {
 						je = &JobError{Index: i, Err: err}
 					}
+					je.Attempts, je.Elapsed = attempts, elapsed
+					kind := telemetry.EvJobFail
+					switch {
+					case je.Panicked:
+						kind = telemetry.EvJobPanic
+					case errors.Is(je.Err, context.DeadlineExceeded):
+						kind = telemetry.EvJobTimeout
+					}
+					o.bus.Emit(telemetry.Event{
+						Kind: kind, Job: int32(i), Attempt: int32(attempts),
+						DurNs: elapsed.Nanoseconds(), Err: je.Err.Error(),
+					})
 					mu.Lock()
 					failures = append(failures, je)
 					tripped := o.maxFailures > 0 && len(failures) >= o.maxFailures
+					justTripped := o.maxFailures > 0 && len(failures) == o.maxFailures
 					mu.Unlock()
+					if justTripped {
+						o.bus.Emit(telemetry.Event{Kind: telemetry.EvBreakerTrip, Job: -1, Total: int64(o.maxFailures)})
+					}
 					if tripped || (o.maxFailures <= 0 && !je.Panicked) {
 						cancel() // stop dispatching new jobs
 					}
 					continue
 				}
+				o.bus.Emit(telemetry.Event{
+					Kind: telemetry.EvJobDone, Job: int32(i), Attempt: int32(attempts),
+					DurNs: elapsed.Nanoseconds(),
+				})
 				out[i] = v
-				d := int(done.Add(1))
-				if o.progress != nil {
-					mu.Lock()
-					o.progress(d, n)
-					mu.Unlock()
+				mu.Lock()
+				doneJobs++
+				if o.progress != nil && (o.progressEvery <= 0 || doneJobs == n || time.Since(lastProg) >= o.progressEvery) {
+					lastProg = time.Now()
+					o.progress(doneJobs, n)
 				}
+				mu.Unlock()
 			}
 		}()
 	}
 	wg.Wait()
+	o.bus.Emit(telemetry.Event{Kind: telemetry.EvSweepDone, Job: -1, Total: int64(n)})
 	sort.Slice(failures, func(i, j int) bool { return failures[i].Index < failures[j].Index })
 	if o.maxFailures > 0 {
 		if len(failures) > 0 {

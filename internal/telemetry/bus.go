@@ -1,0 +1,143 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// Sink receives every event emitted on a Bus. Implementations must be
+// fast — they run inline under the bus lock — and must not re-enter the
+// bus.
+type Sink interface {
+	Emit(Event)
+	// Close flushes buffered state and releases resources. Called once
+	// by Bus.Close, in attach order.
+	Close() error
+}
+
+// Bus fans events out to its sinks. Emit stamps the event's wall-clock
+// time and delivers it to every sink under one mutex, so sinks see a
+// single totally-ordered event stream even when workers emit
+// concurrently. A nil *Bus is a valid no-op bus: Emit on it returns
+// immediately, so emit sites need no nil guard of their own (though the
+// hot ones keep it to skip building the Event).
+type Bus struct {
+	mu    sync.Mutex
+	sinks []Sink
+}
+
+// NewBus returns a bus delivering to the given sinks.
+func NewBus(sinks ...Sink) *Bus {
+	return &Bus{sinks: sinks}
+}
+
+// Attach adds a sink. Not safe to race with Emit; attach sinks before
+// handing the bus to workers.
+func (b *Bus) Attach(s Sink) {
+	b.sinks = append(b.sinks, s)
+}
+
+// Emit stamps e with the current wall-clock time (unless the caller
+// pre-stamped it) and delivers it to every sink, serialized.
+func (b *Bus) Emit(e Event) {
+	if b == nil {
+		return
+	}
+	if e.TimeNs == 0 {
+		e.TimeNs = time.Now().UnixNano()
+	}
+	b.mu.Lock()
+	for _, s := range b.sinks {
+		s.Emit(e)
+	}
+	b.mu.Unlock()
+}
+
+// Close closes every sink, returning the first error.
+func (b *Bus) Close() error {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var first error
+	for _, s := range b.sinks {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	b.sinks = nil
+	return first
+}
+
+// wireEvent is the JSONL wire form of an Event: kind as its string
+// name, zero-valued optional fields elided. Job is always present (0 is
+// a valid index; -1 marks sweep-level events).
+type wireEvent struct {
+	TimeNs   int64  `json:"t_ns"`
+	Kind     string `json:"kind"`
+	Job      int32  `json:"job"`
+	Attempt  int32  `json:"attempt,omitempty"`
+	Total    int64  `json:"total,omitempty"`
+	Cycle    int64  `json:"cycle,omitempty"`
+	InFlight int64  `json:"in_flight,omitempty"`
+	DurNs    int64  `json:"dur_ns,omitempty"`
+	Err      string `json:"err,omitempty"`
+}
+
+// JSONL renders each event as one JSON object per line — the
+// machine-readable run record the gem5 standardization paper argues
+// for, at sweep granularity. Writes are buffered; Close flushes.
+type JSONL struct {
+	bw  *bufio.Writer
+	c   io.Closer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONL returns a JSONL sink writing to w. If w is also an
+// io.Closer, Close closes it after flushing.
+func NewJSONL(w io.Writer) *JSONL {
+	bw := bufio.NewWriterSize(w, 1<<15)
+	j := &JSONL{bw: bw, enc: json.NewEncoder(bw)}
+	if c, ok := w.(io.Closer); ok {
+		j.c = c
+	}
+	return j
+}
+
+// Emit implements Sink. Encoding errors are sticky and surface at
+// Close; telemetry must never fail the sweep it observes.
+func (j *JSONL) Emit(e Event) {
+	if j.err != nil {
+		return
+	}
+	j.err = j.enc.Encode(wireEvent{
+		TimeNs:   e.TimeNs,
+		Kind:     e.Kind.String(),
+		Job:      e.Job,
+		Attempt:  e.Attempt,
+		Total:    e.Total,
+		Cycle:    e.Cycle,
+		InFlight: e.InFlight,
+		DurNs:    e.DurNs,
+		Err:      e.Err,
+	})
+}
+
+// Close implements Sink.
+func (j *JSONL) Close() error {
+	err := j.err
+	if ferr := j.bw.Flush(); err == nil {
+		err = ferr
+	}
+	if j.c != nil {
+		if cerr := j.c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

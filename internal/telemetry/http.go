@@ -1,0 +1,54 @@
+package telemetry
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Server exposes an Aggregator over HTTP for the duration of a sweep:
+//
+//	/status       aggregator snapshot as indented JSON
+//	/metrics      Prometheus text exposition format
+//	/debug/pprof  the standard Go profiling handlers
+//
+// It binds eagerly (so ":0" resolves to a concrete port the caller can
+// print) and serves from a background goroutine until Close.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewServer listens on addr (host:port; ":0" picks a free port) and
+// starts serving agg. Use Addr for the bound address.
+func NewServer(addr string, agg *Aggregator) (*Server, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		agg.WriteStatusJSON(w)
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		agg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address (concrete even for ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server immediately. In-flight /status requests are
+// cut off — the process is exiting; there is nothing left to report.
+func (s *Server) Close() error { return s.srv.Close() }

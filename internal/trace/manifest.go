@@ -47,6 +47,18 @@ type Manifest struct {
 	StopCI         float64 `json:"stop_ci,omitempty"`
 	CIRelHalfWidth float64 `json:"ci_rel_half_width,omitempty"`
 	CIBatches      int     `json:"ci_batches,omitempty"`
+
+	// Telemetry records the live-observability endpoints the run served,
+	// when sweep telemetry was enabled: where /status was listening and
+	// where the JSONL event log went. Provenance only — telemetry never
+	// influences results.
+	Telemetry *TelemetrySection `json:"telemetry,omitempty"`
+}
+
+// TelemetrySection is the manifest's record of live sweep telemetry.
+type TelemetrySection struct {
+	StatusAddr string `json:"status_addr,omitempty"` // bound /status HTTP address
+	EventsPath string `json:"events_path,omitempty"` // JSONL event log path
 }
 
 // NewManifest seeds a manifest with the ambient environment (git

@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestMetricsFinalWindowFlush pins Flush's end-of-run contract: a
+// partial window is closed with its true cycle count (so per-cycle
+// normalization uses the short window's length, not the configured
+// one), a second Flush is a no-op, and a run ending exactly on a window
+// boundary flushes nothing extra.
+func TestMetricsFinalWindowFlush(t *testing.T) {
+	m := NewMetrics(2, 2, 10)
+	// 25 cycles: two full windows flush at ticks 10 and 20, leaving a
+	// 5-cycle partial window holding the tail samples.
+	for c := 0; c < 25; c++ {
+		m.Occupancy(0, 2)
+		if c >= 20 {
+			m.LinkFlit(0, 1) // 5 flits in the partial window
+		}
+		m.Tick()
+	}
+	m.Flush()
+	if got := len(m.flushed); got != 3*4 {
+		t.Fatalf("flushed rows = %d, want 12 (3 windows x 4 routers)", got)
+	}
+	last := m.flushed[len(m.flushed)-4] // router 0 of the final window
+	if last.start != 20 || last.cycles != 5 || last.router != 0 {
+		t.Fatalf("final window row = %+v, want start=20 cycles=5 router=0", last)
+	}
+	if last.acc.out[0] != 5 {
+		t.Fatalf("final window flits = %d, want 5", last.acc.out[0])
+	}
+
+	// Flush must be idempotent: the instrument finisher calls it once,
+	// but a second call (e.g. a future double-finish bug) must not mint
+	// phantom zero-cycle windows.
+	m.Flush()
+	if got := len(m.flushed); got != 12 {
+		t.Fatalf("second Flush added rows: %d, want 12", got)
+	}
+
+	// Partial-window normalization: occupancy and utilization divide by
+	// the 5 real cycles, not the 10-cycle window length.
+	var buf bytes.Buffer
+	if err := m.WriteRouterCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	finalRouter0 := lines[len(lines)-4]
+	if !strings.HasPrefix(finalRouter0, "20,5,0,") || !strings.Contains(finalRouter0, ",2.000,") {
+		t.Fatalf("final window router CSV = %q, want start 20, 5 cycles, occupancy 2.000", finalRouter0)
+	}
+	buf.Reset()
+	neighbor := func(r, dir int) int {
+		if r == 0 && dir == 1 {
+			return 2
+		}
+		return -1
+	}
+	if err := m.WriteLinkCSV(&buf, neighbor, func(int) string { return "N" }); err != nil {
+		t.Fatal(err)
+	}
+	lines = strings.Split(strings.TrimSpace(buf.String()), "\n")
+	finalLink := lines[len(lines)-1]
+	if !strings.HasPrefix(finalLink, "20,5,0,2,N,5,1.0000") {
+		t.Fatalf("final window link CSV = %q, want 5 flits / 5 cycles = 1.0000", finalLink)
+	}
+
+	// A run ending exactly on a boundary has no partial window to close.
+	m2 := NewMetrics(1, 1, 10)
+	for c := 0; c < 20; c++ {
+		m2.Tick()
+	}
+	before := len(m2.flushed)
+	m2.Flush()
+	if got := len(m2.flushed); got != before {
+		t.Fatalf("boundary-aligned Flush added rows: %d -> %d", before, got)
+	}
+}
+
+// TestManifestTelemetryRoundTrip: the telemetry section must survive
+// the JSON round trip when set and stay absent when not.
+func TestManifestTelemetryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	m := NewManifest("figures", []string{"-fig", "table1", "-status", ":0"})
+	m.Seed = 7
+	m.Telemetry = &TelemetrySection{StatusAddr: "127.0.0.1:8080", EventsPath: "events.jsonl"}
+	out := dir + "/metrics.csv"
+	if err := m.Write(out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out + ".manifest.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Manifest
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatalf("manifest not valid JSON: %v", err)
+	}
+	if got.Telemetry == nil || got.Telemetry.StatusAddr != "127.0.0.1:8080" ||
+		got.Telemetry.EventsPath != "events.jsonl" {
+		t.Fatalf("telemetry section did not round-trip: %+v", got.Telemetry)
+	}
+
+	// Without telemetry the key must be omitted entirely.
+	m2 := NewManifest("seecsim", nil)
+	out2 := dir + "/plain.json"
+	if err := m2.Write(out2); err != nil {
+		t.Fatal(err)
+	}
+	data, err = os.ReadFile(out2 + ".manifest.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(data, []byte("telemetry")) {
+		t.Fatalf("disabled telemetry leaked into manifest:\n%s", data)
+	}
+}

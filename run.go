@@ -93,8 +93,10 @@ func RunSynthetic(cfg Config) (Result, error) {
 func RunSyntheticCtx(ctx context.Context, cfg Config) (Result, error) {
 	var s *Sim
 	var err error
+	resumed := false
 	if cfg.ResumePath != "" {
 		s, err = NewSimFromCheckpointFile(cfg, cfg.ResumePath)
+		resumed = err == nil
 		if err != nil && os.IsNotExist(err) {
 			s, err = NewSim(cfg)
 		}
@@ -109,7 +111,24 @@ func RunSyntheticCtx(ctx context.Context, cfg Config) (Result, error) {
 	if cfg.Instrument != nil {
 		done = cfg.Instrument(s)
 	}
-	res, err := runSyntheticLoop(ctx, s, cfg)
+	// Telemetry hooks come after Instrument so the watchdog the
+	// instrument layer installs (if any) can report stall verdicts.
+	var hb func(RunEvent)
+	if cfg.Telemetry != nil {
+		hb = cfg.Telemetry(s)
+	}
+	if hb != nil {
+		if resumed {
+			hb(RunEvent{Kind: RunCheckpointRestore, Cycle: s.Cycle(), Total: cfg.Warmup + cfg.SimCycles})
+		}
+		if s.Net != nil && s.Net.Watchdog != nil {
+			hb := hb
+			s.Net.Watchdog.OnFire = func(cycle, sinceEject int64) {
+				hb(RunEvent{Kind: RunWatchdogStall, Cycle: cycle, Arg: sinceEject})
+			}
+		}
+	}
+	res, err := runSyntheticLoop(ctx, s, cfg, hb)
 	if err != nil {
 		return Result{}, err
 	}
@@ -120,11 +139,13 @@ func RunSyntheticCtx(ctx context.Context, cfg Config) (Result, error) {
 }
 
 // runSyntheticLoop steps s to Warmup+SimCycles in cancellation-checked
-// chunks, handling periodic checkpoints and CI early stopping, and
-// returns the final snapshot. The chunk size never influences results:
-// checkpoint saves are pure observers and the CI stopper only moves the
-// end of the run, deterministically, as a function of the sample stream.
-func runSyntheticLoop(ctx context.Context, s *Sim, cfg Config) (Result, error) {
+// chunks, handling periodic checkpoints, CI early stopping and
+// telemetry heartbeats (hb may be nil), and returns the final snapshot.
+// The chunk size never influences results: checkpoint saves, heartbeats
+// and the other telemetry events are pure observers and the CI stopper
+// only moves the end of the run, deterministically, as a function of
+// the sample stream.
+func runSyntheticLoop(ctx context.Context, s *Sim, cfg Config, hb func(RunEvent)) (Result, error) {
 	total := cfg.Warmup + cfg.SimCycles
 	every := cfg.CheckpointEvery
 	if every <= 0 {
@@ -133,6 +154,14 @@ func runSyntheticLoop(ctx context.Context, s *Sim, cfg Config) (Result, error) {
 	nextSave := int64(math.MaxInt64)
 	if cfg.CheckpointPath != "" {
 		nextSave = (s.Cycle()/every + 1) * every
+	}
+	hbEvery := cfg.HeartbeatEvery
+	if hbEvery <= 0 {
+		hbEvery = DefaultHeartbeatEvery
+	}
+	nextBeat := int64(math.MaxInt64)
+	if hb != nil {
+		nextBeat = (s.Cycle()/hbEvery + 1) * hbEvery
 	}
 	var bm *stats.BatchMeans
 	if cfg.StopCI > 0 && s.Net != nil {
@@ -147,9 +176,17 @@ func runSyntheticLoop(ctx context.Context, s *Sim, cfg Config) (Result, error) {
 		if err := ctx.Err(); err != nil {
 			return Result{}, err
 		}
+		if s.Cycle() >= nextBeat {
+			hb(RunEvent{Kind: RunHeartbeat, Cycle: s.Cycle(), Total: total,
+				InFlight: int64(s.InFlightPackets())})
+			nextBeat = (s.Cycle()/hbEvery + 1) * hbEvery
+		}
 		if s.Cycle() >= nextSave {
 			if err := s.SaveCheckpointFile(cfg.CheckpointPath); err != nil {
 				return Result{}, err
+			}
+			if hb != nil {
+				hb(RunEvent{Kind: RunCheckpointSave, Cycle: s.Cycle(), Total: total})
 			}
 			nextSave = (s.Cycle()/every + 1) * every
 		}
@@ -157,6 +194,10 @@ func runSyntheticLoop(ctx context.Context, s *Sim, cfg Config) (Result, error) {
 			c := s.Collector()
 			bm.Update(c.Latency.Count(), c.Latency.Sum())
 			if est, ok := bm.Estimate(); ok && est.Rel() <= cfg.StopCI {
+				if hb != nil {
+					hb(RunEvent{Kind: RunCIStop, Cycle: s.Cycle(), Total: total,
+						Arg: int64(est.Batches)})
+				}
 				break
 			}
 		}
@@ -165,11 +206,17 @@ func runSyntheticLoop(ctx context.Context, s *Sim, cfg Config) (Result, error) {
 		if err := s.SaveCheckpointFile(cfg.CheckpointPath); err != nil {
 			return Result{}, err
 		}
+		if hb != nil {
+			hb(RunEvent{Kind: RunCheckpointSave, Cycle: s.Cycle(), Total: total})
+		}
 	}
 	if bm != nil {
 		if est, ok := bm.Estimate(); ok {
 			s.ci = &est
 		}
+	}
+	if hb != nil {
+		hb(RunEvent{Kind: RunDone, Cycle: s.Cycle(), Total: total})
 	}
 	res := s.Snapshot()
 	if bm != nil {
@@ -208,13 +255,13 @@ func RunSyntheticForked(cfg Config, forks []Fork) ([]Result, error) {
 // fork point) across workers concurrent workers. A fork with zero
 // overrides is byte-identical to RunSynthetic of the same config.
 // Results come back in fork order and record the overridden Seed/Rate
-// in their Config. Instrument hooks and checkpoint files are not
-// applied to forks; CI early stopping (cfg.StopCI) is. Deflection
-// schemes are not checkpointable and fail with
+// in their Config. Instrument and Telemetry hooks and checkpoint files
+// are not applied to forks; CI early stopping (cfg.StopCI) is.
+// Deflection schemes are not checkpointable and fail with
 // checkpoint.ErrUnsupported.
 func RunSyntheticForkedCtx(ctx context.Context, cfg Config, forks []Fork, workers int) ([]Result, error) {
 	base := cfg
-	base.Instrument = nil
+	base.Instrument, base.Telemetry = nil, nil
 	base.CheckpointPath, base.ResumePath = "", ""
 	s, err := NewSim(base)
 	if err != nil {
@@ -254,7 +301,7 @@ func RunSyntheticForkedCtx(ctx context.Context, cfg Config, forks []Fork, worker
 			fs.Synthetic.Rate = fk.Rate
 		}
 		fs.Cfg = fcfg // Snapshot stamps Result.Config with the fork's overrides
-		return runSyntheticLoop(ctx, fs, fcfg)
+		return runSyntheticLoop(ctx, fs, fcfg, nil)
 	}, runner.WithWorkers(workers))
 }
 
@@ -502,13 +549,39 @@ func RunApplicationCtx(ctx context.Context, cfg Config, app string, txns, maxCyc
 	if cfg.Instrument != nil {
 		done = cfg.Instrument(s)
 	}
+	var hb func(RunEvent)
+	if cfg.Telemetry != nil {
+		hb = cfg.Telemetry(s)
+	}
+	hbEvery := cfg.HeartbeatEvery
+	if hbEvery <= 0 {
+		hbEvery = DefaultHeartbeatEvery
+	}
+	nextBeat := int64(math.MaxInt64)
+	if hb != nil {
+		nextBeat = hbEvery
+		if s.Net != nil && s.Net.Watchdog != nil {
+			hb := hb
+			s.Net.Watchdog.OnFire = func(cycle, sinceEject int64) {
+				hb(RunEvent{Kind: RunWatchdogStall, Cycle: cycle, Arg: sinceEject})
+			}
+		}
+	}
 	for !s.App.Done() && s.Cycle() < maxCycles {
 		if s.Cycle()&1023 == 0 {
 			if err := ctx.Err(); err != nil {
 				return AppResult{}, err
 			}
+			if s.Cycle() >= nextBeat {
+				hb(RunEvent{Kind: RunHeartbeat, Cycle: s.Cycle(), Total: maxCycles,
+					InFlight: int64(s.InFlightPackets())})
+				nextBeat = (s.Cycle()/hbEvery + 1) * hbEvery
+			}
 		}
 		s.Step()
+	}
+	if hb != nil {
+		hb(RunEvent{Kind: RunDone, Cycle: s.Cycle(), Total: maxCycles})
 	}
 	if done != nil {
 		done()

@@ -196,6 +196,22 @@ type Config struct {
 	// Excluded from JSON (run manifests embed Config) and from
 	// SweepSeed, so enabling it cannot perturb seeding.
 	Instrument func(*Sim) func() `json:"-"`
+
+	// Telemetry, when non-nil, is called on the freshly built Sim and
+	// returns the run-event callback the run loop invokes for
+	// heartbeats, checkpoint saves/restores, CI stops, watchdog stall
+	// verdicts and run completion (a nil return disables events for
+	// that run). It is a factory rather than a plain callback so that
+	// each concurrent simulation — saturation search runs many from one
+	// Config — gets its own run identity. Like Instrument it only
+	// observes: results are byte-identical with it on or off, and it is
+	// excluded from JSON, CheckpointHash and SweepSeed.
+	Telemetry func(*Sim) func(RunEvent) `json:"-"`
+
+	// HeartbeatEvery is the heartbeat period in cycles for the run-loop
+	// telemetry callback (0 selects DefaultHeartbeatEvery). Operational
+	// like Telemetry, hence excluded from JSON.
+	HeartbeatEvery int64 `json:"-"`
 }
 
 // DefaultConfig mirrors Table 4 for synthetic traffic on an 8x8 mesh.
@@ -383,6 +399,16 @@ func (s *Sim) Stalled(window int64) bool {
 
 // Nodes returns the endpoint count.
 func (s *Sim) Nodes() int { return s.Cfg.Rows * s.Cfg.Cols }
+
+// InFlightPackets returns the number of packets currently in the
+// network (injected but not yet consumed). Reported in telemetry
+// heartbeats.
+func (s *Sim) InFlightPackets() int {
+	if s.Net != nil {
+		return s.Net.InFlight
+	}
+	return s.Defl.InFlight
+}
 
 // FFUpgrades returns how many packets were promoted to Free-Flow (0
 // for non-SEEC schemes).
