@@ -2,9 +2,12 @@ package seec
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
+	"syscall"
 
 	"seec/internal/checkpoint"
 	"seec/internal/rng"
@@ -55,12 +58,16 @@ func (s *Sim) SaveCheckpoint(w io.Writer) error {
 	return cw.WriteTo(w, s.Cfg.CheckpointHash())
 }
 
-// SaveCheckpointFile writes the checkpoint to path atomically: the
-// bytes go to a sibling temp file which is renamed over path only after
-// a successful close. A run killed mid-save therefore leaves the
-// previous complete checkpoint in place, never a truncated one — which
-// is what lets the runner blindly resume from the same path after a
-// breaker or timeout killed the job.
+// SaveCheckpointFile writes the checkpoint to path atomically and
+// durably: the bytes go to a sibling temp file which is fsynced before
+// being renamed over path, and the parent directory is fsynced after
+// the rename. A run killed mid-save therefore leaves the previous
+// complete checkpoint in place, never a truncated one — and a
+// checkpoint that "exists" after a power cut is complete, because the
+// data reached stable storage before the rename made it visible and
+// the rename itself reached stable storage before the save was
+// reported done. This is what lets the runner and the seecd gateway
+// blindly resume from the same path after a crash.
 func (s *Sim) SaveCheckpointFile(path string) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
@@ -72,11 +79,36 @@ func (s *Sim) SaveCheckpointFile(path string) error {
 		os.Remove(tmp)
 		return err
 	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a just-renamed entry survives a power
+// cut. Filesystems that cannot sync directories (some network mounts)
+// return EINVAL/ENOTSUP; durability is then the mount's problem, not a
+// save failure.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil && !errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return err
+	}
+	return nil
 }
 
 // NewSimFromCheckpointFile restores a checkpoint file written by

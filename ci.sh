@@ -30,6 +30,15 @@ go test -bench . -benchtime 1x -run XXX ./internal/noc
 # full ./... pass above also runs this; the dedicated leg keeps the
 # endpoint contract loud when someone filters the suite.)
 go test -run 'TestStatusEndpointSmoke' -timeout 10m ./cmd/figures
+# Crash-safety gates. The chaos suite sweeps a simulated kill -9 across
+# every write-path operation of the gateway (WAL appends, store
+# renames, dir fsyncs) under the race detector, asserting acknowledged
+# jobs survive and results stay byte-identical. The seecd leg then does
+# it for real: boot the daemon, submit a sweep, SIGKILL mid-simulation,
+# restart, and assert checkpoint resume + byte-identical results + a
+# pure cache hit (zero simulation cycles) on resubmission.
+GOMAXPROCS=4 go test -race -timeout 10m ./internal/serve/chaostest
+go test -run 'TestSeecdCrashRestartResume' -timeout 10m ./cmd/seecd
 # Fuzz smoke: a few seconds per fuzzer over the parsers and invariants
 # that take arbitrary input (fault specs, histograms, traffic
 # destinations), plus the shard count fuzzed against serial output.
@@ -37,6 +46,7 @@ go test -run 'TestStatusEndpointSmoke' -timeout 10m ./cmd/figures
 go test -fuzz FuzzShardedIdentity -fuzztime 5s -run XXX .
 go test -fuzz FuzzCheckpointRoundTrip -fuzztime 10s -run XXX .
 go test -fuzz FuzzFaultSpec -fuzztime 10s -run XXX ./internal/fault
+go test -fuzz FuzzJobSpec -fuzztime 10s -run XXX ./internal/serve
 go test -fuzz FuzzHistogram -fuzztime 10s -run XXX ./internal/stats
 go test -fuzz FuzzDestInRange -fuzztime 10s -run XXX ./internal/traffic
 echo "ci: all checks passed"

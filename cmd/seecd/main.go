@@ -1,0 +1,118 @@
+// Command seecd serves SEEC simulations over HTTP with crash-safe
+// state: a write-ahead journal for the job queue, a content-addressed
+// result cache, and periodic run checkpoints — kill -9 the daemon at
+// any moment and a restart resumes every acknowledged job, completing
+// to the same bytes.
+//
+// Usage:
+//
+//	seecd -dir /var/lib/seecd                 # listen on :8080
+//	seecd -dir state -addr :0                 # free port, printed on stderr
+//	curl -XPOST :8080/api/v1/jobs -d '{"rate_from":0.02,"rate_to":0.1,"rate_step":0.02}'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"seec"
+	"seec/internal/serve"
+	"seec/internal/telemetry"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "HTTP listen address; \":0\" picks a free port, printed on stderr")
+	dir := flag.String("dir", "", "durable state directory (journal, result cache, checkpoint spool); required")
+	workers := flag.Int("workers", 0, "simulation worker pool size (0 = auto)")
+	queueDepth := flag.Int("queue-depth", serve.DefaultQueueDepth, "max queued jobs before submissions get 503")
+	rate := flag.Float64("submit-rate", 0, "per-tenant sustained submissions/sec; exceeding it gets 429 (0 = unlimited)")
+	burst := flag.Int("submit-burst", 4, "per-tenant submission burst size")
+	budget := flag.Int("tenant-budget", 0, "max outstanding runs per tenant; exceeding it gets 429 (0 = unlimited)")
+	runTimeout := flag.Duration("run-timeout", 0, "per-run wall-time budget (0 = unbounded)")
+	maxFailures := flag.Int("max-failures", 1, "per-job breaker: fail the job after this many failed runs")
+	ckptEvery := flag.Int64("checkpoint-every", serve.DefaultCheckpointEvery, "in-flight run checkpoint period in cycles; bounds progress lost to a crash")
+	eventsPath := flag.String("telemetry-out", "", "append telemetry events to this file as JSON lines")
+	drain := flag.Duration("drain-timeout", 30*time.Second, "max wait for in-flight runs to checkpoint and stop on SIGTERM")
+	flag.Parse()
+
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "seecd: -dir is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	agg := telemetry.NewAggregator()
+	bus := telemetry.NewBus(agg)
+	if *eventsPath != "" {
+		f, err := os.OpenFile(*eventsPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal("telemetry-out: %v", err)
+		}
+		bus.Attach(telemetry.NewJSONL(f))
+	}
+	// Run-level telemetry (heartbeats, checkpoint saves/restores) rides
+	// the same bus, so /status shows per-run progress alongside the
+	// queue counters.
+	tel := &seec.Telemetry{Bus: bus, Agg: agg}
+
+	srv, err := serve.New(serve.Options{
+		Dir:             *dir,
+		Workers:         *workers,
+		QueueDepth:      *queueDepth,
+		SubmitRate:      *rate,
+		SubmitBurst:     *burst,
+		TenantBudget:    *budget,
+		RunTimeout:      *runTimeout,
+		MaxFailures:     *maxFailures,
+		CheckpointEvery: *ckptEvery,
+		Bus:             bus,
+		RunSynthetic: func(ctx context.Context, cfg seec.Config) (seec.Result, error) {
+			tel.Attach(&cfg)
+			return seec.RunSyntheticCtx(ctx, cfg)
+		},
+	})
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal("listen: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "seecd: serving on http://%s (state in %s)\n", ln.Addr(), *dir)
+
+	httpSrv := &http.Server{Handler: serve.Handler(srv, agg)}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "seecd: %v: draining (in-flight runs checkpoint and suspend)\n", s)
+	case err := <-errc:
+		fatal("http: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	httpSrv.Shutdown(ctx)
+	if err := srv.Close(ctx); err != nil {
+		fatal("drain: %v", err)
+	}
+	bus.Close()
+	fmt.Fprintln(os.Stderr, "seecd: drained cleanly")
+}
+
+// fatal prints and exits non-zero.
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "seecd: "+format+"\n", args...)
+	os.Exit(1)
+}

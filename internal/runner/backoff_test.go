@@ -1,0 +1,122 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"seec/internal/telemetry"
+)
+
+// TestRetryDelayEnvelope: the delay doubles from base, caps at max,
+// and jitter stays inside [0.5, 1.5) of the envelope.
+func TestRetryDelayEnvelope(t *testing.T) {
+	o := &options{backoffBase: 10 * time.Millisecond, backoffMax: 80 * time.Millisecond, backoffSet: true}
+	for attempt := 2; attempt <= 8; attempt++ {
+		env := 10 * time.Millisecond << (attempt - 2)
+		if env > 80*time.Millisecond {
+			env = 80 * time.Millisecond
+		}
+		d := o.retryDelay(3, attempt)
+		if d < env/2 || d >= env+env/2 {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v)", attempt, d, env/2, env+env/2)
+		}
+	}
+	// Disabled backoff means immediate retries.
+	off := &options{backoffSet: true}
+	if d := off.retryDelay(0, 2); d != 0 {
+		t.Fatalf("disabled backoff slept %v", d)
+	}
+	// Unset options select the default envelope.
+	def := &options{}
+	if d := def.retryDelay(0, 2); d < DefaultRetryBackoff/2 || d >= DefaultRetryBackoff+DefaultRetryBackoff/2 {
+		t.Fatalf("default envelope: %v", d)
+	}
+}
+
+// TestRetryDelayDeterministic: the jitter is a pure function of the
+// job's identity — a re-run sweep backs off identically, preserving
+// the repo's reproducibility discipline (backoff changes wall time,
+// never results).
+func TestRetryDelayDeterministic(t *testing.T) {
+	o := &options{backoffBase: time.Millisecond, backoffMax: 8 * time.Millisecond, backoffSet: true}
+	seen := map[time.Duration]bool{}
+	for trial := 0; trial < 3; trial++ {
+		for i := 0; i < 4; i++ {
+			for attempt := 2; attempt <= 4; attempt++ {
+				d := o.retryDelay(i, attempt)
+				if trial == 0 {
+					seen[d] = true
+					continue
+				}
+				if !seen[d] {
+					t.Fatalf("delay for (job %d, attempt %d) changed across runs: %v", i, attempt, d)
+				}
+			}
+		}
+	}
+	// The jitter must actually spread distinct (job, attempt) pairs —
+	// if every pair collapsed to one value it isn't jitter.
+	if len(seen) < 6 {
+		t.Fatalf("jitter produced only %d distinct delays across 12 pairs", len(seen))
+	}
+}
+
+// TestMapBackoffRecorded: a retried-to-death job reports the total
+// time spent backing off in JobError.Backoff, and each retry event
+// carries its individual delay.
+func TestMapBackoffRecorded(t *testing.T) {
+	c := &collector{}
+	bus := telemetry.NewBus(c)
+	_, err := Map(context.Background(), 1, func(_ context.Context, i int) (int, error) {
+		return 0, errors.New("always fails")
+	}, WithRetries(2), WithRetryBackoff(time.Millisecond, 4*time.Millisecond),
+		WithMaxFailures(1), WithTelemetry(bus))
+	var se *SweepError
+	if !errors.As(err, &se) || len(se.Failures) != 1 {
+		t.Fatalf("err = %v, want *SweepError with 1 failure", err)
+	}
+	je := se.Failures[0]
+	if je.Attempts != 3 {
+		t.Fatalf("attempts = %d", je.Attempts)
+	}
+	// Two retries, each sleeping >= base/2.
+	if je.Backoff < time.Millisecond {
+		t.Fatalf("JobError.Backoff = %v, want >= 1ms of accumulated sleep", je.Backoff)
+	}
+	retries := c.byKind(telemetry.EvJobRetry)
+	if len(retries) != 2 {
+		t.Fatalf("retry events = %d, want 2", len(retries))
+	}
+	for _, e := range retries {
+		if e.DurNs <= 0 {
+			t.Fatalf("retry event missing its backoff delay: %+v", e)
+		}
+	}
+}
+
+// TestMapBackoffCancellation: cancelling the sweep mid-backoff must
+// not strand the worker in a sleep.
+func TestMapBackoffCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		Map(ctx, 1, func(_ context.Context, i int) (int, error) {
+			select {
+			case started <- struct{}{}:
+			default:
+			}
+			return 0, errors.New("fail into a long backoff")
+		}, WithRetries(5), WithRetryBackoff(time.Hour, time.Hour))
+	}()
+	<-started
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker stuck sleeping through cancellation")
+	}
+}

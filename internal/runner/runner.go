@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"seec/internal/rng"
 	"seec/internal/telemetry"
 )
 
@@ -51,6 +52,10 @@ type JobError struct {
 	Stack    []byte // goroutine stack, only set when Panicked
 	Attempts int
 	Elapsed  time.Duration
+	// Backoff is the total time the pool slept between this job's
+	// attempts (0 without retries or with backoff disabled). Included
+	// in Elapsed.
+	Backoff time.Duration
 }
 
 // Error implements error.
@@ -95,6 +100,12 @@ func (e *SweepError) Unwrap() []error {
 	return errs
 }
 
+// Default retry-backoff envelope (see WithRetryBackoff).
+const (
+	DefaultRetryBackoff    = 25 * time.Millisecond
+	DefaultRetryBackoffMax = 2 * time.Second
+)
+
 // options collects the knobs shared by Map and Sweep.
 type options struct {
 	workers       int
@@ -103,6 +114,9 @@ type options struct {
 	jobTimeout    time.Duration
 	maxFailures   int
 	retries       int
+	backoffBase   time.Duration
+	backoffMax    time.Duration
+	backoffSet    bool
 	bus           *telemetry.Bus
 }
 
@@ -169,8 +183,75 @@ func WithMaxFailures(k int) Option {
 // starting over, so a timeout kill costs at most CheckpointEvery
 // cycles of progress. Retries never fire for sweep-level cancellation
 // (parent context or a tripped breaker). k <= 0 disables, the default.
+//
+// Attempts are separated by capped jittered exponential backoff
+// (DefaultRetryBackoff doubling up to DefaultRetryBackoffMax unless
+// WithRetryBackoff overrides it), so a sweep hitting a transient
+// resource failure — a full disk, a saturated filesystem — does not
+// hammer it with immediate re-runs. The jitter is derived
+// deterministically from the job index and attempt number, never from
+// a shared RNG or the clock, so retried sweeps remain reproducible:
+// backoff shifts wall time only, results are byte-identical. The total
+// delay slept is recorded in JobError.Backoff and each retry's delay
+// is emitted on the telemetry bus (job_retry, DurNs = the delay).
 func WithRetries(k int) Option {
 	return func(o *options) { o.retries = k }
+}
+
+// WithRetryBackoff overrides the retry backoff envelope: the delay
+// before retry attempt k (2-based) is base<<(k-2), capped at max, then
+// scaled by a deterministic per-(job, attempt) jitter in [0.5, 1.5).
+// base <= 0 disables backoff entirely (immediate retries, the
+// pre-backoff behavior); max <= 0 selects base as the cap.
+func WithRetryBackoff(base, max time.Duration) Option {
+	return func(o *options) {
+		o.backoffBase, o.backoffMax, o.backoffSet = base, max, true
+	}
+}
+
+// retryDelay returns the backoff before the given 2-based retry
+// attempt of job i, jittered deterministically from (i, attempt).
+func (o *options) retryDelay(i, attempt int) time.Duration {
+	base, max := o.backoffBase, o.backoffMax
+	if !o.backoffSet {
+		base, max = DefaultRetryBackoff, DefaultRetryBackoffMax
+	}
+	if base <= 0 {
+		return 0
+	}
+	if max <= 0 {
+		max = base
+	}
+	d := base
+	for k := 2; k < attempt && d < max; k++ {
+		d <<= 1
+	}
+	if d > max {
+		d = max
+	}
+	// Deterministic jitter in [0.5, 1.5): the seed stream is a pure
+	// function of the job's identity, so a re-run sweep backs off
+	// identically.
+	u := rng.NewSeedHash(0xBAC0FF).Uint64(uint64(i)).Uint64(uint64(attempt)).Seed()
+	frac := float64(u>>11) / float64(1<<53) // [0, 1)
+	return time.Duration((0.5 + frac) * float64(d))
+}
+
+// sleepCtx sleeps for d or until ctx is cancelled, returning the time
+// actually slept.
+func sleepCtx(ctx context.Context, d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	start := time.Now()
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return d
+	case <-ctx.Done():
+		return time.Since(start)
+	}
 }
 
 // Map runs fn(ctx, i) for every i in [0, n) across a bounded worker
@@ -227,10 +308,16 @@ func Map[T any](ctx context.Context, n int, fn func(ctx context.Context, i int) 
 				o.bus.Emit(telemetry.Event{Kind: telemetry.EvJobStart, Job: int32(i), Attempt: 1})
 				start := time.Now()
 				attempts := 1
+				var backoff time.Duration
 				v, err := runJob(jobCtx, i, fn, o.jobTimeout)
 				for err != nil && attempts <= o.retries && jobCtx.Err() == nil {
 					attempts++
-					o.bus.Emit(telemetry.Event{Kind: telemetry.EvJobRetry, Job: int32(i), Attempt: int32(attempts)})
+					delay := o.retryDelay(i, attempts)
+					o.bus.Emit(telemetry.Event{Kind: telemetry.EvJobRetry, Job: int32(i), Attempt: int32(attempts), DurNs: delay.Nanoseconds()})
+					backoff += sleepCtx(jobCtx, delay)
+					if jobCtx.Err() != nil {
+						break
+					}
 					v, err = runJob(jobCtx, i, fn, o.jobTimeout)
 				}
 				elapsed := time.Since(start)
@@ -239,7 +326,7 @@ func Map[T any](ctx context.Context, n int, fn func(ctx context.Context, i int) 
 					if !ok {
 						je = &JobError{Index: i, Err: err}
 					}
-					je.Attempts, je.Elapsed = attempts, elapsed
+					je.Attempts, je.Elapsed, je.Backoff = attempts, elapsed, backoff
 					kind := telemetry.EvJobFail
 					switch {
 					case je.Panicked:

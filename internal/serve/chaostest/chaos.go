@@ -1,0 +1,348 @@
+// Package chaostest fault-injects the gateway's durability layer and
+// checks its crash-safety invariants:
+//
+//  1. Acknowledged jobs are never lost: a submission the client saw
+//     succeed survives kill -9 at ANY later write offset.
+//  2. Cached results are never wrong: a corrupt blob is quarantined
+//     and re-simulated, never served.
+//  3. A restarted daemon converges to the same bytes an uninterrupted
+//     one produces.
+//
+// The injection point is the serve.FS seam: CrashFS simulates SIGKILL
+// at an exact write-path operation index (optionally tearing the final
+// write, as a real crash mid-write does), FullFS simulates a disk that
+// ran out of space, SlowFS delays IO. Tests sweep the crash point
+// across every write-path operation of a reference execution, so every
+// fsync/rename ordering decision in the WAL and object store is
+// exercised.
+package chaostest
+
+import (
+	"errors"
+	"sync"
+	"syscall"
+	"time"
+
+	"seec/internal/serve"
+)
+
+// ErrInjected is the failure every faulted operation returns.
+var ErrInjected = errors.New("chaos: injected IO failure")
+
+// CrashFS wraps an FS and simulates kill -9 at one exact write-path
+// operation: operation FailAt half-applies (a write commits only a
+// deterministic prefix — a torn write) and every later write-path
+// operation fails. Reads always pass through: after the simulated
+// crash the "process" only aborts, it does not read.
+type CrashFS struct {
+	Inner serve.FS
+	// FailAt is the 1-based write-op index to crash at (0 = never).
+	FailAt int
+	// Torn selects partial application of the crashing write; without
+	// it the crashing operation fails cleanly applying nothing.
+	Torn bool
+
+	mu   sync.Mutex
+	ops  int
+	dead bool
+}
+
+// Ops reports how many write-path operations have executed.
+func (c *CrashFS) Ops() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ops
+}
+
+// Dead reports whether the simulated crash has happened.
+func (c *CrashFS) Dead() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dead
+}
+
+// step accounts one write-path operation. It returns ErrInjected when
+// the operation is at or past the crash point, and whether this is THE
+// crashing operation (which may half-apply).
+func (c *CrashFS) step() (crashing bool, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead {
+		return false, ErrInjected
+	}
+	c.ops++
+	if c.FailAt > 0 && c.ops == c.FailAt {
+		c.dead = true
+		return true, ErrInjected
+	}
+	return false, nil
+}
+
+// MkdirAll implements serve.FS.
+func (c *CrashFS) MkdirAll(dir string) error {
+	if _, err := c.step(); err != nil {
+		return err
+	}
+	return c.Inner.MkdirAll(dir)
+}
+
+// Create implements serve.FS.
+func (c *CrashFS) Create(path string) (serve.File, error) {
+	if _, err := c.step(); err != nil {
+		return nil, err
+	}
+	f, err := c.Inner.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &crashFile{f: f, c: c}, nil
+}
+
+// OpenAppend implements serve.FS.
+func (c *CrashFS) OpenAppend(path string) (serve.File, error) {
+	if _, err := c.step(); err != nil {
+		return nil, err
+	}
+	f, err := c.Inner.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &crashFile{f: f, c: c}, nil
+}
+
+// Open implements serve.FS (read path, never faulted).
+func (c *CrashFS) Open(path string) (serve.File, error) { return c.Inner.Open(path) }
+
+// ReadFile implements serve.FS (read path, never faulted).
+func (c *CrashFS) ReadFile(path string) ([]byte, error) { return c.Inner.ReadFile(path) }
+
+// ReadDir implements serve.FS (read path, never faulted).
+func (c *CrashFS) ReadDir(dir string) ([]string, error) { return c.Inner.ReadDir(dir) }
+
+// Rename implements serve.FS. Rename is atomic on a real filesystem:
+// the crashing rename either happened or did not — CrashFS picks "did
+// not" (fails cleanly), the strictly harder case for callers.
+func (c *CrashFS) Rename(oldpath, newpath string) error {
+	if _, err := c.step(); err != nil {
+		return err
+	}
+	return c.Inner.Rename(oldpath, newpath)
+}
+
+// Remove implements serve.FS.
+func (c *CrashFS) Remove(path string) error {
+	if _, err := c.step(); err != nil {
+		return err
+	}
+	return c.Inner.Remove(path)
+}
+
+// SyncDir implements serve.FS.
+func (c *CrashFS) SyncDir(dir string) error {
+	if _, err := c.step(); err != nil {
+		return err
+	}
+	return c.Inner.SyncDir(dir)
+}
+
+// crashFile faults a file's write path.
+type crashFile struct {
+	f serve.File
+	c *CrashFS
+}
+
+// Write implements serve.File. The crashing write tears: a
+// deterministic prefix (derived from the op index, so every sweep
+// iteration tears differently) reaches the file before the failure —
+// exactly what an OS crash mid-write leaves behind.
+func (f *crashFile) Write(p []byte) (int, error) {
+	crashing, err := f.c.step()
+	if err != nil {
+		if crashing && f.c.Torn && len(p) > 0 {
+			// Deterministic torn prefix in [0, len(p)).
+			n := (f.c.ops * 7919) % len(p)
+			f.f.Write(p[:n])
+		}
+		return 0, err
+	}
+	return f.f.Write(p)
+}
+
+// Read implements serve.File (never faulted).
+func (f *crashFile) Read(p []byte) (int, error) { return f.f.Read(p) }
+
+// Sync implements serve.File.
+func (f *crashFile) Sync() error {
+	if _, err := f.c.step(); err != nil {
+		return err
+	}
+	return f.f.Sync()
+}
+
+// Close implements serve.File. Never faulted: a crashed process's
+// descriptors close without effect, and Abort must be able to let go
+// of them.
+func (f *crashFile) Close() error { return f.f.Close() }
+
+// FullFS simulates a full disk: after FailAfter write-path operations
+// every space-consuming operation returns ENOSPC. Unlike CrashFS the
+// process lives on — this exercises graceful degradation (sticky
+// journal error, 503s) rather than crash recovery.
+type FullFS struct {
+	Inner     serve.FS
+	FailAfter int
+
+	mu  sync.Mutex
+	ops int
+}
+
+// full accounts one space-consuming operation.
+func (c *FullFS) full() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ops++
+	if c.ops > c.FailAfter {
+		return syscall.ENOSPC
+	}
+	return nil
+}
+
+// MkdirAll implements serve.FS.
+func (c *FullFS) MkdirAll(dir string) error {
+	if err := c.full(); err != nil {
+		return err
+	}
+	return c.Inner.MkdirAll(dir)
+}
+
+// Create implements serve.FS.
+func (c *FullFS) Create(path string) (serve.File, error) {
+	if err := c.full(); err != nil {
+		return nil, err
+	}
+	f, err := c.Inner.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &fullFile{f: f, c: c}, nil
+}
+
+// OpenAppend implements serve.FS.
+func (c *FullFS) OpenAppend(path string) (serve.File, error) {
+	f, err := c.Inner.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &fullFile{f: f, c: c}, nil
+}
+
+// Open implements serve.FS.
+func (c *FullFS) Open(path string) (serve.File, error) { return c.Inner.Open(path) }
+
+// ReadFile implements serve.FS.
+func (c *FullFS) ReadFile(path string) ([]byte, error) { return c.Inner.ReadFile(path) }
+
+// ReadDir implements serve.FS.
+func (c *FullFS) ReadDir(dir string) ([]string, error) { return c.Inner.ReadDir(dir) }
+
+// Rename implements serve.FS (consumes no space; never faulted).
+func (c *FullFS) Rename(oldpath, newpath string) error { return c.Inner.Rename(oldpath, newpath) }
+
+// Remove implements serve.FS (frees space; never faulted).
+func (c *FullFS) Remove(path string) error { return c.Inner.Remove(path) }
+
+// SyncDir implements serve.FS.
+func (c *FullFS) SyncDir(dir string) error { return c.Inner.SyncDir(dir) }
+
+// fullFile faults writes and syncs with ENOSPC.
+type fullFile struct {
+	f serve.File
+	c *FullFS
+}
+
+// Write implements serve.File.
+func (f *fullFile) Write(p []byte) (int, error) {
+	if err := f.c.full(); err != nil {
+		return 0, err
+	}
+	return f.f.Write(p)
+}
+
+// Read implements serve.File.
+func (f *fullFile) Read(p []byte) (int, error) { return f.f.Read(p) }
+
+// Sync implements serve.File.
+func (f *fullFile) Sync() error {
+	if err := f.c.full(); err != nil {
+		return err
+	}
+	return f.f.Sync()
+}
+
+// Close implements serve.File.
+func (f *fullFile) Close() error { return f.f.Close() }
+
+// SlowFS delays every write-path operation — a saturated disk. Purely
+// a liveness stressor: nothing fails, everything is just late.
+type SlowFS struct {
+	Inner serve.FS
+	Delay time.Duration
+}
+
+// MkdirAll implements serve.FS.
+func (c *SlowFS) MkdirAll(dir string) error { time.Sleep(c.Delay); return c.Inner.MkdirAll(dir) }
+
+// Create implements serve.FS.
+func (c *SlowFS) Create(path string) (serve.File, error) {
+	time.Sleep(c.Delay)
+	f, err := c.Inner.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &slowFile{f: f, d: c.Delay}, nil
+}
+
+// OpenAppend implements serve.FS.
+func (c *SlowFS) OpenAppend(path string) (serve.File, error) {
+	f, err := c.Inner.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &slowFile{f: f, d: c.Delay}, nil
+}
+
+// Open implements serve.FS.
+func (c *SlowFS) Open(path string) (serve.File, error) { return c.Inner.Open(path) }
+
+// ReadFile implements serve.FS.
+func (c *SlowFS) ReadFile(path string) ([]byte, error) { return c.Inner.ReadFile(path) }
+
+// ReadDir implements serve.FS.
+func (c *SlowFS) ReadDir(dir string) ([]string, error) { return c.Inner.ReadDir(dir) }
+
+// Rename implements serve.FS.
+func (c *SlowFS) Rename(o, n string) error { time.Sleep(c.Delay); return c.Inner.Rename(o, n) }
+
+// Remove implements serve.FS.
+func (c *SlowFS) Remove(path string) error { return c.Inner.Remove(path) }
+
+// SyncDir implements serve.FS.
+func (c *SlowFS) SyncDir(dir string) error { time.Sleep(c.Delay); return c.Inner.SyncDir(dir) }
+
+// slowFile delays writes and syncs.
+type slowFile struct {
+	f serve.File
+	d time.Duration
+}
+
+// Write implements serve.File.
+func (f *slowFile) Write(p []byte) (int, error) { time.Sleep(f.d); return f.f.Write(p) }
+
+// Read implements serve.File.
+func (f *slowFile) Read(p []byte) (int, error) { return f.f.Read(p) }
+
+// Sync implements serve.File.
+func (f *slowFile) Sync() error { time.Sleep(f.d); return f.f.Sync() }
+
+// Close implements serve.File.
+func (f *slowFile) Close() error { return f.f.Close() }

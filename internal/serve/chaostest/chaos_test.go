@@ -1,0 +1,373 @@
+package chaostest
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"seec"
+	"seec/internal/serve"
+)
+
+// detRun is the deterministic stand-in simulation: the result is a
+// pure function of the config, so "converges to the same bytes" is
+// checkable against a locally computed reference.
+func detRun(ctx context.Context, cfg seec.Config) (seec.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return seec.Result{}, err
+	}
+	return seec.Result{
+		Config:          cfg,
+		AvgLatency:      cfg.InjectionRate * 1000,
+		InjectedPackets: int64(cfg.Seed % 100000),
+	}, nil
+}
+
+// workload is the fixed job mix every chaos scenario submits: a
+// two-point sweep and a single run, three simulations total.
+var workload = []string{
+	`{"rates":[0.02,0.04],"seed":5}`,
+	`{"rate":0.07,"seed":2}`,
+}
+
+// reference computes the expected result bytes per cache key for the
+// whole workload — what an uninterrupted execution stores.
+func reference(t *testing.T) map[string][]byte {
+	t.Helper()
+	want := make(map[string][]byte)
+	for _, body := range workload {
+		sp, err := serve.DecodeJobSpec([]byte(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cfg := range sp.Configs() {
+			res, _ := detRun(context.Background(), cfg)
+			want[serve.CacheKey(cfg)] = serve.EncodeResult(res)
+		}
+	}
+	return want
+}
+
+// submitAll pushes the workload, returning the acknowledged job IDs.
+// A submission error is fine under chaos — it means NOT acknowledged.
+func submitAll(s *serve.Server) (acked []string) {
+	for _, body := range workload {
+		if st, err := s.Submit("chaos", []byte(body)); err == nil {
+			acked = append(acked, st.ID)
+		}
+	}
+	return acked
+}
+
+// waitTerminal polls until every listed job is terminal.
+func waitTerminal(t *testing.T, s *serve.Server, ids []string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		allDone := true
+		for _, id := range ids {
+			st, ok := s.Job(id)
+			if !ok {
+				t.Fatalf("job %s vanished", id)
+			}
+			switch st.State {
+			case serve.JobDone, serve.JobFailed, serve.JobCancelled:
+			default:
+				allDone = false
+			}
+		}
+		if allDone {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("jobs did not reach a terminal state")
+}
+
+// recoverAndCheck reopens dir on a healthy filesystem and asserts the
+// crash-safety invariants: every acked job exists and completes, and
+// every completed run's bytes equal the uninterrupted reference.
+func recoverAndCheck(t *testing.T, dir string, acked []string, want map[string][]byte) {
+	t.Helper()
+	s, err := serve.New(serve.Options{Dir: dir, Workers: 2, RunSynthetic: detRun})
+	if err != nil {
+		t.Fatalf("recovery boot failed: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Close(ctx)
+	}()
+	for _, id := range acked {
+		if _, ok := s.Job(id); !ok {
+			t.Fatalf("INVARIANT: acknowledged job %s lost across crash", id)
+		}
+	}
+	// Unacknowledged jobs may have been resurrected (crash between the
+	// journal write landing and the ack) — at-least-once is fine. Drive
+	// everything the journal knows about to completion.
+	var all []string
+	for _, st := range s.Jobs() {
+		all = append(all, st.ID)
+	}
+	waitTerminal(t, s, all)
+	for _, id := range acked {
+		st, _ := s.Job(id)
+		if st.State != serve.JobDone {
+			t.Fatalf("INVARIANT: acknowledged job %s finished %s (%s) despite healthy recovery",
+				id, st.State, st.Error)
+		}
+		for i, r := range st.Runs {
+			payload, ok := s.Result(r.Key)
+			if !ok {
+				t.Fatalf("job %s run %d: result missing after recovery", id, i)
+			}
+			ref, known := want[r.Key]
+			if !known {
+				t.Fatalf("job %s run %d: unexpected key %s", id, i, r.Key)
+			}
+			if !bytes.Equal(payload, ref) {
+				t.Fatalf("INVARIANT: job %s run %d bytes diverge from uninterrupted run:\n got %s\nwant %s",
+					id, i, payload, ref)
+			}
+		}
+	}
+}
+
+// crashRun executes the workload on fs until it either completes or
+// the simulated crash kills the filesystem, then hard-stops the server
+// (no graceful drain, no suspend records — kill -9 semantics).
+func crashRun(t *testing.T, fs *CrashFS, dir string) (acked []string) {
+	t.Helper()
+	s, err := serve.New(serve.Options{Dir: dir, Workers: 1, RunSynthetic: detRun, FS: fs})
+	if err != nil {
+		return nil // crash during boot: nothing acknowledged
+	}
+	acked = submitAll(s)
+	waitTerminal(t, s, acked)
+	s.Abort()
+	return acked
+}
+
+// TestCrashSweep is the core chaos schedule: simulate kill -9 at EVERY
+// write-path operation of the reference execution — each with a torn
+// final write — and assert the invariants after recovery. This covers
+// crashes inside WAL appends and fsyncs, store tmp writes, renames,
+// directory syncs, and boot-time recovery itself.
+func TestCrashSweep(t *testing.T) {
+	want := reference(t)
+	// Reference execution: count the write ops of an uninterrupted run.
+	probe := &CrashFS{Inner: serve.OSFS{}}
+	acked := crashRun(t, probe, t.TempDir())
+	if len(acked) != len(workload) {
+		t.Fatalf("reference run acked %d of %d", len(acked), len(workload))
+	}
+	total := probe.Ops()
+	if total < 20 {
+		t.Fatalf("reference run only used %d write ops — the sweep would be vacuous", total)
+	}
+	for failAt := 1; failAt <= total; failAt++ {
+		t.Run(fmt.Sprintf("failAt=%03d", failAt), func(t *testing.T) {
+			dir := t.TempDir()
+			fs := &CrashFS{Inner: serve.OSFS{}, FailAt: failAt, Torn: true}
+			acked := crashRun(t, fs, dir)
+			if !fs.Dead() {
+				t.Fatalf("crash point %d never reached", failAt)
+			}
+			recoverAndCheck(t, dir, acked, want)
+		})
+	}
+}
+
+// TestDoubleCrash: crash, crash again during recovery's own writes,
+// then recover for real. Exercises the WAL torn-tail rewrite and store
+// tmp sweep being themselves interrupted.
+func TestDoubleCrash(t *testing.T) {
+	want := reference(t)
+	for _, failAt := range []int{3, 7, 11, 15, 19, 23} {
+		t.Run(fmt.Sprintf("second=%d", failAt), func(t *testing.T) {
+			dir := t.TempDir()
+			first := &CrashFS{Inner: serve.OSFS{}, FailAt: 17, Torn: true}
+			acked := crashRun(t, first, dir)
+			second := &CrashFS{Inner: serve.OSFS{}, FailAt: failAt, Torn: true}
+			acked2 := crashRun(t, second, dir)
+			// Jobs acked by either incarnation must survive.
+			recoverAndCheck(t, dir, append(acked, acked2...), want)
+		})
+	}
+}
+
+// TestDiskFull: ENOSPC is degradation, not corruption. Submissions are
+// refused once the journal cannot acknowledge durably, the process
+// stays up, and everything acknowledged before (or failed during) the
+// outage recovers to correct bytes — a Done run's bytes are never
+// wrong, a Failed job says why.
+func TestDiskFull(t *testing.T) {
+	want := reference(t)
+	dir := t.TempDir()
+	fs := &FullFS{Inner: serve.OSFS{}, FailAfter: 20}
+	s, err := serve.New(serve.Options{Dir: dir, Workers: 1, RunSynthetic: detRun, FS: fs})
+	if err != nil {
+		t.Fatalf("boot within budget failed: %v", err)
+	}
+	var acked []string
+	sawRefusal := false
+	for i := 0; i < 20; i++ {
+		st, err := s.Submit("chaos", []byte(workload[i%len(workload)]))
+		if err == nil {
+			acked = append(acked, st.ID)
+			continue
+		}
+		if errors.Is(err, serve.ErrUnavailable) || errors.Is(err, serve.ErrQueueFull) {
+			sawRefusal = true
+			break
+		}
+		t.Fatalf("unexpected submit error class: %v", err)
+	}
+	if !sawRefusal {
+		t.Fatal("disk full never surfaced as a typed refusal")
+	}
+	waitTerminal(t, s, acked)
+	s.Abort()
+
+	// Space returns; restart recovers every acknowledged job.
+	s2, err := serve.New(serve.Options{Dir: dir, Workers: 2, RunSynthetic: detRun})
+	if err != nil {
+		t.Fatalf("recovery boot: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s2.Close(ctx)
+	}()
+	var all []string
+	for _, st := range s2.Jobs() {
+		all = append(all, st.ID)
+	}
+	waitTerminal(t, s2, all)
+	for _, id := range acked {
+		st, ok := s2.Job(id)
+		if !ok {
+			t.Fatalf("INVARIANT: acknowledged job %s lost to ENOSPC", id)
+		}
+		switch st.State {
+		case serve.JobDone:
+			for i, r := range st.Runs {
+				payload, ok := s2.Result(r.Key)
+				if !ok || !bytes.Equal(payload, want[r.Key]) {
+					t.Fatalf("job %s run %d wrong after ENOSPC recovery", id, i)
+				}
+			}
+		case serve.JobFailed:
+			// Durably failed during the outage: honest, attributed.
+			if st.Error == "" {
+				t.Fatalf("job %s failed without a cause", id)
+			}
+		default:
+			t.Fatalf("job %s state %s after recovery", id, st.State)
+		}
+	}
+}
+
+// TestSlowIO: a saturated disk delays everything but breaks nothing.
+func TestSlowIO(t *testing.T) {
+	want := reference(t)
+	dir := t.TempDir()
+	fs := &SlowFS{Inner: serve.OSFS{}, Delay: 2 * time.Millisecond}
+	s, err := serve.New(serve.Options{Dir: dir, Workers: 2, RunSynthetic: detRun, FS: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Close(ctx)
+	}()
+	acked := submitAll(s)
+	if len(acked) != len(workload) {
+		t.Fatalf("acked %d of %d under slow IO", len(acked), len(workload))
+	}
+	waitTerminal(t, s, acked)
+	for _, id := range acked {
+		st, _ := s.Job(id)
+		if st.State != serve.JobDone {
+			t.Fatalf("job %s: %s (%s)", id, st.State, st.Error)
+		}
+		for _, r := range st.Runs {
+			payload, ok := s.Result(r.Key)
+			if !ok || !bytes.Equal(payload, want[r.Key]) {
+				t.Fatalf("job %s wrong bytes under slow IO", id)
+			}
+		}
+	}
+}
+
+// TestCacheCorruption: flip a bit in a stored result blob; the gateway
+// must quarantine it (preserving the evidence) and re-simulate instead
+// of serving the damaged bytes.
+func TestCacheCorruption(t *testing.T) {
+	want := reference(t)
+	dir := t.TempDir()
+	s, err := serve.New(serve.Options{Dir: dir, Workers: 1, RunSynthetic: detRun})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Close(ctx)
+	}()
+	st, err := s.Submit("chaos", []byte(workload[1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, s, []string{st.ID})
+	done, _ := s.Job(st.ID)
+	key := done.Runs[0].Key
+
+	// Corrupt the blob on disk behind the server's back.
+	blob := filepath.Join(dir, "results", "objects", key[:2], key)
+	data, err := os.ReadFile(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0x10
+	if err := os.WriteFile(blob, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Direct fetch refuses the corrupt blob.
+	if payload, ok := s.Result(key); ok {
+		t.Fatalf("INVARIANT: corrupt blob served: %q", payload)
+	}
+	// A resubmission re-simulates and repopulates with correct bytes.
+	st2, err := s.Submit("chaos", []byte(workload[1]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, s, []string{st2.ID})
+	done2, _ := s.Job(st2.ID)
+	if done2.State != serve.JobDone {
+		t.Fatalf("resubmit %s: %s", done2.State, done2.Error)
+	}
+	if done2.Runs[0].Cached {
+		t.Fatal("corrupt blob counted as a cache hit")
+	}
+	payload, ok := s.Result(key)
+	if !ok || !bytes.Equal(payload, want[key]) {
+		t.Fatalf("repopulated bytes wrong: %q", payload)
+	}
+	if s.Stats().CacheQuarantines == 0 {
+		t.Fatal("quarantine not counted")
+	}
+	// The damaged blob is preserved as evidence, not deleted.
+	qnames, err := os.ReadDir(filepath.Join(dir, "results", "quarantine"))
+	if err != nil || len(qnames) == 0 {
+		t.Fatalf("quarantine dir empty (err %v)", err)
+	}
+}

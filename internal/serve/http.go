@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"seec/internal/telemetry"
+)
+
+// MaxSpecBytes bounds a submission body; anything larger is rejected
+// before decoding.
+const MaxSpecBytes = 1 << 16
+
+// apiError is the JSON error envelope every non-2xx response carries.
+type apiError struct {
+	Error string `json:"error"`
+	Field string `json:"field,omitempty"`
+}
+
+// Handler builds the gateway's HTTP API on top of srv, with the
+// telemetry endpoints (/status, /metrics, /debug/pprof) mounted when
+// agg is non-nil:
+//
+//	POST   /api/v1/jobs            submit a sweep spec (202, durable)
+//	GET    /api/v1/jobs            list jobs
+//	GET    /api/v1/jobs/{id}       one job's status
+//	DELETE /api/v1/jobs/{id}       cancel
+//	GET    /api/v1/results/{key}   cached result payload (JSON)
+//	GET    /api/v1/stats           gateway counters
+func Handler(srv *Server, agg *telemetry.Aggregator) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, MaxSpecBytes+1))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, &apiError{Error: "read body: " + err.Error()})
+			return
+		}
+		if len(body) > MaxSpecBytes {
+			writeErr(w, http.StatusRequestEntityTooLarge,
+				&apiError{Error: fmt.Sprintf("spec exceeds %d bytes", MaxSpecBytes)})
+			return
+		}
+		st, err := srv.Submit(r.Header.Get("X-Seec-Tenant"), body)
+		if err != nil {
+			writeSubmitErr(w, err)
+			return
+		}
+		writeJSON(w, http.StatusAccepted, st)
+	})
+	mux.HandleFunc("GET /api/v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, srv.Jobs())
+	})
+	mux.HandleFunc("GET /api/v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		st, ok := srv.Job(r.PathValue("id"))
+		if !ok {
+			writeErr(w, http.StatusNotFound, &apiError{Error: "no such job"})
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("DELETE /api/v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if !srv.Cancel(r.PathValue("id")) {
+			writeErr(w, http.StatusConflict, &apiError{Error: "job unknown or already terminal"})
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("GET /api/v1/results/{key}", func(w http.ResponseWriter, r *http.Request) {
+		payload, ok := srv.Result(r.PathValue("key"))
+		if !ok {
+			writeErr(w, http.StatusNotFound, &apiError{Error: "result not cached"})
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(payload)
+	})
+	mux.HandleFunc("GET /api/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, srv.Stats())
+	})
+	if agg != nil {
+		telemetry.Mount(mux, agg)
+	}
+	return mux
+}
+
+// writeSubmitErr maps a Submit error to its degradation status code:
+// invalid spec 400, rate/budget 429 + Retry-After, queue full /
+// draining / journal down 503.
+func writeSubmitErr(w http.ResponseWriter, err error) {
+	var se *SpecError
+	if errors.As(err, &se) {
+		writeErr(w, http.StatusBadRequest, &apiError{Error: se.Msg, Field: se.Field})
+		return
+	}
+	var rl *RateLimitError
+	if errors.As(err, &rl) {
+		secs := int(rl.RetryAfter.Seconds())
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", fmt.Sprint(secs))
+		writeErr(w, http.StatusTooManyRequests, &apiError{Error: err.Error()})
+		return
+	}
+	if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrDraining) || errors.Is(err, ErrUnavailable) {
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusServiceUnavailable, &apiError{Error: err.Error()})
+		return
+	}
+	writeErr(w, http.StatusInternalServerError, &apiError{Error: err.Error()})
+}
+
+// writeJSON writes v as a JSON response.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+// writeErr writes the error envelope.
+func writeErr(w http.ResponseWriter, code int, e *apiError) {
+	writeJSON(w, code, e)
+}

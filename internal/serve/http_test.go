@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"seec/internal/telemetry"
+)
+
+// newAPI builds a gateway + HTTP handler backed by fakeRun.
+func newAPI(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	agg := telemetry.NewAggregator()
+	opts.Bus = telemetry.NewBus(agg)
+	s := newServer(t, opts)
+	ts := httptest.NewServer(Handler(s, agg))
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// doJSON issues a request and decodes the JSON response into out.
+func doJSON(t *testing.T, method, url, body string, out any) *http.Response {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("%s %s: decode: %v", method, url, err)
+		}
+	}
+	return resp
+}
+
+func TestHTTPSubmitPollFetch(t *testing.T) {
+	srv, ts := newAPI(t, Options{Workers: 2})
+	var st JobStatus
+	resp := doJSON(t, "POST", ts.URL+"/api/v1/jobs", `{"rates":[0.02,0.04],"seed":5}`, &st)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	waitJob(t, srv, st.ID)
+
+	var got JobStatus
+	if resp := doJSON(t, "GET", ts.URL+"/api/v1/jobs/"+st.ID, "", &got); resp.StatusCode != 200 {
+		t.Fatalf("poll status %d", resp.StatusCode)
+	}
+	if got.State != JobDone || len(got.Runs) != 2 {
+		t.Fatalf("job %+v", got)
+	}
+	// Fetch each run's result blob by its content key.
+	for _, r := range got.Runs {
+		req, _ := http.NewRequest("GET", ts.URL+"/api/v1/results/"+r.Key, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var res map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil || resp.StatusCode != 200 {
+			t.Fatalf("result fetch: status %d err %v", resp.StatusCode, err)
+		}
+		resp.Body.Close()
+	}
+	var list []JobStatus
+	doJSON(t, "GET", ts.URL+"/api/v1/jobs", "", &list)
+	if len(list) != 1 || list[0].ID != st.ID {
+		t.Fatalf("list %+v", list)
+	}
+	var stats Stats
+	doJSON(t, "GET", ts.URL+"/api/v1/stats", "", &stats)
+	if stats.JobsDone != 1 || stats.Simulations != 2 {
+		t.Fatalf("stats %+v", stats)
+	}
+	// Telemetry endpoints ride the same mux.
+	if resp := doJSON(t, "GET", ts.URL+"/status", "", &map[string]any{}); resp.StatusCode != 200 {
+		t.Fatalf("/status %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	_, ts := newAPI(t, Options{Workers: 1})
+	var e apiError
+	if resp := doJSON(t, "POST", ts.URL+"/api/v1/jobs", `{"scheme":"warp"}`, &e); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad spec status %d", resp.StatusCode)
+	}
+	if e.Field != "scheme" {
+		t.Fatalf("error envelope %+v", e)
+	}
+	if resp := doJSON(t, "POST", ts.URL+"/api/v1/jobs", `not json`, &e); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage status %d", resp.StatusCode)
+	}
+	if resp := doJSON(t, "GET", ts.URL+"/api/v1/jobs/j999", "", &e); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing job status %d", resp.StatusCode)
+	}
+	if resp := doJSON(t, "GET", ts.URL+"/api/v1/results/"+testKey, "", &e); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing result status %d", resp.StatusCode)
+	}
+	req, _ := http.NewRequest("DELETE", ts.URL+"/api/v1/jobs/j999", nil)
+	resp, _ := http.DefaultClient.Do(req)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("cancel missing job status %d", resp.StatusCode)
+	}
+	huge := `{"tenant":"` + strings.Repeat("x", MaxSpecBytes) + `"}`
+	if resp := doJSON(t, "POST", ts.URL+"/api/v1/jobs", huge, &e); resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized spec status %d", resp.StatusCode)
+	}
+}
+
+func TestHTTPRateLimitHeaders(t *testing.T) {
+	now := time.Unix(1000, 0)
+	_, ts := newAPI(t, Options{SubmitRate: 0.5, SubmitBurst: 1, Now: func() time.Time { return now }})
+	if resp := doJSON(t, "POST", ts.URL+"/api/v1/jobs", `{"rate":0.02}`, &JobStatus{}); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit %d", resp.StatusCode)
+	}
+	var e apiError
+	resp := doJSON(t, "POST", ts.URL+"/api/v1/jobs", `{"rate":0.04}`, &e)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("limited submit %d", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+}

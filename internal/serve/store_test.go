@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const testKey = "ab0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcd"
+
+func TestStoreRoundTrip(t *testing.T) {
+	st, err := NewStore(OSFS{}, filepath.Join(t.TempDir(), "results"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := st.Get(testKey); ok || err != nil {
+		t.Fatalf("empty store: ok=%v err=%v", ok, err)
+	}
+	payload := []byte(`{"avg":12.5}`)
+	if err := st.Put(testKey, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := st.Get(testKey)
+	if err != nil || !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("get: %q ok=%v err=%v", got, ok, err)
+	}
+	// Idempotent re-put of identical content.
+	if err := st.Put(testKey, payload); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStoreQuarantine: a blob that fails CRC is moved aside (preserved
+// as evidence) and reported as a miss, never served.
+func TestStoreQuarantine(t *testing.T) {
+	root := filepath.Join(t.TempDir(), "results")
+	st, err := NewStore(OSFS{}, root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(testKey, []byte(`{"avg":12.5}`)); err != nil {
+		t.Fatal(err)
+	}
+	blob := filepath.Join(root, "objects", testKey[:2], testKey)
+	data, _ := os.ReadFile(blob)
+	data[len(data)-3] ^= 1 // flip a payload bit
+	os.WriteFile(blob, data, 0o644)
+
+	got, ok, err := st.Get(testKey)
+	if ok || got != nil {
+		t.Fatalf("corrupt blob served: %q", got)
+	}
+	if err == nil || !strings.Contains(err.Error(), "quarantined") {
+		t.Fatalf("want quarantine verdict, got %v", err)
+	}
+	if _, err := os.Stat(blob); !os.IsNotExist(err) {
+		t.Fatal("corrupt blob still in objects/")
+	}
+	if n := st.QuarantineCount(); n != 1 {
+		t.Fatalf("quarantine count %d", n)
+	}
+	// The slot is now a plain miss; a fresh Put repopulates it.
+	if _, ok, err := st.Get(testKey); ok || err != nil {
+		t.Fatalf("after quarantine: ok=%v err=%v", ok, err)
+	}
+	if err := st.Put(testKey, []byte(`{"avg":12.5}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := st.Get(testKey); !ok {
+		t.Fatal("repopulated blob missing")
+	}
+}
+
+// TestStoreSweepTemp: a tmp file left by a crash mid-Put is removed on
+// the next open and never visible as a blob.
+func TestStoreSweepTemp(t *testing.T) {
+	root := filepath.Join(t.TempDir(), "results")
+	if _, err := NewStore(OSFS{}, root); err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "objects", testKey[:2])
+	os.MkdirAll(dir, 0o755)
+	stale := filepath.Join(dir, testKey+".tmp")
+	os.WriteFile(stale, []byte("partial"), 0o644)
+	if _, err := NewStore(OSFS{}, root); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatal("stale tmp survived reopen")
+	}
+}
+
+// TestStoreTruncatedBlob: a torn write (header only, payload missing)
+// quarantines rather than panics.
+func TestStoreTruncatedBlob(t *testing.T) {
+	root := filepath.Join(t.TempDir(), "results")
+	st, _ := NewStore(OSFS{}, root)
+	dir := filepath.Join(root, "objects", testKey[:2])
+	os.MkdirAll(dir, 0o755)
+	os.WriteFile(filepath.Join(dir, testKey), []byte("SEECRES1 0000"), 0o644)
+	if _, ok, err := st.Get(testKey); ok || err == nil {
+		t.Fatalf("truncated blob: ok=%v err=%v", ok, err)
+	}
+}

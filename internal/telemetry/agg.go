@@ -53,6 +53,18 @@ type Aggregator struct {
 	ciStops      int64
 	wdStalls     int64
 
+	// Gateway (seecd) counters, non-zero only when an internal/serve
+	// instance feeds the bus.
+	svcSeen      bool
+	queueDepth   int64
+	cacheHits    int64
+	cacheMisses  int64
+	quarantines  int64
+	walReplays   int64
+	walRecords   int64
+	walResumed   int64
+	walDropped   int64
+
 	runs map[int32]*runState
 }
 
@@ -123,6 +135,24 @@ func (a *Aggregator) Emit(e Event) {
 		a.ckptRestores++
 	case EvWatchdogStall:
 		a.wdStalls++
+	case EvJobEnqueue, EvJobDequeue:
+		a.svcSeen = true
+		a.queueDepth = e.Total
+	case EvCacheHit:
+		a.svcSeen = true
+		a.cacheHits++
+	case EvCacheMiss:
+		a.svcSeen = true
+		a.cacheMisses++
+	case EvCacheQuarantine:
+		a.svcSeen = true
+		a.quarantines++
+	case EvWALReplay:
+		a.svcSeen = true
+		a.walReplays++
+		a.walRecords += e.Total
+		a.walResumed += int64(e.Attempt)
+		a.walDropped += e.InFlight
 	}
 }
 
@@ -200,17 +230,33 @@ type RunStatus struct {
 	CyclesPerSec float64 `json:"cycles_per_sec"`
 }
 
+// ServiceStatus is the gateway half of a Snapshot: queue depth, result
+// cache effectiveness and WAL replay provenance. Present only when an
+// internal/serve gateway feeds the bus.
+type ServiceStatus struct {
+	QueueDepth        int64   `json:"queue_depth"`
+	CacheHits         int64   `json:"cache_hits"`
+	CacheMisses       int64   `json:"cache_misses"`
+	CacheHitRatio     float64 `json:"cache_hit_ratio"`
+	CacheQuarantines  int64   `json:"cache_quarantines"`
+	WALReplays        int64   `json:"wal_replays"`
+	WALRecordsReplay  int64   `json:"wal_records_replayed"`
+	WALJobsResumed    int64   `json:"wal_jobs_resumed"`
+	WALRecordsDropped int64   `json:"wal_records_dropped"`
+}
+
 // Snapshot is the /status document.
 type Snapshot struct {
-	Now                time.Time   `json:"now"`
-	UptimeSec          float64     `json:"uptime_sec"`
-	Events             int64       `json:"events_total"`
-	Sweep              SweepStatus `json:"sweep"`
-	Runs               []RunStatus `json:"runs,omitempty"`
-	CheckpointSaves    int64       `json:"checkpoint_saves"`
-	CheckpointRestores int64       `json:"checkpoint_restores"`
-	CIStops            int64       `json:"ci_stops"`
-	WatchdogStalls     int64       `json:"watchdog_stalls"`
+	Now                time.Time      `json:"now"`
+	UptimeSec          float64        `json:"uptime_sec"`
+	Events             int64          `json:"events_total"`
+	Sweep              SweepStatus    `json:"sweep"`
+	Service            *ServiceStatus `json:"service,omitempty"`
+	Runs               []RunStatus    `json:"runs,omitempty"`
+	CheckpointSaves    int64          `json:"checkpoint_saves"`
+	CheckpointRestores int64          `json:"checkpoint_restores"`
+	CIStops            int64          `json:"ci_stops"`
+	WatchdogStalls     int64          `json:"watchdog_stalls"`
 }
 
 // Snapshot returns a consistent copy of the aggregated state. The ETA
@@ -234,6 +280,22 @@ func (a *Aggregator) Snapshot() Snapshot {
 		CheckpointRestores: a.ckptRestores,
 		CIStops:            a.ciStops,
 		WatchdogStalls:     a.wdStalls,
+	}
+	if a.svcSeen {
+		svc := &ServiceStatus{
+			QueueDepth:        a.queueDepth,
+			CacheHits:         a.cacheHits,
+			CacheMisses:       a.cacheMisses,
+			CacheQuarantines:  a.quarantines,
+			WALReplays:        a.walReplays,
+			WALRecordsReplay:  a.walRecords,
+			WALJobsResumed:    a.walResumed,
+			WALRecordsDropped: a.walDropped,
+		}
+		if lookups := a.cacheHits + a.cacheMisses; lookups > 0 {
+			svc.CacheHitRatio = float64(a.cacheHits) / float64(lookups)
+		}
+		s.Service = svc
 	}
 	if a.jobs > 0 {
 		s.Sweep.PercentDone = 100 * float64(a.done+a.failed) / float64(a.jobs)
@@ -367,6 +429,25 @@ func (a *Aggregator) WritePrometheus(w io.Writer) error {
 	p("# TYPE seec_ci_stops_total counter\nseec_ci_stops_total %d\n", s.CIStops)
 	p("# HELP seec_watchdog_stalls_total Watchdog no-ejection-progress verdicts.\n")
 	p("# TYPE seec_watchdog_stalls_total counter\nseec_watchdog_stalls_total %d\n", s.WatchdogStalls)
+	if s.Service != nil {
+		svc := s.Service
+		p("# HELP seec_queue_depth Gateway jobs waiting in the durable queue.\n")
+		p("# TYPE seec_queue_depth gauge\nseec_queue_depth %d\n", svc.QueueDepth)
+		p("# HELP seec_cache_lookups_total Result-cache lookups by outcome.\n")
+		p("# TYPE seec_cache_lookups_total counter\n")
+		p("seec_cache_lookups_total{outcome=\"hit\"} %d\n", svc.CacheHits)
+		p("seec_cache_lookups_total{outcome=\"miss\"} %d\n", svc.CacheMisses)
+		p("# HELP seec_cache_hit_ratio Fraction of cache lookups served without simulating.\n")
+		p("# TYPE seec_cache_hit_ratio gauge\nseec_cache_hit_ratio %g\n", svc.CacheHitRatio)
+		p("# HELP seec_cache_quarantines_total Corrupt result blobs moved to quarantine.\n")
+		p("# TYPE seec_cache_quarantines_total counter\nseec_cache_quarantines_total %d\n", svc.CacheQuarantines)
+		p("# HELP seec_wal_records_replayed_total Journal records replayed across boots.\n")
+		p("# TYPE seec_wal_records_replayed_total counter\nseec_wal_records_replayed_total %d\n", svc.WALRecordsReplay)
+		p("# HELP seec_wal_jobs_resumed_total Jobs re-enqueued from the journal on boot.\n")
+		p("# TYPE seec_wal_jobs_resumed_total counter\nseec_wal_jobs_resumed_total %d\n", svc.WALJobsResumed)
+		p("# HELP seec_wal_records_dropped_total Torn or corrupt journal tail records dropped on replay.\n")
+		p("# TYPE seec_wal_records_dropped_total counter\nseec_wal_records_dropped_total %d\n", svc.WALRecordsDropped)
+	}
 	p("# HELP seec_events_total Telemetry events aggregated.\n")
 	p("# TYPE seec_events_total counter\nseec_events_total %d\n", s.Events)
 	return err

@@ -20,10 +20,11 @@ type Server struct {
 	srv *http.Server
 }
 
-// NewServer listens on addr (host:port; ":0" picks a free port) and
-// starts serving agg. Use Addr for the bound address.
-func NewServer(addr string, agg *Aggregator) (*Server, error) {
-	mux := http.NewServeMux()
+// Mount registers the observability endpoints (/status, /metrics,
+// /debug/pprof) for agg on mux. Callers that serve their own API —
+// the seecd gateway — mount these on their mux instead of running a
+// second listener through NewServer.
+func Mount(mux *http.ServeMux, agg *Aggregator) {
 	mux.HandleFunc("/status", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		agg.WriteStatusJSON(w)
@@ -37,6 +38,13 @@ func NewServer(addr string, agg *Aggregator) (*Server, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// NewServer listens on addr (host:port; ":0" picks a free port) and
+// starts serving agg. Use Addr for the bound address.
+func NewServer(addr string, agg *Aggregator) (*Server, error) {
+	mux := http.NewServeMux()
+	Mount(mux, agg)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err

@@ -69,6 +69,28 @@ const (
 	// description).
 	EvWatchdogStall
 
+	// Gateway (seecd) events, emitted by internal/serve. Job is -1:
+	// gateway jobs carry string ids, not sweep indices.
+
+	// EvJobEnqueue: a gateway job entered the durable queue (Total =
+	// queue depth after the enqueue).
+	EvJobEnqueue
+	// EvJobDequeue: a gateway worker picked up a queued job (Total =
+	// queue depth after the dequeue).
+	EvJobDequeue
+	// EvCacheHit: a run was served from the content-addressed result
+	// store without simulating.
+	EvCacheHit
+	// EvCacheMiss: a run had no cached result and was simulated.
+	EvCacheMiss
+	// EvCacheQuarantine: a cached blob failed CRC validation and was
+	// moved to quarantine instead of being served (Err = detail).
+	EvCacheQuarantine
+	// EvWALReplay: the gateway replayed its write-ahead journal on boot
+	// (Total = records replayed, Attempt = jobs re-enqueued as
+	// resumable, InFlight = trailing records dropped as torn/corrupt).
+	EvWALReplay
+
 	numKinds
 )
 
@@ -96,6 +118,12 @@ var kindNames = [numKinds]string{
 	EvCheckpointRestore: "checkpoint_restore",
 	EvCIStop:            "ci_stop",
 	EvWatchdogStall:     "watchdog_stall",
+	EvJobEnqueue:        "job_enqueue",
+	EvJobDequeue:        "job_dequeue",
+	EvCacheHit:          "cache_hit",
+	EvCacheMiss:         "cache_miss",
+	EvCacheQuarantine:   "cache_quarantine",
+	EvWALReplay:         "wal_replay",
 }
 
 // Event is one recorded occurrence. The struct is fixed-size apart from
