@@ -69,7 +69,16 @@ func Handler(srv *Server, agg *telemetry.Aggregator) http.Handler {
 		w.WriteHeader(http.StatusNoContent)
 	})
 	mux.HandleFunc("GET /api/v1/results/{key}", func(w http.ResponseWriter, r *http.Request) {
-		payload, ok := srv.Result(r.PathValue("key"))
+		// ServeMux unescapes %2F after route matching, so the path value
+		// can contain separators; only a well-formed content address may
+		// reach the store (the store re-checks, but a traversal attempt
+		// should be a clean 404, not an IO path).
+		key := r.PathValue("key")
+		if !ValidKey(key) {
+			writeErr(w, http.StatusNotFound, &apiError{Error: "malformed result key"})
+			return
+		}
+		payload, ok := srv.Result(key)
 		if !ok {
 			writeErr(w, http.StatusNotFound, &apiError{Error: "result not cached"})
 			return

@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -114,6 +116,41 @@ func TestHTTPErrors(t *testing.T) {
 	huge := `{"tenant":"` + strings.Repeat("x", MaxSpecBytes) + `"}`
 	if resp := doJSON(t, "POST", ts.URL+"/api/v1/jobs", huge, &e); resp.StatusCode != http.StatusRequestEntityTooLarge {
 		t.Fatalf("oversized spec status %d", resp.StatusCode)
+	}
+}
+
+// TestHTTPResultKeyTraversal: ServeMux decodes %2F after segment
+// matching, so "..%2F..%2Fwal.log" arrives at the handler as a
+// traversal path. It must be a clean 404 — pre-fix it reached the
+// store, failed CRC validation, and quarantine() RENAMED the live WAL
+// aside, destroying the journal on an unauthenticated GET.
+func TestHTTPResultKeyTraversal(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := newAPI(t, Options{Workers: 1, Dir: dir})
+	for _, key := range []string{
+		"..%2F..%2Fwal.log",
+		"..%2f..%2f..%2fetc%2fpasswd",
+		"notakey",
+		strings.Repeat("g", 64),
+	} {
+		req, err := http.NewRequest("GET", ts.URL+"/api/v1/results/"+key, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("GET results/%s: status %d, want 404", key, resp.StatusCode)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(dir, "wal.log")); err != nil {
+		t.Fatalf("WAL harmed by traversal GET: %v", err)
+	}
+	if n, _ := os.ReadDir(filepath.Join(dir, "results", "quarantine")); len(n) != 0 {
+		t.Fatalf("traversal GET quarantined %d files", len(n))
 	}
 }
 

@@ -342,9 +342,22 @@ func (s *Server) buildJob(id, tenant string, sp *JobSpec) *job {
 // Caller holds s.mu or is inside New before workers start.
 func (s *Server) enqueueLocked(j *job) {
 	s.stats.QueueDepth++
-	s.outstanding[j.tenant] += pendingRuns(j)
+	if n := pendingRuns(j); n > 0 {
+		s.outstanding[j.tenant] += n
+	}
 	s.queue <- j
 	s.bus.Emit(telemetry.Event{Kind: telemetry.EvJobEnqueue, Job: -1, Total: int64(s.stats.QueueDepth)})
+}
+
+// releaseRunLocked returns one outstanding-run unit of tenant's budget,
+// deleting the map entry at zero — tenant names are client-supplied,
+// so idle tenants must not leave permanent residue. Caller holds s.mu.
+func (s *Server) releaseRunLocked(tenant string) {
+	if n := s.outstanding[tenant] - 1; n > 0 {
+		s.outstanding[tenant] = n
+	} else {
+		delete(s.outstanding, tenant)
+	}
 }
 
 // pendingRuns counts runs not yet completed.
@@ -384,14 +397,18 @@ func (s *Server) Submit(tenant string, raw []byte) (JobStatus, error) {
 	if s.wal.Err() != nil {
 		return JobStatus{}, fmt.Errorf("%w: %v", ErrUnavailable, s.wal.Err())
 	}
-	if wait, ok := s.takeToken(tenant); !ok {
-		return JobStatus{}, &RateLimitError{RetryAfter: wait, Reason: "rate"}
-	}
+	// Budget and queue checks come BEFORE the token bucket: a tenant
+	// backing off a full queue or an exhausted budget must not also
+	// burn rate tokens on the rejected attempts, compounding the
+	// throttling once capacity frees up.
 	if b := s.opts.TenantBudget; b > 0 && s.outstanding[tenant]+nRuns > b {
 		return JobStatus{}, &RateLimitError{RetryAfter: time.Second, Reason: "budget"}
 	}
 	if s.stats.QueueDepth >= s.opts.QueueDepth {
 		return JobStatus{}, ErrQueueFull
+	}
+	if wait, ok := s.takeToken(tenant); !ok {
+		return JobStatus{}, &RateLimitError{RetryAfter: wait, Reason: "rate"}
 	}
 	id := fmt.Sprintf("j%d", s.nextJob)
 	// The acknowledgement barrier: the submit record reaches stable
@@ -409,6 +426,16 @@ func (s *Server) Submit(tenant string, raw []byte) (JobStatus, error) {
 	return s.viewLocked(j), nil
 }
 
+// maxTenantBuckets caps the token-bucket map. Tenant names are
+// client-supplied, so the map is a memory-growth vector; when it hits
+// the cap, every bucket whose tokens have refilled back to the full
+// burst is evicted — lossless, since a recreated bucket starts at
+// burst. Buckets that survive an eviction pass belong to tenants that
+// consumed a token within the last burst/rate seconds, so sustained
+// growth past the cap requires genuine concurrent traffic, not just
+// a stream of fresh header values.
+const maxTenantBuckets = 1024
+
 // takeToken implements the per-tenant token bucket under s.mu.
 func (s *Server) takeToken(tenant string) (time.Duration, bool) {
 	rate := s.opts.SubmitRate
@@ -418,6 +445,9 @@ func (s *Server) takeToken(tenant string) (time.Duration, bool) {
 	now := s.now()
 	b := s.buckets[tenant]
 	if b == nil {
+		if len(s.buckets) >= maxTenantBuckets {
+			s.evictFullBuckets(now)
+		}
 		b = &bucket{tokens: float64(s.opts.SubmitBurst), last: now}
 		s.buckets[tenant] = b
 	}
@@ -431,6 +461,17 @@ func (s *Server) takeToken(tenant string) (time.Duration, bool) {
 		return 0, true
 	}
 	return time.Duration((1 - b.tokens) / rate * float64(time.Second)), false
+}
+
+// evictFullBuckets drops every bucket that has (or by now would have)
+// refilled to the full burst. Caller holds s.mu.
+func (s *Server) evictFullBuckets(now time.Time) {
+	rate, burst := s.opts.SubmitRate, float64(s.opts.SubmitBurst)
+	for t, b := range s.buckets {
+		if b.tokens+rate*now.Sub(b.last).Seconds() >= burst {
+			delete(s.buckets, t)
+		}
+	}
 }
 
 // Job returns a copy of the job's public state.
@@ -565,7 +606,7 @@ func (s *Server) runJob(j *job) {
 		case err == nil:
 			j.runs[i].State = RunDone
 			j.runs[i].Cached = cached
-			s.outstanding[j.tenant]--
+			s.releaseRunLocked(j.tenant)
 			s.wal.Append(Record{Kind: RecRunDone, ID: j.id, Run: i, Key: j.runs[i].Key, Cached: cached}, false)
 		case runCtx.Err() != nil && s.ctx.Err() != nil:
 			// Shutdown drain: leave the run pending and the job
@@ -580,7 +621,7 @@ func (s *Server) runJob(j *job) {
 			// skipped, the post-loop epilogue finishes the job as
 			// cancelled.
 			j.runs[i].State = RunSkipped
-			s.outstanding[j.tenant]--
+			s.releaseRunLocked(j.tenant)
 		default:
 			state := RunFailed
 			if errors.Is(err, context.DeadlineExceeded) {
@@ -588,13 +629,13 @@ func (s *Server) runJob(j *job) {
 			}
 			j.runs[i].State = state
 			j.runs[i].Err = err.Error()
-			s.outstanding[j.tenant]--
+			s.releaseRunLocked(j.tenant)
 			failures++
 			if failures >= s.opts.MaxFailures {
 				for k := i + 1; k < len(j.runs); k++ {
 					if j.runs[k].State == RunPending {
 						j.runs[k].State = RunSkipped
-						s.outstanding[j.tenant]--
+						s.releaseRunLocked(j.tenant)
 					}
 				}
 				msg := fmt.Sprintf("breaker tripped after %d failed runs: %v", failures, err)
@@ -640,7 +681,7 @@ func (s *Server) finishLocked(j *job, state JobState, msg string) {
 			if state == JobCancelled {
 				j.runs[i].State = RunSkipped
 			}
-			s.outstanding[j.tenant]--
+			s.releaseRunLocked(j.tenant)
 		}
 	}
 	j.state = state

@@ -279,14 +279,86 @@ func TestTenantBudget(t *testing.T) {
 	if !errors.As(err, &rl) || rl.Reason != "budget" {
 		t.Fatalf("want budget error, got %v", err)
 	}
-	if _, err := s.Submit("bob", []byte(`{"rate":0.06}`)); err != nil {
+	bobJob, err := s.Submit("bob", []byte(`{"rate":0.06}`))
+	if err != nil {
 		t.Fatalf("bob hit alice's budget: %v", err)
 	}
 	close(release)
 	waitJob(t, s, st.ID)
 	// Budget released on completion.
-	if _, err := s.Submit("alice", []byte(`{"rate":0.08}`)); err != nil {
+	st2, err := s.Submit("alice", []byte(`{"rate":0.08}`))
+	if err != nil {
 		t.Fatalf("budget not released: %v", err)
+	}
+	waitJob(t, s, bobJob.ID)
+	waitJob(t, s, st2.ID)
+	// Tenant names are client-supplied, so the accounting map must not
+	// keep residue for tenants with nothing outstanding.
+	s.mu.Lock()
+	n := len(s.outstanding)
+	s.mu.Unlock()
+	if n != 0 {
+		t.Fatalf("outstanding map kept %d idle tenant entries", n)
+	}
+}
+
+// TestRejectedSubmitKeepsToken: budget and queue-depth refusals happen
+// before the token bucket is touched, so a tenant backing off a full
+// budget does not also burn its rate allowance on every retry.
+func TestRejectedSubmitKeepsToken(t *testing.T) {
+	release := make(chan struct{})
+	slowRun := func(ctx context.Context, cfg seec.Config) (seec.Result, error) {
+		select {
+		case <-release:
+			return fakeRun(ctx, cfg)
+		case <-ctx.Done():
+			return seec.Result{}, ctx.Err()
+		}
+	}
+	now := time.Unix(1000, 0)
+	// Frozen clock: tokens never refill, so any burn is permanent.
+	s := newServer(t, Options{Workers: 1, TenantBudget: 1, SubmitRate: 0.001, SubmitBurst: 2,
+		Now: func() time.Time { return now }, RunSynthetic: slowRun})
+	st, err := s.Submit("alice", []byte(`{"rate":0.02}`)) // 1 token spent, budget full
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rl *RateLimitError
+	for i := 0; i < 5; i++ {
+		_, err := s.Submit("alice", []byte(`{"rate":0.04}`))
+		if !errors.As(err, &rl) || rl.Reason != "budget" {
+			t.Fatalf("retry %d: want budget refusal, got %v", i, err)
+		}
+	}
+	close(release)
+	waitJob(t, s, st.ID)
+	// The refusals above must not have consumed the second burst token.
+	if _, err := s.Submit("alice", []byte(`{"rate":0.06}`)); err != nil {
+		t.Fatalf("rejections burned the remaining token: %v", err)
+	}
+}
+
+// TestTenantBucketEviction: the per-tenant bucket map is keyed by an
+// arbitrary client-supplied header, so it is capped — buckets that have
+// refilled to the full burst carry no state and are evicted (lossless:
+// a recreated bucket starts at burst).
+func TestTenantBucketEviction(t *testing.T) {
+	now := time.Unix(1000, 0)
+	s := newServer(t, Options{SubmitRate: 1, SubmitBurst: 1, Now: func() time.Time { return now }})
+	s.mu.Lock()
+	for i := 0; i < maxTenantBuckets+64; i++ {
+		// Advance past the refill horizon each step, so every earlier
+		// bucket is back at full burst and eligible for eviction.
+		now = now.Add(2 * time.Second)
+		if _, ok := s.takeToken(fmt.Sprintf("tenant-%d", i)); !ok {
+			s.mu.Unlock()
+			t.Fatalf("fresh tenant %d denied a token", i)
+		}
+	}
+	n := len(s.buckets)
+	s.mu.Unlock()
+	if n > maxTenantBuckets {
+		t.Fatalf("bucket map grew to %d entries, cap %d", n, maxTenantBuckets)
 	}
 }
 

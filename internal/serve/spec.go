@@ -145,11 +145,13 @@ func (sp *JobSpec) validate() error {
 	if sp.VCDepth < 0 || sp.VCDepth > 64 {
 		return &SpecError{Field: "vc_depth", Msg: "outside [0, 64]"}
 	}
-	if sp.Warmup < 0 {
-		return &SpecError{Field: "warmup", Msg: "negative"}
+	// Each field is bounded individually BEFORE the sum: two huge
+	// positives would wrap int64 negative and sail past the sum check.
+	if sp.Warmup < 0 || sp.Warmup > MaxCyclesPerRun {
+		return &SpecError{Field: "warmup", Msg: fmt.Sprintf("outside [0, %d]", MaxCyclesPerRun)}
 	}
-	if sp.SimCycles < 0 {
-		return &SpecError{Field: "sim_cycles", Msg: "negative"}
+	if sp.SimCycles < 0 || sp.SimCycles > MaxCyclesPerRun {
+		return &SpecError{Field: "sim_cycles", Msg: fmt.Sprintf("outside [0, %d]", MaxCyclesPerRun)}
 	}
 	if sp.Warmup+sp.SimCycles > MaxCyclesPerRun {
 		return &SpecError{Field: "sim_cycles", Msg: fmt.Sprintf("warmup+sim_cycles %d exceeds %d", sp.Warmup+sp.SimCycles, MaxCyclesPerRun)}

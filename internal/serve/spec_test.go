@@ -84,6 +84,10 @@ func TestDecodeJobSpecRejects(t *testing.T) {
 		{"range step zero", `{"rate_from":0.1,"rate_to":0.2}`, "rate_step"},
 		{"too many points", `{"rate_from":0.001,"rate_to":0.9,"rate_step":0.001}`, "rate_step"},
 		{"cycles over budget", `{"sim_cycles":99000000}`, "sim_cycles"},
+		{"warmup over budget", `{"warmup":99000000}`, "warmup"},
+		// Two huge positives whose sum wraps int64 negative: the per-field
+		// bounds must catch them before the sum is computed.
+		{"cycles overflow", `{"warmup":4611686018427387904,"sim_cycles":4611686018427387904}`, "warmup"},
 		{"negative warmup", `{"warmup":-1}`, "warmup"},
 		{"bad faults", `{"faults":"gremlins:yes"}`, "faults"},
 		{"faults on deflection", `{"scheme":"chipper","faults":"link:0.001"}`, "faults"},

@@ -70,14 +70,34 @@ func (s *Store) sweepTemp() {
 	}
 }
 
-// path returns the blob path for key.
+// ValidKey reports whether key is a well-formed content address: the
+// 64 lowercase-hex characters CacheKey produces. Keys arrive from the
+// network path-segment-unescaped, so anything else — "../../wal.log"
+// and friends — must be rejected before any filesystem access: a
+// traversal key would not just read outside the store, it would let
+// the quarantine path RENAME an arbitrary daemon-writable file aside.
+func ValidKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// path returns the blob path for key. Callers validate key first, so
+// the result always lives under <root>/objects.
 func (s *Store) path(key string) string {
 	return filepath.Join(s.root, "objects", key[:2], key)
 }
 
 // Put writes payload under key atomically and durably.
 func (s *Store) Put(key string, payload []byte) error {
-	if len(key) < 3 {
+	if !ValidKey(key) {
 		return fmt.Errorf("store: malformed key %q", key)
 	}
 	dir := filepath.Join(s.root, "objects", key[:2])
@@ -119,7 +139,7 @@ func (s *Store) Put(key string, payload []byte) error {
 // re-simulates instead of serving garbage. err is non-nil only for the
 // quarantine case and for IO failures other than not-exist.
 func (s *Store) Get(key string) (payload []byte, ok bool, err error) {
-	if len(key) < 3 {
+	if !ValidKey(key) {
 		return nil, false, nil
 	}
 	data, err := s.fs.ReadFile(s.path(key))
@@ -157,20 +177,31 @@ func decodeBlob(data []byte) ([]byte, bool) {
 	return payload, true
 }
 
-// quarantine moves key's blob into the quarantine directory under a
-// fresh name (the same blob can be quarantined more than once across
-// restarts).
+// quarantine moves key's blob (a path under objects/ — callers have
+// validated key) into the quarantine directory under a fresh name (the
+// same blob can be quarantined more than once across restarts). The
+// existence probe opens rather than reads — quarantined blobs can be
+// large — and any error other than not-exist is fatal: retrying a
+// broken quarantine dir forever would hang the read path.
 func (s *Store) quarantine(key string) (string, error) {
 	qdir := filepath.Join(s.root, "quarantine")
-	for n := 0; ; n++ {
+	const maxTries = 1000
+	for n := 0; n < maxTries; n++ {
 		dst := filepath.Join(qdir, fmt.Sprintf("%s.%d", key, n))
-		if _, err := s.fs.ReadFile(dst); os.IsNotExist(err) {
-			if err := s.fs.Rename(s.path(key), dst); err != nil {
-				return "", err
-			}
-			return dst, s.fs.SyncDir(qdir)
+		f, err := s.fs.Open(dst)
+		if err == nil {
+			f.Close() // name taken; try the next suffix
+			continue
 		}
+		if !os.IsNotExist(err) {
+			return "", err
+		}
+		if err := s.fs.Rename(s.path(key), dst); err != nil {
+			return "", err
+		}
+		return dst, s.fs.SyncDir(qdir)
 	}
+	return "", fmt.Errorf("store: quarantine name space exhausted for %s", key[:8])
 }
 
 // QuarantineCount reports how many blobs sit in quarantine.

@@ -73,6 +73,47 @@ func TestStoreQuarantine(t *testing.T) {
 	}
 }
 
+// TestStoreRejectsMalformedKeys: anything that is not a 64-char
+// lowercase-hex content address must never reach the filesystem. The
+// dangerous case is a path-traversal key aimed at a sibling file: a
+// pre-fix Get would read it, fail CRC validation, and QUARANTINE it —
+// renaming a live file (the WAL, say) out from under the daemon.
+func TestStoreRejectsMalformedKeys(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewStore(OSFS{}, filepath.Join(dir, "results"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := filepath.Join(dir, "wal.log")
+	if err := os.WriteFile(victim, []byte("journal"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bad := []string{
+		"",
+		"ab",
+		"../../wal.log",
+		"../../../wal.log",
+		strings.Repeat("z", 64),                   // right length, not hex
+		strings.ToUpper(testKey),                  // hex but uppercase
+		testKey[:41] + "/../../../../../wal.log", // length 64 with traversal
+	}
+	for _, key := range bad {
+		if _, ok, err := st.Get(key); ok || err != nil {
+			t.Fatalf("Get(%q): ok=%v err=%v, want plain miss", key, ok, err)
+		}
+		if err := st.Put(key, []byte("x")); err == nil {
+			t.Fatalf("Put(%q) accepted a malformed key", key)
+		}
+	}
+	data, err := os.ReadFile(victim)
+	if err != nil || string(data) != "journal" {
+		t.Fatalf("sibling file touched: %q err=%v", data, err)
+	}
+	if n := st.QuarantineCount(); n != 0 {
+		t.Fatalf("malformed keys caused %d quarantines", n)
+	}
+}
+
 // TestStoreSweepTemp: a tmp file left by a crash mid-Put is removed on
 // the next open and never visible as a blob.
 func TestStoreSweepTemp(t *testing.T) {
