@@ -14,6 +14,7 @@ import (
 
 	"seec"
 	"seec/internal/exp"
+	"seec/internal/plan"
 )
 
 // benchScale is a trimmed Scale keeping each bench iteration bounded.
@@ -47,6 +48,78 @@ func BenchmarkFig8_LatencyCurves(b *testing.B) {
 			b.Fatal("no tables")
 		}
 	}
+}
+
+// BenchmarkFig8_LatencyCurvesShared reruns the Fig. 8 sweep through
+// the planner with warmup-prefix sharing: each (mesh, pattern, scheme)
+// curve pays its warmup once and forks its rate points from the warm
+// checkpoint. A fresh planner per iteration keeps the memo caches out
+// of the measurement, so the delta against BenchmarkFig8_LatencyCurves
+// is warmup sharing itself (net of checkpoint-fork overhead, and with
+// the deflection schemes falling back to independent runs).
+func BenchmarkFig8_LatencyCurvesShared(b *testing.B) {
+	s := benchScale()
+	s.WarmupShare = true
+	for i := 0; i < b.N; i++ {
+		p, err := plan.New(plan.Options{Workers: s.Workers, WarmupShare: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Planner = p
+		if tabs := exp.Fig8(s); len(tabs) == 0 {
+			b.Fatal("no tables")
+		}
+	}
+}
+
+// planFigs renders the benchmark slice of the figure set — the Fig. 8
+// synthetic sweep plus the Table 3 drain study, covering both the
+// direct-run and the memoized-measurement planner paths — through one
+// planner backed by dir.
+func planFigs(b *testing.B, dir string, share bool) *plan.Planner {
+	b.Helper()
+	s := benchScale()
+	s.WarmupShare = share
+	p, err := plan.New(plan.Options{Workers: s.Workers, WarmupShare: share, CacheDir: dir})
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.Planner = p
+	if tabs := exp.Fig8(s); len(tabs) == 0 {
+		b.Fatal("no tables")
+	}
+	if t := exp.Table3(s); len(t.Rows) == 0 {
+		b.Fatal("no rows")
+	}
+	return p
+}
+
+// BenchmarkFigAllPlanned tracks the planner's end-to-end effect on a
+// figure batch: cold against an empty cache directory (every point
+// simulates), cold with warmup-prefix sharing, and warm against a
+// populated cache (zero simulations; the remaining cost is store
+// decode plus rendering).
+func BenchmarkFigAllPlanned(b *testing.B) {
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			planFigs(b, b.TempDir(), false)
+		}
+	})
+	b.Run("cold-shared-warmup", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			planFigs(b, b.TempDir(), true)
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		dir := b.TempDir()
+		planFigs(b, dir, false) // seed the store outside the timer
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if p := planFigs(b, dir, false); p.Stats().Simulated != 0 {
+				b.Fatalf("warm run simulated %d jobs, want 0", p.Stats().Simulated)
+			}
+		}
+	})
 }
 
 // BenchmarkFig9_SatThroughput regenerates the saturation bars.

@@ -39,6 +39,25 @@ go test -run 'TestStatusEndpointSmoke' -timeout 10m ./cmd/figures
 # pure cache hit (zero simulation cycles) on resubmission.
 GOMAXPROCS=4 go test -race -timeout 10m ./internal/serve/chaostest
 go test -run 'TestSeecdCrashRestartResume' -timeout 10m ./cmd/seecd
+# Planner warm-cache gate: the same figure run twice against one cache
+# directory must simulate everything the first time, nothing the second
+# time, and print byte-identical tables both times — the end-to-end
+# contract of the memoizing sweep planner (DESIGN.md §13).
+PLANCACHE=$(mktemp -d)
+go run ./cmd/figures -fig table1 -scale quick -cache-dir "$PLANCACHE" \
+    > "$PLANCACHE/run1.out" 2> "$PLANCACHE/run1.err"
+go run ./cmd/figures -fig table1 -scale quick -cache-dir "$PLANCACHE" \
+    > "$PLANCACHE/run2.out" 2> "$PLANCACHE/run2.err"
+grep -q 'simulated=0' "$PLANCACHE/run2.err" || {
+    echo "ci: warm planner cache still simulated jobs:" >&2
+    cat "$PLANCACHE/run2.err" >&2
+    exit 1
+}
+cmp "$PLANCACHE/run1.out" "$PLANCACHE/run2.out" || {
+    echo "ci: warm-cache figures output differs from cold run" >&2
+    exit 1
+}
+rm -rf "$PLANCACHE"
 # Fuzz smoke: a few seconds per fuzzer over the parsers and invariants
 # that take arbitrary input (fault specs, histograms, traffic
 # destinations), plus the shard count fuzzed against serial output.

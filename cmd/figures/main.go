@@ -21,6 +21,7 @@ import (
 
 	"seec"
 	"seec/internal/exp"
+	"seec/internal/plan"
 )
 
 func main() {
@@ -40,7 +41,10 @@ func main() {
 	watchdogWin := flag.Int64("watchdog", 0, "dump a network snapshot to stderr after this many cycles without an ejection (works at any -j)")
 	jobTimeout := flag.Duration("job-timeout", 0, "wall-time budget per simulation cell; cells past it render as error cells (0 = unbounded)")
 	maxFailures := flag.Int("max-failures", 0, "cancel a figure's remaining cells after this many failures (0 = drain everything, report at the end)")
-	warmupShare := flag.Bool("warmup-share", false, "amortize warmup across rate sweeps (fig 8): warm each curve once, checkpoint in memory, fork every rate point from the shared warm state; changes the sampling plan, so numbers differ statistically from the default path")
+	warmupShare := flag.Bool("warmup-share", false, "amortize warmup across rate sweeps: warm each curve once, checkpoint in memory, fork every rate point from the shared warm state; changes the sampling plan, so numbers differ statistically from the default path")
+	planOn := flag.Bool("plan", true, "compile each figure's cells into a reuse-aware schedule (memoizing sweep planner): in-batch dedup, content-addressed caching and cost-model dispatch; output is byte-identical with planning on or off")
+	cacheDir := flag.String("cache-dir", "", "persist simulation results in this content-addressed cache directory (the seecd store layout); warm re-runs resolve from it without simulating")
+	noReuse := flag.Bool("no-reuse", false, "keep the planner's cost-model scheduling but disable dedup and caching, so every cell simulates (A/B baseline)")
 	statusAddr := flag.String("status", "", "serve live sweep telemetry over HTTP on this address (/status, /metrics, /debug/pprof); \":0\" picks a free port, printed on stderr")
 	telemetryOut := flag.String("telemetry-out", "", "append sweep telemetry events to this file as JSON lines")
 	progress := flag.Duration("progress", 0, "print an ETA-aware progress line to stderr at most this often (0 = off)")
@@ -63,6 +67,8 @@ func main() {
 		usage("-watchdog %d: the stall threshold must be non-negative", *watchdogWin)
 	case *progress < 0:
 		usage("-progress %v: must be non-negative", *progress)
+	case !*planOn && (*cacheDir != "" || *noReuse):
+		usage("-cache-dir and -no-reuse need the planner; drop -plan=false")
 	}
 
 	if *cpuprofile != "" {
@@ -190,6 +196,37 @@ func main() {
 		}
 	}
 
+	// The sweep planner: constructed after the scale is final so its
+	// worker pool, shard budget and telemetry wiring match the cells it
+	// replaces. Scale.planner() ignores it while file-producing
+	// instrumentation is attached (cache hits execute nothing, which
+	// would drop trace artifacts).
+	var planner *plan.Planner
+	if *planOn {
+		po := plan.Options{
+			Workers:       sc.Workers,
+			Shards:        sc.Shards,
+			JobTimeout:    sc.JobTimeout,
+			MaxFailures:   sc.MaxFailures,
+			WarmupShare:   sc.WarmupShare,
+			NoReuse:       *noReuse,
+			CacheDir:      *cacheDir,
+			Bus:           sc.SweepEvents,
+			Progress:      sc.Progress,
+			ProgressEvery: sc.ProgressEvery,
+		}
+		if tel != nil {
+			po.Agg = tel.Agg
+		}
+		p, err := plan.New(po)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "figures: plan: %v\n", err)
+			os.Exit(1)
+		}
+		planner = p
+		sc.Planner = p
+	}
+
 	gens := map[string]func() []*exp.Table{
 		"7":          func() []*exp.Table { return []*exp.Table{exp.Fig7()} },
 		"8":          func() []*exp.Table { return exp.Fig8(sc) },
@@ -230,6 +267,17 @@ func main() {
 			}
 		}
 		fmt.Fprintf(os.Stderr, "[fig %s done in %v]\n", id, time.Since(start).Round(time.Millisecond))
+	}
+
+	if planner != nil {
+		st := planner.Stats()
+		fmt.Fprintf(os.Stderr,
+			"figures: plan: jobs=%d reused=%d simulated=%d families=%d warmup-saved=%d fallbacks=%d quarantined=%d\n",
+			st.Jobs, st.Reused(), st.Simulated, st.WarmupFamilies,
+			st.WarmupCyclesSaved, st.WarmupFallbacks, st.Quarantined)
+		if err := planner.WriteManifest("figures", os.Args[1:]); err != nil {
+			fmt.Fprintf(os.Stderr, "figures: plan manifest: %v\n", err)
+		}
 	}
 }
 

@@ -1,7 +1,6 @@
 package exp
 
 import (
-	"context"
 	"fmt"
 
 	"seec"
@@ -18,16 +17,19 @@ func Fig10a(s Scale) *Table {
 		Header: []string{"rate", "seec %FF", "mseec %FF"},
 	}
 	schemes := []seec.Scheme{seec.SchemeSEEC, seec.SchemeMSEEC}
-	vals := cells(s, len(s.Rates)*len(schemes), func(ctx context.Context, i int) (string, error) {
-		rate, sc := s.Rates[i/len(schemes)], schemes[i%len(schemes)]
-		cfg := synthCfg(sc, 8, 4, "uniform_random", s.SimCycles)
-		cfg.InjectionRate = rate
-		cfg.Seed = cfg.SweepSeed()
-		res, err := s.runSynthetic(ctx, cfg)
-		if err != nil {
-			return "err", err
+	cfgs := make([]seec.Config, 0, len(s.Rates)*len(schemes))
+	for _, rate := range s.Rates {
+		for _, sc := range schemes {
+			cfg := synthCfg(sc, 8, 4, "uniform_random", s.SimCycles)
+			cfg.InjectionRate = rate
+			cfgs = append(cfgs, cfg)
 		}
-		return fmt.Sprintf("%.1f", 100*res.FFFraction), nil
+	}
+	vals := simCells(s, cfgs, func(_ int, res seec.Result, err error) string {
+		if err != nil {
+			return "err"
+		}
+		return fmt.Sprintf("%.1f", 100*res.FFFraction)
 	})
 	for ri, rate := range s.Rates {
 		row := []any{fmt.Sprintf("%.2f", rate)}
@@ -54,22 +56,26 @@ func Fig10b(s Scale) *Table {
 	}
 	rates := []float64{s.Rates[0], s.Rates[len(s.Rates)/2], s.Rates[len(s.Rates)-1]}
 	schemes := []seec.Scheme{seec.SchemeSEEC, seec.SchemeMSEEC}
-	rows := cells(s, len(schemes)*len(rates), func(ctx context.Context, i int) ([]any, error) {
-		sc, rate := schemes[i/len(rates)], rates[i%len(rates)]
-		cfg := synthCfg(sc, 8, 4, "uniform_random", s.SimCycles)
-		cfg.InjectionRate = rate
-		cfg.Seed = cfg.SweepSeed()
-		res, err := s.runSynthetic(ctx, cfg)
-		if err != nil {
-			return nil, err
+	cfgs := make([]seec.Config, 0, len(schemes)*len(rates))
+	for _, sc := range schemes {
+		for _, rate := range rates {
+			cfg := synthCfg(sc, 8, 4, "uniform_random", s.SimCycles)
+			cfg.InjectionRate = rate
+			cfgs = append(cfgs, cfg)
 		}
+	}
+	rows := simCells(s, cfgs, func(i int, res seec.Result, err error) []any {
+		if err != nil {
+			return nil
+		}
+		sc, rate := schemes[i/len(rates)], rates[i%len(rates)]
 		ffLat := res.FFBufferedAvg + res.FFFreeAvg
 		return []any{string(sc), fmt.Sprintf("%.2f", rate),
 			fmt.Sprintf("%.1f", res.RegLatencyAvg),
 			fmt.Sprintf("%.1f", ffLat),
 			fmt.Sprintf("%.1f", res.FFBufferedAvg),
 			fmt.Sprintf("%.1f", res.FFFreeAvg),
-			fmt.Sprintf("%.1f", 100*res.FFFraction)}, nil
+			fmt.Sprintf("%.1f", 100*res.FFFraction)}
 	})
 	for _, row := range rows {
 		if row != nil {
@@ -110,39 +116,44 @@ func Fig11(s Scale) *Table {
 	type pt struct {
 		sc                      seec.Scheme
 		avg, peakKnee, peakOver float64
-		err                     error
+		bad                     bool
 	}
-	measure := func(ctx context.Context, sc seec.Scheme) pt {
-		at := func(rate float64) (seec.Result, error) {
+	// Two independent measurement points per scheme, flattened so the
+	// planner (or the fallback pool) schedules all of them together.
+	measRates := []float64{kneeRate, overRate}
+	cfgs := make([]seec.Config, 0, len(schemes)*len(measRates))
+	for _, sc := range schemes {
+		for _, rate := range measRates {
 			cfg := synthCfg(sc, 8, 4, "uniform_random", s.SimCycles)
 			cfg.InjectionRate = rate
-			cfg.Seed = cfg.SweepSeed()
-			return s.runSynthetic(ctx, cfg)
+			cfgs = append(cfgs, cfg)
 		}
-		res, err := at(kneeRate)
-		if err != nil {
-			return pt{sc: sc, err: err}
-		}
-		p := pt{sc: sc, avg: res.AvgLinkEnergy, peakKnee: res.PeakLinkEnergy}
-		res, err = at(overRate)
-		if err != nil {
-			return pt{sc: sc, err: err}
-		}
-		p.peakOver = res.PeakLinkEnergy
-		return p
 	}
-	pts := cells(s, len(schemes), func(ctx context.Context, i int) (pt, error) {
-		p := measure(ctx, schemes[i])
-		return p, p.err
+	type meas struct {
+		res seec.Result
+		ok  bool
+	}
+	ms := simCells(s, cfgs, func(_ int, res seec.Result, err error) meas {
+		return meas{res: res, ok: err == nil}
 	})
+	pts := make([]pt, len(schemes))
+	for si, sc := range schemes {
+		knee, over := ms[2*si], ms[2*si+1]
+		p := pt{sc: sc, bad: !knee.ok || !over.ok}
+		if !p.bad {
+			p.avg, p.peakKnee = knee.res.AvgLinkEnergy, knee.res.PeakLinkEnergy
+			p.peakOver = over.res.PeakLinkEnergy
+		}
+		pts[si] = p
+	}
 	var base pt
 	for _, p := range pts {
-		if p.sc == seec.SchemeWestFirst && p.err == nil {
+		if p.sc == seec.SchemeWestFirst && !p.bad {
 			base = p
 		}
 	}
 	for _, p := range pts {
-		if p.err != nil || base.avg == 0 {
+		if p.bad || base.avg == 0 {
 			t.AddRow(string(p.sc), "err", "err", "err")
 			continue
 		}

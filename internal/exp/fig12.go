@@ -1,7 +1,6 @@
 package exp
 
 import (
-	"context"
 	"fmt"
 
 	"seec"
@@ -37,27 +36,19 @@ func fig12Variants() []fig12Variant {
 func Fig12(s Scale) []*Table {
 	pats := []string{"uniform_random", "transpose"}
 	vs := fig12Variants()
-	type coord struct {
-		pat  string
-		rate float64
-		v    fig12Variant
-	}
-	var coords []coord
+	var cfgs []seec.Config
 	for _, pat := range pats {
 		for _, rate := range s.Rates {
 			for _, v := range vs {
-				coords = append(coords, coord{pat, rate, v})
+				cfg := synthCfg(v.scheme, 8, 2, pat, s.SimCycles)
+				cfg.Routing = v.routing
+				cfg.InjectionRate = rate
+				cfgs = append(cfgs, cfg)
 			}
 		}
 	}
-	vals := cells(s, len(coords), func(ctx context.Context, i int) (string, error) {
-		c := coords[i]
-		cfg := synthCfg(c.v.scheme, 8, 2, c.pat, s.SimCycles)
-		cfg.Routing = c.v.routing
-		cfg.InjectionRate = c.rate
-		cfg.Seed = cfg.SweepSeed()
-		res, err := s.runSynthetic(ctx, cfg)
-		return latencyCell(res, err), err
+	vals := simCells(s, cfgs, func(_ int, res seec.Result, err error) string {
+		return latencyCell(res, err)
 	})
 	var out []*Table
 	i := 0
@@ -106,26 +97,18 @@ func Fig13(s Scale) []*Table {
 	colsOf := []col{{seec.SchemeSEEC, 2}, {seec.SchemeMSEEC, 2},
 		{seec.SchemeEscape, 2}, {seec.SchemeEscape, 4},
 		{seec.SchemeEscape, 8}, {seec.SchemeEscape, 16}}
-	type coord struct {
-		pat  string
-		rate float64
-		c    col
-	}
-	var coords []coord
+	var cfgs []seec.Config
 	for _, pat := range pats {
 		for _, rate := range s.Rates {
 			for _, c := range colsOf {
-				coords = append(coords, coord{pat, rate, c})
+				cfg := synthCfg(c.sc, 8, c.vcs, pat, s.SimCycles)
+				cfg.InjectionRate = rate
+				cfgs = append(cfgs, cfg)
 			}
 		}
 	}
-	vals := cells(s, len(coords), func(ctx context.Context, i int) (string, error) {
-		j := coords[i]
-		cfg := synthCfg(j.c.sc, 8, j.c.vcs, j.pat, s.SimCycles)
-		cfg.InjectionRate = j.rate
-		cfg.Seed = cfg.SweepSeed()
-		res, err := s.runSynthetic(ctx, cfg)
-		return latencyCell(res, err), err
+	vals := simCells(s, cfgs, func(_ int, res seec.Result, err error) string {
+		return latencyCell(res, err)
 	})
 	i := 0
 	for ti := range pats {

@@ -7,6 +7,8 @@ import (
 	"os"
 	"time"
 
+	"seec"
+	"seec/internal/plan"
 	"seec/internal/runner"
 )
 
@@ -43,6 +45,50 @@ func cells[T any](s Scale, n int, fn func(ctx context.Context, i int) (T, error)
 	}, opts...)
 	if err != nil {
 		reportSweepError(os.Stderr, err)
+	}
+	return out
+}
+
+// simCells is cells for pure synthetic-simulation grids: the generator
+// hands over one Config per cell — seed left underived; the planner or
+// the fallback derives it via Config.SweepSeed(), the sweep convention
+// — plus a render function mapping each cell's (Result, error) to its
+// table value. With a planner attached (Scale.Planner) the whole grid
+// compiles into one reuse-aware schedule: in-batch dedup, cache
+// probes, warmup-prefix families and cost-sorted dispatch, all
+// byte-identity-preserving except the opt-in warmup sharing. Without
+// one it falls back to the classic per-cell fan-out through cells,
+// rendering identically. Cells cancelled before execution (breaker,
+// context) render as zero values on both paths.
+func simCells[T any](s Scale, cfgs []seec.Config, render func(i int, res seec.Result, err error) T) []T {
+	p := s.planner()
+	if p == nil {
+		return cells(s, len(cfgs), func(ctx context.Context, i int) (T, error) {
+			c := cfgs[i]
+			c.Seed = c.SweepSeed()
+			res, err := s.runSynthetic(ctx, c)
+			return render(i, res, err), err
+		})
+	}
+	jobs := make([]plan.Job, len(cfgs))
+	for i, c := range cfgs {
+		jobs[i] = plan.Job{Cfg: c, DeriveSeed: true}
+	}
+	outs := p.Run(context.Background(), jobs, s.runSyntheticDirect)
+	out := make([]T, len(cfgs))
+	failed := 0
+	for i, o := range outs {
+		if !o.Done {
+			continue // cancelled before executing: zero cell, like the breaker path
+		}
+		if o.Err != nil {
+			failed++
+			fmt.Fprintf(os.Stderr, "exp: cell %d failed: %v\n", i, o.Err)
+		}
+		out[i] = render(i, o.Result, o.Err)
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "exp: %d/%d cells failed\n", failed, len(cfgs))
 	}
 	return out
 }

@@ -1,7 +1,6 @@
 package exp
 
 import (
-	"context"
 	"fmt"
 
 	"seec"
@@ -44,23 +43,26 @@ func Resilience(s Scale) *Table {
 	type cell struct {
 		dlv, lat, retx string
 	}
-	vals := cells(s, len(resilienceRates)*len(schemes), func(ctx context.Context, i int) (cell, error) {
-		rate, sc := resilienceRates[i/len(schemes)], schemes[i%len(schemes)]
-		cfg := synthCfg(sc, 8, 4, "uniform_random", s.SimCycles)
-		cfg.InjectionRate = 0.10
-		if rate > 0 {
-			cfg.Faults = fmt.Sprintf("link:%g", rate)
+	cfgs := make([]seec.Config, 0, len(resilienceRates)*len(schemes))
+	for _, rate := range resilienceRates {
+		for _, sc := range schemes {
+			cfg := synthCfg(sc, 8, 4, "uniform_random", s.SimCycles)
+			cfg.InjectionRate = 0.10
+			if rate > 0 {
+				cfg.Faults = fmt.Sprintf("link:%g", rate)
+			}
+			cfgs = append(cfgs, cfg)
 		}
-		cfg.Seed = cfg.SweepSeed()
-		res, err := s.runSynthetic(ctx, cfg)
+	}
+	vals := simCells(s, cfgs, func(_ int, res seec.Result, err error) cell {
 		if err != nil {
-			return cell{"err", "err", "err"}, err
+			return cell{"err", "err", "err"}
 		}
 		dlv := "-"
 		if res.InjectedPackets > 0 {
 			dlv = fmt.Sprintf("%.4f", float64(res.ReceivedPackets)/float64(res.InjectedPackets))
 		}
-		return cell{dlv, latencyCell(res, nil), fmt.Sprint(res.Retransmits)}, nil
+		return cell{dlv, latencyCell(res, nil), fmt.Sprint(res.Retransmits)}
 	})
 	i := 0
 	for _, rate := range resilienceRates {

@@ -43,32 +43,28 @@ func fig8Patterns() []string {
 func Fig8(s Scale) []*Table {
 	schemes := fig8Schemes()
 	pats := fig8Patterns()
-	if s.WarmupShare {
+	if s.WarmupShare && s.planner() == nil {
+		// Legacy warmup-fork path. With a planner attached the same
+		// sharing happens through the planner's family grouping below:
+		// row-major submission order puts each curve's members in rate
+		// order, so the family base (mid member) and fork order
+		// reproduce this path's convention byte-for-byte.
 		return fig8Tables(s, schemes, pats, fig8SharedCells(s, schemes, pats))
 	}
-	type coord struct {
-		k    int
-		pat  string
-		rate float64
-		sc   seec.Scheme
-	}
-	var coords []coord
+	var cfgs []seec.Config
 	for _, k := range s.MeshSizes {
 		for _, pat := range pats {
 			for _, rate := range s.Rates {
 				for _, sc := range schemes {
-					coords = append(coords, coord{k, pat, rate, sc})
+					cfg := synthCfg(sc, k, 4, pat, s.SimCycles)
+					cfg.InjectionRate = rate
+					cfgs = append(cfgs, cfg)
 				}
 			}
 		}
 	}
-	vals := cells(s, len(coords), func(ctx context.Context, i int) (string, error) {
-		c := coords[i]
-		cfg := synthCfg(c.sc, c.k, 4, c.pat, s.SimCycles)
-		cfg.InjectionRate = c.rate
-		cfg.Seed = cfg.SweepSeed()
-		res, err := s.runSynthetic(ctx, cfg)
-		return latencyCell(res, err), err
+	vals := simCells(s, cfgs, func(_ int, res seec.Result, err error) string {
+		return latencyCell(res, err)
 	})
 	return fig8Tables(s, schemes, pats, vals)
 }
@@ -242,14 +238,26 @@ func Fig9(s Scale) *Table {
 	}
 	// Parallelism lives at the cell level; each cell's saturation
 	// search runs its probes serially (workers=1) so the pool is not
-	// oversubscribed. The search result is identical either way.
+	// oversubscribed. The search result is identical either way. With a
+	// planner attached, every probe point resolves through its cache:
+	// the search's probe sequence is deterministic, so a repeated
+	// search replays entirely from cached points.
 	vals := cells(s, len(coords), func(ctx context.Context, i int) (string, error) {
 		c := coords[i]
 		if c.sc == seec.SchemeEscape && c.vcs < 2 {
 			return "n/a", nil
 		}
 		cfg := synthCfg(c.sc, c.k, c.vcs, c.pat, s.SatCycles)
-		sat, _, err := seec.SaturationThroughputCtx(ctx, cfg, 1)
+		var sat float64
+		var err error
+		if p := s.planner(); p != nil {
+			sat, _, err = seec.SaturationThroughputWith(ctx, cfg, 1,
+				func(ctx context.Context, c seec.Config) (seec.Result, error) {
+					return p.RunOne(ctx, c, s.runSyntheticDirect)
+				})
+		} else {
+			sat, _, err = seec.SaturationThroughputCtx(ctx, cfg, 1)
+		}
 		if err != nil {
 			return "err", err
 		}

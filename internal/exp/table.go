@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"seec"
+	"seec/internal/plan"
 	"seec/internal/telemetry"
 )
 
@@ -169,13 +170,51 @@ type Scale struct {
 	// worker count. Deflection schemes are not checkpointable and fall
 	// back to independent runs.
 	WarmupShare bool
+
+	// Planner, when non-nil, routes every simulation a generator
+	// launches through the memoizing sweep planner (internal/plan):
+	// grid generators compile their whole cell list into one
+	// reuse-aware schedule (see simCells), and chokepoint runs
+	// (saturation probes, one-off measurements) resolve through the
+	// planner's cache. The planner's always-on layers — in-batch dedup,
+	// content-addressed memoization, cost-model scheduling — are
+	// byte-identity-preserving, so rendered tables match the direct
+	// path exactly; with WarmupShare also set, rate sweeps additionally
+	// fork from shared warm checkpoints (same sampling-plan caveat as
+	// the legacy Fig-8 path). Ignored while Instrument is attached: a
+	// cache hit executes nothing, so memoized runs would silently skip
+	// producing the instrument's trace artifacts.
+	Planner *plan.Planner
 }
 
-// runSynthetic is seec.RunSyntheticCtx with the scale's instrumentation
-// attached. Generators call this instead of seec.RunSynthetic directly;
-// the context comes from the cell's runner slot, so per-job deadlines
-// and the circuit breaker can interrupt a run between cycles.
+// planner returns the scale's planner, or nil when instrumentation is
+// attached (cache hits execute no simulation, which would silently
+// drop the instrument's per-run file artifacts).
+func (s Scale) planner() *plan.Planner {
+	if s.Instrument != nil {
+		return nil
+	}
+	return s.Planner
+}
+
+// runSynthetic resolves one synthetic cell: through the planner's
+// content-addressed cache when one is attached (Scale.Planner), else
+// directly. The cache key is computed before instrumentation attaches,
+// matching serve.CacheKey's canonicalization — observation hooks never
+// change a result's bytes, so they must not change its address either.
 func (s Scale) runSynthetic(ctx context.Context, cfg seec.Config) (seec.Result, error) {
+	if p := s.planner(); p != nil {
+		return p.RunOne(ctx, cfg, s.runSyntheticDirect)
+	}
+	return s.runSyntheticDirect(ctx, cfg)
+}
+
+// runSyntheticDirect is seec.RunSyntheticCtx with the scale's
+// instrumentation attached. Generators call runSynthetic instead of
+// seec.RunSynthetic directly; the context comes from the cell's runner
+// slot, so per-job deadlines and the circuit breaker can interrupt a
+// run between cycles.
+func (s Scale) runSyntheticDirect(ctx context.Context, cfg seec.Config) (seec.Result, error) {
 	cfg.Instrument = s.Instrument
 	cfg.Telemetry = s.RunEvents
 	cfg.HeartbeatEvery = s.HeartbeatEvery
@@ -188,9 +227,22 @@ func (s Scale) runSynthetic(ctx context.Context, cfg seec.Config) (seec.Result, 
 	return seec.RunSyntheticCtx(ctx, cfg)
 }
 
-// runApplication is seec.RunApplicationCtx with the scale's
-// instrumentation attached.
+// runApplication resolves one application run: through the planner's
+// cache (keyed by plan.AppKey — the config plus the workload identity)
+// when one is attached, else directly.
 func (s Scale) runApplication(ctx context.Context, cfg seec.Config, app string, txns, maxCycles int64) (seec.AppResult, error) {
+	if p := s.planner(); p != nil {
+		return plan.Memoize(ctx, p, plan.AppKey(cfg, app, txns, maxCycles),
+			func(ctx context.Context) (seec.AppResult, error) {
+				return s.runApplicationDirect(ctx, cfg, app, txns, maxCycles)
+			})
+	}
+	return s.runApplicationDirect(ctx, cfg, app, txns, maxCycles)
+}
+
+// runApplicationDirect is seec.RunApplicationCtx with the scale's
+// instrumentation attached.
+func (s Scale) runApplicationDirect(ctx context.Context, cfg seec.Config, app string, txns, maxCycles int64) (seec.AppResult, error) {
 	cfg.Instrument = s.Instrument
 	cfg.Telemetry = s.RunEvents
 	cfg.HeartbeatEvery = s.HeartbeatEvery

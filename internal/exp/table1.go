@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"seec"
+	"seec/internal/plan"
 )
 
 // Table1 regenerates the paper's qualitative comparison of
@@ -77,25 +78,32 @@ func measureNoMisroute(ctx context.Context, scheme seec.Scheme, s Scale) bool {
 }
 
 // measureRoutingDLFree drives the scheme's own routing configuration
-// far past saturation and checks for liveness.
+// far past saturation and checks for liveness. The verdict is a
+// deterministic function of the config, so it memoizes through the
+// planner under a measurement key; a cancelled probe returns an error
+// from the compute and is never cached (plan.Memoize's contract).
 func measureRoutingDLFree(ctx context.Context, scheme seec.Scheme, s Scale) bool {
 	cfg := synthCfg(scheme, 4, 2, "uniform_random", s.SimCycles)
 	cfg.InjectionRate = 0.40
 	cfg.Seed = cfg.SweepSeed()
-	sim, err := seec.NewSim(cfg)
-	if err != nil {
-		return false
-	}
-	for sim.Cycle() < cfg.Warmup+s.SimCycles {
-		if sim.Cycle()&1023 == 0 && ctx.Err() != nil {
-			return false
-		}
-		sim.Step()
-		if sim.Stalled(4000) {
-			return false
-		}
-	}
-	return true
+	ok, err := plan.Memoize(ctx, s.planner(), plan.MeasKey("routing-dl-free/stall4000", cfg),
+		func(ctx context.Context) (bool, error) {
+			sim, err := seec.NewSim(cfg)
+			if err != nil {
+				return false, nil // deterministic config rejection: a cacheable N
+			}
+			for sim.Cycle() < cfg.Warmup+s.SimCycles {
+				if sim.Cycle()&1023 == 0 && ctx.Err() != nil {
+					return false, ctx.Err()
+				}
+				sim.Step()
+				if sim.Stalled(4000) {
+					return false, nil
+				}
+			}
+			return true, nil
+		})
+	return ok && err == nil
 }
 
 // measureProtocolDLFree collapses the six message classes into one

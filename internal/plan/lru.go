@@ -1,0 +1,47 @@
+package plan
+
+import "container/list"
+
+// lruCache is a byte-payload LRU keyed by content address. It is the
+// planner's first-level cache: hits skip even the store's file read
+// and CRC check. Not safe for concurrent use — the Planner serializes
+// access under its own mutex.
+type lruCache struct {
+	cap int
+	ll  *list.List // front = most recent
+	m   map[string]*list.Element
+}
+
+type lruEntry struct {
+	key     string
+	payload []byte
+}
+
+func newLRU(capacity int) *lruCache {
+	return &lruCache{cap: capacity, ll: list.New(), m: make(map[string]*list.Element)}
+}
+
+func (c *lruCache) get(key string) ([]byte, bool) {
+	e, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(e)
+	return e.Value.(*lruEntry).payload, true
+}
+
+func (c *lruCache) put(key string, payload []byte) {
+	if e, ok := c.m[key]; ok {
+		c.ll.MoveToFront(e)
+		e.Value.(*lruEntry).payload = payload
+		return
+	}
+	c.m[key] = c.ll.PushFront(&lruEntry{key: key, payload: payload})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*lruEntry).key)
+	}
+}
+
+func (c *lruCache) len() int { return c.ll.Len() }

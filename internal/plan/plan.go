@@ -1,0 +1,678 @@
+// Package plan is the memoizing sweep planner: it takes the full job
+// list of a driver run (every cell of every requested figure or
+// table), compiles it into a reuse-aware schedule, and executes the
+// schedule on the internal/runner worker pool. Three layers stack:
+//
+//  1. Content-addressed memoization. Before simulating, each job is
+//     probed against an in-process LRU and (when a cache directory is
+//     configured) the PR 9 internal/serve result store, under exactly
+//     the gateway's cache keys — so overlapping cells across figures
+//     are computed once, a re-run driver does ~zero simulations
+//     against a warm cache, and the figures CLI and the seecd gateway
+//     share one cache. Completed points are written back. In-batch
+//     duplicates collapse onto one execution.
+//
+//  2. Warmup-prefix sharing (opt-in, WarmupShare). Jobs that agree on
+//     everything except injection rate form a family; the family pays
+//     its warmup once and forks each member from the warm checkpoint
+//     (seec.RunSyntheticForked), generalizing the Fig-8-only
+//     -warmup-share path to every sweep. Like that path, sharing
+//     changes the sampling plan (shared warm state and seed per
+//     family), so it is a flag, not a default. Non-forkable schemes
+//     (deflection: CHIPPER, MinBD) run independently, exactly like
+//     the legacy fallback.
+//
+//  3. Cost-model scheduling. Each execution unit's cost is estimated
+//     as (cycles x mesh nodes) scaled by an EWMA of observed
+//     ns-per-(cycle*node) — seeded from the telemetry aggregator's
+//     completed-job latencies when available — and units dispatch
+//     longest-expected-first (LPT) to minimize makespan across the
+//     worker pool.
+//
+// Reuse layers 1 and 3 are byte-identity-preserving: results are
+// indexed by job, cached payloads are the canonical JSON encoding
+// (float64 fields round-trip exactly), and scheduling order never
+// leaks into results. A driver run with planning on renders the same
+// bytes as one with planning off.
+package plan
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"seec"
+	"seec/internal/checkpoint"
+	"seec/internal/runner"
+	"seec/internal/serve"
+	"seec/internal/telemetry"
+	"seec/internal/trace"
+)
+
+// RunFunc executes one synthetic-traffic simulation. The planner calls
+// it only for jobs it cannot resolve from the cache; callers supply
+// their own (typically wrapping seec.RunSyntheticCtx with driver-level
+// config attachment) so the planner stays policy-free.
+type RunFunc func(ctx context.Context, cfg seec.Config) (seec.Result, error)
+
+// Job is one requested simulation. With DeriveSeed set, the planner
+// derives the per-point seed via Config.SweepSeed() before running —
+// the sweep convention every generator and the gateway's multi-point
+// specs use — so grid generators hand over their coordinate configs
+// untouched and key derivation stays in one place.
+type Job struct {
+	Cfg        seec.Config
+	DeriveSeed bool
+}
+
+// exec returns the configuration the job actually executes.
+func (j Job) exec() seec.Config {
+	c := j.Cfg
+	if j.DeriveSeed {
+		c.Seed = c.SweepSeed()
+	}
+	return c
+}
+
+// Outcome is one job's resolution. Done is false only when the batch
+// was cancelled (context or breaker) before the job executed — the
+// caller renders such cells as zero values, matching the legacy
+// direct-fan-out behavior.
+type Outcome struct {
+	Result seec.Result
+	Err    error
+	Done   bool
+}
+
+// Options configures a Planner.
+type Options struct {
+	// Workers bounds the execution worker pool (<= 0: GOMAXPROCS).
+	Workers int
+	// Shards is the intra-run shard count applied to warmup-family
+	// base runs (members inherit it through the fork).
+	Shards int
+	// JobTimeout bounds each execution unit (<= 0: unbounded).
+	JobTimeout time.Duration
+	// MaxFailures trips the breaker after k failed units (<= 0: drain
+	// everything and report per job).
+	MaxFailures int
+	// WarmupShare turns on warmup-prefix family forking. Off by
+	// default: sharing changes the sampling plan, so results differ
+	// statistically from independent runs (see the -warmup-share
+	// flag's caveat).
+	WarmupShare bool
+	// NoReuse disables memoization and in-batch dedup — every job
+	// simulates — while keeping cost-model scheduling. For A/B runs.
+	NoReuse bool
+	// CacheDir roots a persistent serve.Store ("" = LRU only). The
+	// layout is the gateway's, so a seecd result directory works.
+	CacheDir string
+	// MemEntries caps the in-process LRU (<= 0: 4096 entries).
+	MemEntries int
+	// Bus receives plan_compile/warmup_fork/warmup_fallback and
+	// cache_hit/miss/quarantine events, plus the runner's job events.
+	Bus *telemetry.Bus
+	// Agg, when set, seeds the cost model's ns-per-(cycle*node) rate
+	// from its completed-job latency average.
+	Agg *telemetry.Aggregator
+	// Progress mirrors runner.WithProgress over execution units.
+	Progress      func(done, total int)
+	ProgressEvery time.Duration
+}
+
+// Stats counts what the planner did across its lifetime.
+type Stats struct {
+	Jobs              int64 // jobs submitted via Run/RunOne/Memoize computes
+	Deduped           int64 // in-batch duplicates collapsed
+	MemHits           int64 // resolved from the in-process LRU
+	StoreHits         int64 // resolved from the persistent store
+	Simulated         int64 // simulations actually executed
+	WarmupFamilies    int64 // families executed via checkpoint fork
+	WarmupForks       int64 // members forked from a shared warm state
+	WarmupCyclesSaved int64 // warmup cycles not re-simulated
+	WarmupFallbacks   int64 // families that ran independently instead
+	Quarantined       int64 // corrupt store blobs quarantined on read
+}
+
+// Reused is the number of jobs resolved without simulating.
+func (s Stats) Reused() int64 { return s.Deduped + s.MemHits + s.StoreHits }
+
+// defaultNsPerCost is the cost model's prior: BenchmarkStep runs at
+// ~40k ns per 8x8-mesh cycle, i.e. ~625 ns per cycle*node. Replaced by
+// the EWMA after the first observed execution.
+const defaultNsPerCost = 625.0
+
+// Planner is the reuse-aware scheduler. All methods are safe for
+// concurrent use; a nil *Planner is valid and degrades every call to
+// its direct, uncached equivalent.
+type Planner struct {
+	opts  Options
+	store *serve.Store
+
+	mu        sync.Mutex
+	mem       *lruCache
+	stats     Stats
+	nsPerCost float64 // EWMA ns per (cycle*node), 0 until observed
+}
+
+// New opens a planner, creating the persistent store when Options.
+// CacheDir is set.
+func New(o Options) (*Planner, error) {
+	if o.MemEntries <= 0 {
+		o.MemEntries = 4096
+	}
+	p := &Planner{opts: o, mem: newLRU(o.MemEntries)}
+	if o.CacheDir != "" {
+		st, err := serve.NewStore(serve.OSFS{}, o.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		p.store = st
+	}
+	return p, nil
+}
+
+// Stats returns a snapshot of the lifetime counters.
+func (p *Planner) Stats() Stats {
+	if p == nil {
+		return Stats{}
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// lookup probes the LRU, then the store. A corrupt store blob has been
+// quarantined by the store itself; lookup records the event and
+// reports a miss so the caller transparently re-simulates.
+func (p *Planner) lookup(key string) ([]byte, bool) {
+	if p.opts.NoReuse {
+		return nil, false
+	}
+	p.mu.Lock()
+	b, ok := p.mem.get(key)
+	p.mu.Unlock()
+	if ok {
+		p.bump(func(s *Stats) { s.MemHits++ })
+		p.opts.Bus.Emit(telemetry.Event{Kind: telemetry.EvCacheHit, Job: -1})
+		return b, true
+	}
+	if p.store != nil {
+		b, ok, err := p.store.Get(key)
+		if err != nil {
+			p.bump(func(s *Stats) { s.Quarantined++ })
+			p.opts.Bus.Emit(telemetry.Event{Kind: telemetry.EvCacheQuarantine, Job: -1, Err: err.Error()})
+		}
+		if ok {
+			p.mu.Lock()
+			p.mem.put(key, b)
+			p.stats.StoreHits++
+			p.mu.Unlock()
+			p.opts.Bus.Emit(telemetry.Event{Kind: telemetry.EvCacheHit, Job: -1})
+			return b, true
+		}
+	}
+	p.opts.Bus.Emit(telemetry.Event{Kind: telemetry.EvCacheMiss, Job: -1})
+	return nil, false
+}
+
+// putPayload writes a completed payload back to both cache levels.
+// Store writes are best-effort: a failed write costs future reuse,
+// never correctness.
+func (p *Planner) putPayload(key string, payload []byte) {
+	if p.opts.NoReuse {
+		return
+	}
+	p.mu.Lock()
+	p.mem.put(key, payload)
+	p.mu.Unlock()
+	if p.store != nil {
+		_ = p.store.Put(key, payload)
+	}
+}
+
+// put marshals and writes a result back. Results that do not survive
+// JSON (NaN from a degenerate run) are simply not cached.
+func (p *Planner) put(key string, res seec.Result) {
+	if b, err := json.Marshal(res); err == nil {
+		p.putPayload(key, b)
+	}
+}
+
+func (p *Planner) bump(f func(*Stats)) {
+	p.mu.Lock()
+	f(&p.stats)
+	p.mu.Unlock()
+}
+
+// cost is the scheduling cost estimate of one run: total simulated
+// cycles times mesh nodes, the quantity the hot loop's runtime is
+// proportional to.
+func cost(cfg seec.Config) float64 {
+	return float64((cfg.Warmup + cfg.SimCycles) * int64(cfg.Rows) * int64(cfg.Cols))
+}
+
+// noteSim records n executed simulations and, when cost and duration
+// are known, folds the observation into the EWMA cost rate.
+func (p *Planner) noteSim(n int64, c float64, dur time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.stats.Simulated += n
+	if c > 0 && dur > 0 {
+		obs := float64(dur.Nanoseconds()) / c
+		if p.nsPerCost == 0 {
+			p.nsPerCost = obs
+		} else {
+			p.nsPerCost += 0.2 * (obs - p.nsPerCost)
+		}
+	}
+}
+
+// costRate returns the current ns-per-(cycle*node) estimate: the EWMA
+// when observations exist, else the telemetry aggregator's average job
+// latency spread over meanCost, else the static prior.
+func (p *Planner) costRate(meanCost float64) float64 {
+	p.mu.Lock()
+	r := p.nsPerCost
+	p.mu.Unlock()
+	if r > 0 {
+		return r
+	}
+	if p.opts.Agg != nil && meanCost > 0 {
+		if s := p.opts.Agg.Snapshot(); s.Sweep.AvgJobSec > 0 {
+			return s.Sweep.AvgJobSec * 1e9 / meanCost
+		}
+	}
+	return defaultNsPerCost
+}
+
+// family is one warmup-prefix sharing group: jobs identical except
+// injection rate, executed as one base warmup plus per-member forks.
+type family struct {
+	members []int       // job indices, submission order
+	base    seec.Config // mid-rate member, seed = SweepSeed("warmup-share")
+}
+
+// forkable reports whether a scheme's simulation state checkpoints.
+// Deflection schemes do not (checkpoint.ErrUnsupported); excluding
+// them up front keeps their sweeps independent — and therefore
+// cacheable under ordinary keys — instead of re-discovering the
+// fallback on every warm run.
+func forkable(s seec.Scheme) bool {
+	return s != seec.SchemeCHIPPER && s != seec.SchemeMinBD
+}
+
+// RunOne resolves a single already-derived configuration through the
+// cache, simulating via run on a miss. The chokepoint path for
+// irregular sweeps (saturation probes, one-off measurement runs). A
+// nil planner just runs.
+func (p *Planner) RunOne(ctx context.Context, cfg seec.Config, run RunFunc) (seec.Result, error) {
+	if p == nil {
+		return run(ctx, cfg)
+	}
+	p.bump(func(s *Stats) { s.Jobs++ })
+	key := serve.CacheKey(cfg)
+	if b, ok := p.lookup(key); ok {
+		var res seec.Result
+		if err := json.Unmarshal(b, &res); err == nil {
+			return res, nil
+		}
+		// Undecodable payload (format drift): re-simulate.
+	}
+	start := time.Now()
+	res, err := run(ctx, cfg)
+	if err != nil {
+		return res, err
+	}
+	p.noteSim(1, cost(cfg), time.Since(start))
+	p.put(key, res)
+	return res, nil
+}
+
+// Memoize resolves key through the planner's cache, computing and
+// writing back on a miss. The generic escape hatch for results that
+// are not seec.Result payloads (application runs, derived
+// measurements); values must round-trip JSON exactly for reuse to be
+// byte-identity-preserving. Compute errors are returned uncached, so
+// a cancelled run is never served later. A nil planner just computes.
+func Memoize[T any](ctx context.Context, p *Planner, key string, compute func(ctx context.Context) (T, error)) (T, error) {
+	if p == nil {
+		return compute(ctx)
+	}
+	p.bump(func(s *Stats) { s.Jobs++ })
+	if b, ok := p.lookup(key); ok {
+		var v T
+		if err := json.Unmarshal(b, &v); err == nil {
+			return v, nil
+		}
+	}
+	v, err := compute(ctx)
+	if err != nil {
+		return v, err
+	}
+	p.noteSim(1, 0, 0)
+	if b, mErr := json.Marshal(v); mErr == nil {
+		p.putPayload(key, b)
+	}
+	return v, nil
+}
+
+// Run compiles a job batch into a reuse-aware schedule and executes
+// it: dedup identical jobs, probe the cache, group the remainder into
+// warmup families (when WarmupShare is on), sort execution units
+// longest-expected-first, and fan out on the runner pool. The returned
+// slice is indexed by job. A nil planner degrades to a serial
+// uncached loop.
+func (p *Planner) Run(ctx context.Context, jobs []Job, run RunFunc) []Outcome {
+	n := len(jobs)
+	outs := make([]Outcome, n)
+	if n == 0 {
+		return outs
+	}
+	if p == nil {
+		for i := range jobs {
+			if ctx.Err() != nil {
+				break
+			}
+			res, err := run(ctx, jobs[i].exec())
+			outs[i] = Outcome{Result: res, Err: err, Done: true}
+		}
+		return outs
+	}
+	p.bump(func(s *Stats) { s.Jobs += int64(n) })
+
+	exec := make([]seec.Config, n)
+	for i, j := range jobs {
+		exec[i] = j.exec()
+	}
+
+	// Layer 1: warmup families. Grouping runs over the raw batch so
+	// the member order — and with it the base (mid-rate) member and
+	// the fork order — matches the submission order exactly, which is
+	// what makes the planner's shared path byte-identical to the
+	// legacy Fig-8 fig8SharedCells convention.
+	famOf := make([]int, n)
+	for i := range famOf {
+		famOf[i] = -1
+	}
+	var fams []*family
+	if p.opts.WarmupShare {
+		byKey := make(map[string]int)
+		for i, j := range jobs {
+			if !j.DeriveSeed || j.Cfg.InjectionRate <= 0 || !forkable(j.Cfg.Scheme) {
+				continue
+			}
+			fk := familyKey(j.Cfg)
+			fi, ok := byKey[fk]
+			if !ok {
+				fi = len(fams)
+				fams = append(fams, &family{})
+				byKey[fk] = fi
+			}
+			fams[fi].members = append(fams[fi].members, i)
+		}
+		kept := fams[:0]
+		for _, f := range fams {
+			if len(f.members) < 2 {
+				continue // a lone point gains nothing from forking
+			}
+			base := jobs[f.members[len(f.members)/2]].Cfg
+			base.Seed = base.SweepSeed("warmup-share")
+			base.Shards = p.opts.Shards
+			f.base = base
+			fi := len(kept)
+			kept = append(kept, f)
+			for _, m := range f.members {
+				famOf[m] = fi
+			}
+		}
+		fams = kept
+	}
+
+	// Keys: family members are addressed in the forked key space —
+	// their bytes embody the shared sampling plan, which must never
+	// alias an independent run of the same echoed config.
+	keys := make([]string, n)
+	for i := range jobs {
+		if fi := famOf[i]; fi >= 0 {
+			keys[i] = forkKey(fams[fi].base, exec[i].InjectionRate)
+		} else {
+			keys[i] = serve.CacheKey(exec[i])
+		}
+	}
+
+	// Layer 2: dedup and cache probe. Followers resolve by copying
+	// their leader's outcome at the end.
+	var (
+		order     []int // leader indices, submission order
+		followers = make(map[int][]int)
+	)
+	if p.opts.NoReuse {
+		order = make([]int, n)
+		for i := range order {
+			order[i] = i
+		}
+	} else {
+		leaderOf := make(map[string]int, n)
+		for i := range jobs {
+			if l, ok := leaderOf[keys[i]]; ok {
+				followers[l] = append(followers[l], i)
+				continue
+			}
+			leaderOf[keys[i]] = i
+			order = append(order, i)
+		}
+		p.bump(func(s *Stats) { s.Deduped += int64(n - len(order)) })
+	}
+	reused := n - len(order)
+	var pending []int
+	famMissing := make([][]int, len(fams))
+	for _, i := range order {
+		if b, ok := p.lookup(keys[i]); ok {
+			var res seec.Result
+			if err := json.Unmarshal(b, &res); err == nil {
+				outs[i] = Outcome{Result: res, Done: true}
+				reused++
+				continue
+			}
+		}
+		if fi := famOf[i]; fi >= 0 {
+			famMissing[fi] = append(famMissing[fi], i)
+		} else {
+			pending = append(pending, i)
+		}
+	}
+
+	// Layer 3: execution units, longest-expected-first. A family is
+	// one unit (its members share a warm state); forking a partial
+	// family is sound because every fork restores from the same
+	// snapshot — a member's bytes depend only on (base, own rate).
+	type unit struct {
+		fam  int // -1 = independent
+		jobs []int
+		cost float64
+	}
+	var units []unit
+	for _, i := range pending {
+		units = append(units, unit{fam: -1, jobs: []int{i}, cost: cost(exec[i])})
+	}
+	for fi, missing := range famMissing {
+		if len(missing) == 0 {
+			continue
+		}
+		base := fams[fi].base
+		nodes := float64(int64(base.Rows) * int64(base.Cols))
+		c := float64(base.Warmup) * nodes
+		for _, m := range missing {
+			c += float64(exec[m].SimCycles) * nodes
+		}
+		units = append(units, unit{fam: fi, jobs: missing, cost: c})
+	}
+	sort.SliceStable(units, func(a, b int) bool {
+		if units[a].cost != units[b].cost {
+			return units[a].cost > units[b].cost
+		}
+		return units[a].jobs[0] < units[b].jobs[0]
+	})
+
+	var total float64
+	for _, u := range units {
+		total += u.cost
+	}
+	var meanCost float64
+	if len(units) > 0 {
+		meanCost = total / float64(len(units))
+	}
+	p.opts.Bus.Emit(telemetry.Event{
+		Kind: telemetry.EvPlanCompile, Job: -1,
+		Total: int64(n), Cycle: int64(reused), InFlight: int64(len(units)),
+		DurNs: int64(total * p.costRate(meanCost)),
+	})
+	if len(units) == 0 {
+		for l, fs := range followers {
+			for _, i := range fs {
+				outs[i] = outs[l]
+			}
+		}
+		return outs
+	}
+
+	mf := p.opts.MaxFailures
+	if mf <= 0 {
+		mf = len(units) + 1 // never trip: drain and report per job
+	}
+	ropts := []runner.Option{
+		runner.WithWorkers(p.opts.Workers),
+		runner.WithMaxFailures(mf),
+		runner.WithTelemetry(p.opts.Bus),
+	}
+	if p.opts.JobTimeout > 0 {
+		ropts = append(ropts, runner.WithJobTimeout(p.opts.JobTimeout))
+	}
+	if p.opts.Progress != nil {
+		ropts = append(ropts, runner.WithProgress(p.opts.Progress),
+			runner.WithProgressThrottle(p.opts.ProgressEvery))
+	}
+	// The aggregate error is ignored deliberately: outcomes carry the
+	// per-job errors, and cancelled (never-executed) jobs stay
+	// Done=false for the caller to render as zero cells.
+	runner.Map(ctx, len(units), func(ctx context.Context, ui int) (struct{}, error) {
+		u := units[ui]
+		if u.fam < 0 {
+			return struct{}{}, p.execIndependent(ctx, u.jobs[0], exec, keys, outs, run)
+		}
+		return struct{}{}, p.execFamily(ctx, fams[u.fam], u.jobs, exec, keys, outs, run)
+	}, ropts...)
+
+	for l, fs := range followers {
+		for _, i := range fs {
+			outs[i] = outs[l]
+		}
+	}
+	return outs
+}
+
+// execIndependent runs one cache-missed job and writes it back.
+func (p *Planner) execIndependent(ctx context.Context, i int, exec []seec.Config, keys []string, outs []Outcome, run RunFunc) error {
+	start := time.Now()
+	res, err := run(ctx, exec[i])
+	outs[i] = Outcome{Result: res, Err: err, Done: true}
+	if err != nil {
+		return err
+	}
+	p.noteSim(1, cost(exec[i]), time.Since(start))
+	p.put(keys[i], res)
+	return nil
+}
+
+// execFamily pays the family's warmup once and forks each missing
+// member from the warm checkpoint. A non-forkable state (possible in
+// principle even past the static scheme check) falls back to
+// independent runs — cached under their independent keys, since those
+// are the bytes they produce.
+func (p *Planner) execFamily(ctx context.Context, f *family, missing []int, exec []seec.Config, keys []string, outs []Outcome, run RunFunc) error {
+	forks := make([]seec.Fork, len(missing))
+	for k, m := range missing {
+		forks[k] = seec.Fork{Rate: exec[m].InjectionRate}
+	}
+	start := time.Now()
+	results, err := seec.RunSyntheticForkedCtx(ctx, f.base, forks, 1)
+	if err != nil {
+		if errors.Is(err, checkpoint.ErrUnsupported) {
+			p.opts.Bus.Emit(telemetry.Event{
+				Kind: telemetry.EvWarmupFallback, Job: -1,
+				Total: int64(len(missing)), Err: err.Error(),
+			})
+			p.bump(func(s *Stats) { s.WarmupFallbacks++ })
+			var firstErr error
+			for _, m := range missing {
+				res, rerr := run(ctx, exec[m])
+				outs[m] = Outcome{Result: res, Err: rerr, Done: true}
+				if rerr != nil {
+					if firstErr == nil {
+						firstErr = rerr
+					}
+					continue
+				}
+				p.noteSim(1, cost(exec[m]), 0)
+				p.put(serve.CacheKey(exec[m]), res)
+			}
+			return firstErr
+		}
+		for _, m := range missing {
+			outs[m] = Outcome{Err: err, Done: true}
+		}
+		return err
+	}
+	saved := int64(len(missing)-1) * f.base.Warmup
+	p.opts.Bus.Emit(telemetry.Event{
+		Kind: telemetry.EvWarmupFork, Job: -1,
+		Total: int64(len(missing)), Cycle: saved,
+	})
+	p.bump(func(s *Stats) {
+		s.WarmupFamilies++
+		s.WarmupForks += int64(len(missing))
+		s.WarmupCyclesSaved += saved
+	})
+	nodes := float64(int64(f.base.Rows) * int64(f.base.Cols))
+	c := float64(f.base.Warmup) * nodes
+	for _, m := range missing {
+		c += float64(exec[m].SimCycles) * nodes
+	}
+	p.noteSim(int64(len(missing)), c, time.Since(start))
+	for k, m := range missing {
+		outs[m] = Outcome{Result: results[k], Done: true}
+		p.put(keys[m], results[k])
+	}
+	return nil
+}
+
+// WriteManifest records the planner's lifetime stats as a provenance
+// manifest next to the persistent cache (<cache-dir>/plan.manifest.
+// json). A no-op without a cache directory: a purely in-process cache
+// leaves nothing on disk to describe.
+func (p *Planner) WriteManifest(tool string, args []string) error {
+	if p == nil || p.store == nil {
+		return nil
+	}
+	s := p.Stats()
+	m := trace.NewManifest(tool, args)
+	m.Note = "sweep plan provenance"
+	m.Plan = &trace.PlanSection{
+		Jobs:              s.Jobs,
+		Deduped:           s.Deduped,
+		MemHits:           s.MemHits,
+		StoreHits:         s.StoreHits,
+		Simulated:         s.Simulated,
+		WarmupFamilies:    s.WarmupFamilies,
+		WarmupForks:       s.WarmupForks,
+		WarmupCyclesSaved: s.WarmupCyclesSaved,
+		WarmupFallbacks:   s.WarmupFallbacks,
+		Quarantined:       s.Quarantined,
+	}
+	return m.Write(filepath.Join(p.opts.CacheDir, "plan"))
+}

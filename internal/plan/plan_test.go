@@ -1,0 +1,239 @@
+package plan
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"seec"
+	"seec/internal/serve"
+)
+
+// directRun is the test RunFunc: plain uncached execution.
+func directRun(ctx context.Context, cfg seec.Config) (seec.Result, error) {
+	return seec.RunSyntheticCtx(ctx, cfg)
+}
+
+// smallCfg is a fast 4x4 point for cache round-trip tests.
+func smallCfg(rate float64) seec.Config {
+	cfg := seec.DefaultConfig()
+	cfg.Rows, cfg.Cols = 4, 4
+	cfg.Warmup = 200
+	cfg.SimCycles = 400
+	cfg.InjectionRate = rate
+	return cfg
+}
+
+// TestPlannerKeyParity pins the planner's job addressing to the seecd
+// store's: a sweep point planned by a driver and the same point
+// submitted to the gateway must share one cache entry. The golden
+// values are copied from serve's TestCacheKeyGolden ("sweep derives
+// per-point seeds"), so a drift on either side breaks one of the two
+// tests by name.
+func TestPlannerKeyParity(t *testing.T) {
+	// Already-derived configs (gateway lowering) must address exactly
+	// serve.CacheKey.
+	for _, spec := range []string{
+		`{}`,
+		`{"rate":0.05,"seed":7}`,
+		`{"rates":[0.02,0.08],"seed":3}`,
+		`{"scheme":"chipper","rows":4,"cols":4,"warmup":500,"sim_cycles":5000,"rate":0.1}`,
+	} {
+		sp, err := serve.DecodeJobSpec([]byte(spec))
+		if err != nil {
+			t.Fatalf("decode %s: %v", spec, err)
+		}
+		for i, cfg := range sp.Configs() {
+			if got, want := Key(Job{Cfg: cfg}), serve.CacheKey(cfg); got != want {
+				t.Errorf("spec %s run %d: Key %s != serve.CacheKey %s", spec, i, got, want)
+			}
+		}
+	}
+
+	// Planner-side derivation parity: generators hand over coordinate
+	// configs with DeriveSeed set; the derived key must equal the one
+	// the gateway computes after its own SweepSeed derivation.
+	sp, err := serve.DecodeJobSpec([]byte(`{"rates":[0.02,0.08],"seed":3}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lowered := sp.Configs()
+	golden := []string{
+		"6feb708f3271e0ddbe806698bf6b78b161408aeec33608a56e0d90b1cfe7bf83",
+		"3763b07d7724cb6f3a0475e02042b96dff7fec5b4db55e84bbcf30d725c13497",
+	}
+	if len(lowered) != len(golden) {
+		t.Fatalf("lowered to %d runs, want %d", len(lowered), len(golden))
+	}
+	for i, rate := range []float64{0.02, 0.08} {
+		c := seec.DefaultConfig()
+		c.Seed = 3
+		c.InjectionRate = rate
+		got := Key(Job{Cfg: c, DeriveSeed: true})
+		if got != golden[i] {
+			t.Errorf("rate %g: planner key %s != golden %s", rate, got, golden[i])
+		}
+		if want := serve.CacheKey(lowered[i]); got != want {
+			t.Errorf("rate %g: planner key %s != gateway key %s", rate, got, want)
+		}
+	}
+}
+
+// TestForkKeySpace pins the fork key space apart from the ordinary
+// result space: a warmup-shared member's bytes embody the shared
+// sampling plan, so its key must never alias an independent run of the
+// same echoed config — and distinct rates must never collide.
+func TestForkKeySpace(t *testing.T) {
+	base := smallCfg(0.15)
+	base.Seed = base.SweepSeed("warmup-share")
+	indep := smallCfg(0.05)
+	indep.Seed = indep.SweepSeed()
+	fk := forkKey(base, 0.05)
+	if !serve.ValidKey(fk) {
+		t.Fatalf("forkKey not a valid store key: %s", fk)
+	}
+	if fk == serve.CacheKey(indep) {
+		t.Error("fork key aliases the independent result key")
+	}
+	if fk == forkKey(base, 0.15) {
+		t.Error("distinct rates share a fork key")
+	}
+}
+
+// TestPlannerRunDedupAndWarmStore: one batch with an in-batch
+// duplicate simulates each unique point once; a fresh planner over the
+// same cache directory resolves the whole batch with zero simulations
+// and identical results.
+func TestPlannerRunDedupAndWarmStore(t *testing.T) {
+	dir := t.TempDir()
+	jobs := []Job{
+		{Cfg: smallCfg(0.05), DeriveSeed: true},
+		{Cfg: smallCfg(0.10), DeriveSeed: true},
+		{Cfg: smallCfg(0.05), DeriveSeed: true}, // duplicate of job 0
+	}
+	p1, err := New(Options{Workers: 2, CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs1 := p1.Run(context.Background(), jobs, directRun)
+	for i, o := range outs1 {
+		if !o.Done || o.Err != nil {
+			t.Fatalf("job %d: done=%v err=%v", i, o.Done, o.Err)
+		}
+	}
+	if !reflect.DeepEqual(outs1[0].Result, outs1[2].Result) {
+		t.Error("duplicate jobs resolved to different results")
+	}
+	st := p1.Stats()
+	if st.Deduped != 1 || st.Simulated != 2 {
+		t.Errorf("cold stats: deduped=%d simulated=%d, want 1/2", st.Deduped, st.Simulated)
+	}
+
+	p2, err := New(Options{Workers: 2, CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs2 := p2.Run(context.Background(), jobs, directRun)
+	if !reflect.DeepEqual(outs1, outs2) {
+		t.Error("warm-store outcomes differ from cold outcomes")
+	}
+	st2 := p2.Stats()
+	if st2.Simulated != 0 {
+		t.Errorf("warm run simulated %d jobs, want 0", st2.Simulated)
+	}
+	if st2.StoreHits == 0 {
+		t.Error("warm run recorded no store hits")
+	}
+}
+
+// TestCorruptBlobQuarantinedAndResimulated: a corrupt store blob hit
+// during a planner run is quarantined and transparently re-simulated —
+// never decoded, never served.
+func TestCorruptBlobQuarantinedAndResimulated(t *testing.T) {
+	dir := t.TempDir()
+	job := Job{Cfg: smallCfg(0.10), DeriveSeed: true}
+	key := Key(job)
+
+	p1, err := New(Options{CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p1.Run(context.Background(), []Job{job}, directRun)[0]
+	if !want.Done || want.Err != nil {
+		t.Fatalf("seed run: %+v", want)
+	}
+
+	blob := filepath.Join(dir, "objects", key[:2], key)
+	if err := os.WriteFile(blob, []byte("SEECRES1 00000000\ngarbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	p2, err := New(Options{CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := p2.Run(context.Background(), []Job{job}, directRun)[0]
+	if !got.Done || got.Err != nil {
+		t.Fatalf("post-corruption run: %+v", got)
+	}
+	if !reflect.DeepEqual(want.Result, got.Result) {
+		t.Error("re-simulated result differs from the original")
+	}
+	st := p2.Stats()
+	if st.Quarantined != 1 {
+		t.Errorf("quarantined=%d, want 1", st.Quarantined)
+	}
+	if st.Simulated != 1 {
+		t.Errorf("simulated=%d, want 1 (the corrupt point must re-simulate)", st.Simulated)
+	}
+	qs, err := filepath.Glob(filepath.Join(dir, "quarantine", key+".*"))
+	if err != nil || len(qs) == 0 {
+		t.Errorf("corrupt blob not moved to quarantine (glob err %v, %d matches)", err, len(qs))
+	}
+
+	// The repaired entry must serve cleanly now.
+	p3, err := New(Options{CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	again := p3.Run(context.Background(), []Job{job}, directRun)[0]
+	if !reflect.DeepEqual(want.Result, again.Result) || p3.Stats().Simulated != 0 {
+		t.Errorf("rewritten entry did not serve from cache (simulated=%d)", p3.Stats().Simulated)
+	}
+}
+
+// TestMemoizeErrorNotCached: a compute error (cancellation) is
+// returned but never written back, so the next call recomputes.
+func TestMemoizeErrorNotCached(t *testing.T) {
+	p, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := MeasKey("test-memoize", smallCfg(0.05))
+	calls := 0
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = Memoize(ctx, p, key, func(ctx context.Context) (int, error) {
+		calls++
+		return 0, ctx.Err()
+	})
+	if err == nil {
+		t.Fatal("cancelled compute returned no error")
+	}
+	v, err := Memoize(context.Background(), p, key, func(context.Context) (int, error) {
+		calls++
+		return 42, nil
+	})
+	if err != nil || v != 42 || calls != 2 {
+		t.Fatalf("v=%d err=%v calls=%d, want 42/nil/2", v, err, calls)
+	}
+	v, err = Memoize(context.Background(), p, key, func(context.Context) (int, error) {
+		calls++
+		return 0, nil
+	})
+	if err != nil || v != 42 || calls != 2 {
+		t.Fatalf("cached v=%d err=%v calls=%d, want 42/nil/2", v, err, calls)
+	}
+}

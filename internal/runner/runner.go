@@ -289,84 +289,107 @@ func Map[T any](ctx context.Context, n int, fn func(ctx context.Context, i int) 
 	o.bus.Emit(telemetry.Event{Kind: telemetry.EvSweepStart, Job: -1, Total: int64(n), InFlight: int64(workers)})
 	out := make([]T, n)
 	var (
-		next     atomic.Int64 // next job index to dispatch
-		mu       sync.Mutex   // guards failures, doneJobs and progress calls
-		doneJobs int          // completed jobs, for progress
-		lastProg time.Time    // last progress callback, for throttling
+		mu       sync.Mutex // guards failures, doneJobs and progress calls
+		doneJobs int        // completed jobs, for progress
+		lastProg time.Time  // last progress callback, for throttling
 		failures []*JobError
-		wg       sync.WaitGroup
 	)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= n || jobCtx.Err() != nil {
-					return
-				}
-				o.bus.Emit(telemetry.Event{Kind: telemetry.EvJobStart, Job: int32(i), Attempt: 1})
-				start := time.Now()
-				attempts := 1
-				var backoff time.Duration
-				v, err := runJob(jobCtx, i, fn, o.jobTimeout)
-				for err != nil && attempts <= o.retries && jobCtx.Err() == nil {
-					attempts++
-					delay := o.retryDelay(i, attempts)
-					o.bus.Emit(telemetry.Event{Kind: telemetry.EvJobRetry, Job: int32(i), Attempt: int32(attempts), DurNs: delay.Nanoseconds()})
-					backoff += sleepCtx(jobCtx, delay)
-					if jobCtx.Err() != nil {
-						break
-					}
-					v, err = runJob(jobCtx, i, fn, o.jobTimeout)
-				}
-				elapsed := time.Since(start)
-				if err != nil {
-					je, ok := err.(*JobError)
-					if !ok {
-						je = &JobError{Index: i, Err: err}
-					}
-					je.Attempts, je.Elapsed, je.Backoff = attempts, elapsed, backoff
-					kind := telemetry.EvJobFail
-					switch {
-					case je.Panicked:
-						kind = telemetry.EvJobPanic
-					case errors.Is(je.Err, context.DeadlineExceeded):
-						kind = telemetry.EvJobTimeout
-					}
-					o.bus.Emit(telemetry.Event{
-						Kind: kind, Job: int32(i), Attempt: int32(attempts),
-						DurNs: elapsed.Nanoseconds(), Err: je.Err.Error(),
-					})
-					mu.Lock()
-					failures = append(failures, je)
-					tripped := o.maxFailures > 0 && len(failures) >= o.maxFailures
-					justTripped := o.maxFailures > 0 && len(failures) == o.maxFailures
-					mu.Unlock()
-					if justTripped {
-						o.bus.Emit(telemetry.Event{Kind: telemetry.EvBreakerTrip, Job: -1, Total: int64(o.maxFailures)})
-					}
-					if tripped || (o.maxFailures <= 0 && !je.Panicked) {
-						cancel() // stop dispatching new jobs
-					}
-					continue
-				}
-				o.bus.Emit(telemetry.Event{
-					Kind: telemetry.EvJobDone, Job: int32(i), Attempt: int32(attempts),
-					DurNs: elapsed.Nanoseconds(),
-				})
-				out[i] = v
-				mu.Lock()
-				doneJobs++
-				if o.progress != nil && (o.progressEvery <= 0 || doneJobs == n || time.Since(lastProg) >= o.progressEvery) {
-					lastProg = time.Now()
-					o.progress(doneJobs, n)
-				}
-				mu.Unlock()
+	// process executes job i end to end: telemetry, the retry loop,
+	// failure accounting, the breaker, and progress. Shared verbatim by
+	// the inline serial path and the worker goroutines, so the two
+	// dispatch modes cannot drift semantically.
+	process := func(i int) {
+		o.bus.Emit(telemetry.Event{Kind: telemetry.EvJobStart, Job: int32(i), Attempt: 1})
+		start := time.Now()
+		attempts := 1
+		var backoff time.Duration
+		v, err := runJob(jobCtx, i, fn, o.jobTimeout)
+		for err != nil && attempts <= o.retries && jobCtx.Err() == nil {
+			attempts++
+			delay := o.retryDelay(i, attempts)
+			o.bus.Emit(telemetry.Event{Kind: telemetry.EvJobRetry, Job: int32(i), Attempt: int32(attempts), DurNs: delay.Nanoseconds()})
+			backoff += sleepCtx(jobCtx, delay)
+			if jobCtx.Err() != nil {
+				break
 			}
-		}()
+			v, err = runJob(jobCtx, i, fn, o.jobTimeout)
+		}
+		elapsed := time.Since(start)
+		if err != nil {
+			je, ok := err.(*JobError)
+			if !ok {
+				je = &JobError{Index: i, Err: err}
+			}
+			je.Attempts, je.Elapsed, je.Backoff = attempts, elapsed, backoff
+			kind := telemetry.EvJobFail
+			switch {
+			case je.Panicked:
+				kind = telemetry.EvJobPanic
+			case errors.Is(je.Err, context.DeadlineExceeded):
+				kind = telemetry.EvJobTimeout
+			}
+			o.bus.Emit(telemetry.Event{
+				Kind: kind, Job: int32(i), Attempt: int32(attempts),
+				DurNs: elapsed.Nanoseconds(), Err: je.Err.Error(),
+			})
+			mu.Lock()
+			failures = append(failures, je)
+			tripped := o.maxFailures > 0 && len(failures) >= o.maxFailures
+			justTripped := o.maxFailures > 0 && len(failures) == o.maxFailures
+			mu.Unlock()
+			if justTripped {
+				o.bus.Emit(telemetry.Event{Kind: telemetry.EvBreakerTrip, Job: -1, Total: int64(o.maxFailures)})
+			}
+			if tripped || (o.maxFailures <= 0 && !je.Panicked) {
+				cancel() // stop dispatching new jobs
+			}
+			return
+		}
+		o.bus.Emit(telemetry.Event{
+			Kind: telemetry.EvJobDone, Job: int32(i), Attempt: int32(attempts),
+			DurNs: elapsed.Nanoseconds(),
+		})
+		out[i] = v
+		if o.progress != nil {
+			mu.Lock()
+			doneJobs++
+			if o.progressEvery <= 0 || doneJobs == n || time.Since(lastProg) >= o.progressEvery {
+				lastProg = time.Now()
+				o.progress(doneJobs, n)
+			}
+			mu.Unlock()
+		}
 	}
-	wg.Wait()
+	if workers == 1 {
+		// Inline serial path: a single effective worker gains nothing
+		// from goroutine dispatch, and the experiment drivers run at
+		// -j 1 whenever instrumentation (or a 1-CPU box) pins them
+		// there — so skip the pool and its per-job scheduling overhead
+		// entirely. Same process body, same cancellation check as the
+		// concurrent dispatch loop.
+		for i := 0; i < n && jobCtx.Err() == nil; i++ {
+			process(i)
+		}
+	} else {
+		var (
+			next atomic.Int64 // next job index to dispatch
+			wg   sync.WaitGroup
+		)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n || jobCtx.Err() != nil {
+						return
+					}
+					process(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
 	o.bus.Emit(telemetry.Event{Kind: telemetry.EvSweepDone, Job: -1, Total: int64(n)})
 	sort.Slice(failures, func(i, j int) bool { return failures[i].Index < failures[j].Index })
 	if o.maxFailures > 0 {

@@ -12,7 +12,11 @@ import (
 // keyed by them, so they must NOT drift. If a change REALLY has to
 // alter them — a new semantic Config field, a changed canonical fault
 // spelling, a payload format change — bump ResultFormatVersion (old
-// caches then miss cleanly instead of aliasing) and re-pin.
+// caches then miss cleanly instead of aliasing) and re-pin. The sweep
+// case's values are re-pinned from the driver side by the planner's
+// TestPlannerKeyParity (internal/plan): the planner addresses sweep
+// points by these same keys so drivers and seecd share one store, and
+// a drift on either side breaks one of the two tests by name.
 func TestCacheKeyGolden(t *testing.T) {
 	cases := []struct {
 		name string

@@ -54,7 +54,8 @@ type Aggregator struct {
 	wdStalls     int64
 
 	// Gateway (seecd) counters, non-zero only when an internal/serve
-	// instance feeds the bus.
+	// instance — or the sweep planner, which shares the cache event
+	// vocabulary — feeds the bus.
 	svcSeen      bool
 	queueDepth   int64
 	cacheHits    int64
@@ -64,6 +65,19 @@ type Aggregator struct {
 	walRecords   int64
 	walResumed   int64
 	walDropped   int64
+
+	// Planner (internal/plan) counters, non-zero only when a planner
+	// feeds the bus.
+	planSeen      bool
+	planCompiles  int64
+	planJobs      int64
+	planReused    int64
+	planScheduled int64
+	planEstNs     int64
+	wfFamilies    int64
+	wfForks       int64
+	wfSaved       int64
+	wfFallbacks   int64
 
 	runs map[int32]*runState
 }
@@ -153,6 +167,21 @@ func (a *Aggregator) Emit(e Event) {
 		a.walRecords += e.Total
 		a.walResumed += int64(e.Attempt)
 		a.walDropped += e.InFlight
+	case EvPlanCompile:
+		a.planSeen = true
+		a.planCompiles++
+		a.planJobs += e.Total
+		a.planReused += e.Cycle
+		a.planScheduled += e.InFlight
+		a.planEstNs += e.DurNs
+	case EvWarmupFork:
+		a.planSeen = true
+		a.wfFamilies++
+		a.wfForks += e.Total
+		a.wfSaved += e.Cycle
+	case EvWarmupFallback:
+		a.planSeen = true
+		a.wfFallbacks++
 	}
 }
 
@@ -231,8 +260,9 @@ type RunStatus struct {
 }
 
 // ServiceStatus is the gateway half of a Snapshot: queue depth, result
-// cache effectiveness and WAL replay provenance. Present only when an
-// internal/serve gateway feeds the bus.
+// cache effectiveness and WAL replay provenance. Present when an
+// internal/serve gateway or an internal/plan planner (which shares the
+// cache event vocabulary) feeds the bus.
 type ServiceStatus struct {
 	QueueDepth        int64   `json:"queue_depth"`
 	CacheHits         int64   `json:"cache_hits"`
@@ -245,6 +275,22 @@ type ServiceStatus struct {
 	WALRecordsDropped int64   `json:"wal_records_dropped"`
 }
 
+// PlanStatus is the sweep-planner half of a Snapshot: how much of the
+// submitted work was resolved by reuse instead of simulation, and what
+// warmup-prefix sharing saved. Present only when an internal/plan
+// planner feeds the bus.
+type PlanStatus struct {
+	Compiles          int64   `json:"compiles"`
+	Jobs              int64   `json:"jobs"`
+	Reused            int64   `json:"reused"`
+	Scheduled         int64   `json:"scheduled"`
+	EstimatedSec      float64 `json:"estimated_sec"`
+	WarmupFamilies    int64   `json:"warmup_families"`
+	WarmupForks       int64   `json:"warmup_forks"`
+	WarmupCyclesSaved int64   `json:"warmup_cycles_saved"`
+	WarmupFallbacks   int64   `json:"warmup_fallbacks"`
+}
+
 // Snapshot is the /status document.
 type Snapshot struct {
 	Now                time.Time      `json:"now"`
@@ -252,6 +298,7 @@ type Snapshot struct {
 	Events             int64          `json:"events_total"`
 	Sweep              SweepStatus    `json:"sweep"`
 	Service            *ServiceStatus `json:"service,omitempty"`
+	Plan               *PlanStatus    `json:"plan,omitempty"`
 	Runs               []RunStatus    `json:"runs,omitempty"`
 	CheckpointSaves    int64          `json:"checkpoint_saves"`
 	CheckpointRestores int64          `json:"checkpoint_restores"`
@@ -296,6 +343,19 @@ func (a *Aggregator) Snapshot() Snapshot {
 			svc.CacheHitRatio = float64(a.cacheHits) / float64(lookups)
 		}
 		s.Service = svc
+	}
+	if a.planSeen {
+		s.Plan = &PlanStatus{
+			Compiles:          a.planCompiles,
+			Jobs:              a.planJobs,
+			Reused:            a.planReused,
+			Scheduled:         a.planScheduled,
+			EstimatedSec:      float64(a.planEstNs) / 1e9,
+			WarmupFamilies:    a.wfFamilies,
+			WarmupForks:       a.wfForks,
+			WarmupCyclesSaved: a.wfSaved,
+			WarmupFallbacks:   a.wfFallbacks,
+		}
 	}
 	if a.jobs > 0 {
 		s.Sweep.PercentDone = 100 * float64(a.done+a.failed) / float64(a.jobs)
@@ -447,6 +507,23 @@ func (a *Aggregator) WritePrometheus(w io.Writer) error {
 		p("# TYPE seec_wal_jobs_resumed_total counter\nseec_wal_jobs_resumed_total %d\n", svc.WALJobsResumed)
 		p("# HELP seec_wal_records_dropped_total Torn or corrupt journal tail records dropped on replay.\n")
 		p("# TYPE seec_wal_records_dropped_total counter\nseec_wal_records_dropped_total %d\n", svc.WALRecordsDropped)
+	}
+	if s.Plan != nil {
+		pl := s.Plan
+		p("# HELP seec_plan_compiles_total Job batches compiled by the sweep planner.\n")
+		p("# TYPE seec_plan_compiles_total counter\nseec_plan_compiles_total %d\n", pl.Compiles)
+		p("# HELP seec_plan_jobs_total Planner jobs by resolution.\n")
+		p("# TYPE seec_plan_jobs_total counter\n")
+		p("seec_plan_jobs_total{outcome=\"reused\"} %d\n", pl.Reused)
+		p("seec_plan_jobs_total{outcome=\"scheduled\"} %d\n", pl.Scheduled)
+		p("# HELP seec_warmup_families_total Warmup-prefix families executed via checkpoint fork.\n")
+		p("# TYPE seec_warmup_families_total counter\nseec_warmup_families_total %d\n", pl.WarmupFamilies)
+		p("# HELP seec_warmup_forks_total Family members forked from a shared warm checkpoint.\n")
+		p("# TYPE seec_warmup_forks_total counter\nseec_warmup_forks_total %d\n", pl.WarmupForks)
+		p("# HELP seec_warmup_cycles_saved_total Warmup cycles not re-simulated thanks to prefix sharing.\n")
+		p("# TYPE seec_warmup_cycles_saved_total counter\nseec_warmup_cycles_saved_total %d\n", pl.WarmupCyclesSaved)
+		p("# HELP seec_warmup_fallbacks_total Families that fell back to independent runs.\n")
+		p("# TYPE seec_warmup_fallbacks_total counter\nseec_warmup_fallbacks_total %d\n", pl.WarmupFallbacks)
 	}
 	p("# HELP seec_events_total Telemetry events aggregated.\n")
 	p("# TYPE seec_events_total counter\nseec_events_total %d\n", s.Events)

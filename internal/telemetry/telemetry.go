@@ -91,6 +91,27 @@ const (
 	// resumable, InFlight = trailing records dropped as torn/corrupt).
 	EvWALReplay
 
+	// Planner (internal/plan) events. Job is -1: plan events describe
+	// whole batches, not individual sweep indices. The planner also
+	// emits the cache_* events above for its store lookups, so the
+	// cache counters cover both the gateway and library callers.
+
+	// EvPlanCompile: a job batch was compiled into a reuse-aware
+	// schedule (Total = jobs submitted, Cycle = jobs resolved without
+	// simulating — cache hits plus in-batch duplicates, InFlight =
+	// execution units scheduled, DurNs = cost-model estimate of the
+	// scheduled work in wall nanoseconds).
+	EvPlanCompile
+	// EvWarmupFork: a warmup family executed — the family's warmup
+	// prefix was paid once and the members forked from the checkpoint
+	// (Total = forked members, Cycle = warmup cycles saved versus
+	// independent runs).
+	EvWarmupFork
+	// EvWarmupFallback: a warmup family could not fork (non-forkable
+	// simulation state) and its members re-ran independently
+	// (Err = reason, Total = members).
+	EvWarmupFallback
+
 	numKinds
 )
 
@@ -124,6 +145,9 @@ var kindNames = [numKinds]string{
 	EvCacheMiss:         "cache_miss",
 	EvCacheQuarantine:   "cache_quarantine",
 	EvWALReplay:         "wal_replay",
+	EvPlanCompile:       "plan_compile",
+	EvWarmupFork:        "warmup_fork",
+	EvWarmupFallback:    "warmup_fallback",
 }
 
 // Event is one recorded occurrence. The struct is fixed-size apart from

@@ -53,6 +53,28 @@ type Manifest struct {
 	// where the JSONL event log went. Provenance only — telemetry never
 	// influences results.
 	Telemetry *TelemetrySection `json:"telemetry,omitempty"`
+
+	// Plan records sweep-planner provenance, present when the producing
+	// sweep ran through internal/plan: how many jobs were submitted, how
+	// many were served from the content-addressed cache or collapsed as
+	// in-batch duplicates, how many were actually simulated, and what
+	// warmup-prefix sharing did. Reuse is byte-identity-preserving, so
+	// this is provenance, not a result parameter.
+	Plan *PlanSection `json:"plan,omitempty"`
+}
+
+// PlanSection is the sweep-planner provenance block of a Manifest.
+type PlanSection struct {
+	Jobs              int64 `json:"jobs"`
+	Deduped           int64 `json:"deduped"`
+	MemHits           int64 `json:"mem_hits"`
+	StoreHits         int64 `json:"store_hits"`
+	Simulated         int64 `json:"simulated"`
+	WarmupFamilies    int64 `json:"warmup_families,omitempty"`
+	WarmupForks       int64 `json:"warmup_forks,omitempty"`
+	WarmupCyclesSaved int64 `json:"warmup_cycles_saved,omitempty"`
+	WarmupFallbacks   int64 `json:"warmup_fallbacks,omitempty"`
+	Quarantined       int64 `json:"quarantined,omitempty"`
 }
 
 // TelemetrySection is the manifest's record of live sweep telemetry.

@@ -428,13 +428,26 @@ func LatencyCurveCtx(ctx context.Context, cfg Config, rates []float64, workers i
 
 // ZeroLoadLatency measures the average latency at a near-zero rate.
 func ZeroLoadLatency(cfg Config) (float64, error) {
+	return zeroLoadLatencyWith(context.Background(), cfg, defaultRun)
+}
+
+// defaultRun adapts RunSynthetic to the injectable-run signature used
+// by the saturation search.
+func defaultRun(_ context.Context, cfg Config) (Result, error) {
+	return RunSynthetic(cfg)
+}
+
+// zeroLoadLatencyWith is ZeroLoadLatency with the simulation routed
+// through run, so callers (the sweep planner's chokepoint) can
+// memoize or instrument the probe.
+func zeroLoadLatencyWith(ctx context.Context, cfg Config, run func(context.Context, Config) (Result, error)) (float64, error) {
 	c := cfg
 	c.InjectionRate = 0.005
 	c.Seed = c.SweepSeed()
 	if c.SimCycles < 20000 {
 		c.SimCycles = 20000
 	}
-	res, err := RunSynthetic(c)
+	res, err := run(ctx, c)
 	if err != nil {
 		return 0, err
 	}
@@ -457,7 +470,18 @@ func SaturationThroughput(cfg Config) (float64, Result, error) {
 // worker count — and every run derives its seed via Config.SweepSeed,
 // so the measured saturation point is identical at any parallelism.
 func SaturationThroughputCtx(ctx context.Context, cfg Config, workers int) (float64, Result, error) {
-	zero, err := ZeroLoadLatency(cfg)
+	return SaturationThroughputWith(ctx, cfg, workers, defaultRun)
+}
+
+// SaturationThroughputWith is SaturationThroughputCtx with every
+// probe simulation (including the zero-load calibration run) routed
+// through run. The search shape, the probe configs, and their derived
+// seeds are identical to the direct path — run only decides how each
+// config executes — so a memoizing run function (the sweep planner)
+// resolves a repeated search entirely from cache: the probe sequence
+// is deterministic, hence so is the sequence of cache keys.
+func SaturationThroughputWith(ctx context.Context, cfg Config, workers int, run func(context.Context, Config) (Result, error)) (float64, Result, error) {
+	zero, err := zeroLoadLatencyWith(ctx, cfg, run)
 	if err != nil {
 		return 0, Result{}, err
 	}
@@ -466,11 +490,11 @@ func SaturationThroughputCtx(ctx context.Context, cfg Config, workers int) (floa
 		good bool
 		res  Result
 	}
-	at := func(_ context.Context, rate float64) (probe, error) {
+	at := func(ctx context.Context, rate float64) (probe, error) {
 		c := cfg
 		c.InjectionRate = rate
 		c.Seed = c.SweepSeed()
-		res, err := RunSynthetic(c)
+		res, err := run(ctx, c)
 		if err != nil {
 			return probe{}, err
 		}
